@@ -1,0 +1,29 @@
+"""Helpers shared by the benchmark files."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure one execution of ``fn`` (simulations are deterministic, so a
+    single round is exact) and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def model_per_core(panel, cores):
+    """The model's per-core value at a given core count in a figure panel."""
+    for c, _value, per_core, source in panel["rows"]:
+        if c == cores and source == "model":
+            return per_core
+    raise AssertionError(f"no model row at {cores} cores")
+
+
+def sim_per_core(panel, cores):
+    for c, _value, per_core, source in panel["rows"]:
+        if c == cores and source == "sim":
+            return per_core
+    raise AssertionError(f"no sim row at {cores} cores")
+
+
+def aggregate_at(panel, cores, source="model"):
+    for c, value, _per_core, src in panel["rows"]:
+        if c == cores and src == source:
+            return value
+    raise AssertionError(f"no {source} row at {cores} cores")

@@ -1,0 +1,52 @@
+"""Ablation: spawning-tree broadcast vs naive sequential place iteration.
+
+Paper Section 3.2: iterating sequentially over many places to send identical
+messages wastes valuable time and floods the network; the PlaceGroup
+broadcast parallelizes and distributes the task-creation overhead over
+spawning trees.
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.harness.runner import make_runtime
+from repro.runtime import PlaceGroup, broadcast_spawn, sequential_spawn
+
+from benchmarks._util import run_once
+
+PLACES = 512
+
+
+def _run(spawner):
+    rt = make_runtime(PLACES)
+
+    def body(ctx):
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        yield from spawner(ctx, PlaceGroup.world(rt), body)
+
+    rt.run(main)
+    return {
+        "time": rt.now,
+        "root_nic_msgs": rt.network.injection(0).reservations,
+    }
+
+
+def bench_broadcast_tree_vs_sequential(benchmark):
+    def run_both():
+        return _run(broadcast_spawn), _run(sequential_spawn)
+
+    tree, seq = run_once(benchmark, run_both)
+    print()
+    print(
+        render_table(
+            ["spawner", "time [s]", "root-octant NIC msgs"],
+            [
+                ("spawning tree", tree["time"], tree["root_nic_msgs"]),
+                ("sequential root loop", seq["time"], seq["root_nic_msgs"]),
+            ],
+        )
+    )
+    assert tree["time"] < seq["time"]
+    assert tree["root_nic_msgs"] * 3 < seq["root_nic_msgs"]

@@ -1,0 +1,70 @@
+"""Ablation: one place per core vs one multi-worker place per host.
+
+Paper Section 9: "We focus on scale out: we want as many places as possible
+to stress our finish implementations...  A more natural APGAS implementation
+however would take advantage of intra-place concurrency, run with only one or
+a few places per host, and probably perform marginally better."
+"""
+
+import pytest
+
+from repro.harness.reporting import render_table
+from repro.machine import MachineConfig
+from repro.runtime import ApgasRuntime, Pragma
+
+from benchmarks._util import run_once
+
+HOSTS = 8
+CORES = MachineConfig().cores_per_octant  # 32
+WORK_SECONDS_PER_CORE = 1e-3
+
+
+def _run(places, workers_per_place):
+    rt = ApgasRuntime(
+        places=places, config=MachineConfig(), workers_per_place=workers_per_place
+    )
+
+    def core_work(ctx):
+        yield ctx.compute(seconds=WORK_SECONDS_PER_CORE)
+
+    def place_body(ctx):
+        # one activity per core of this place
+        with ctx.finish(Pragma.FINISH_LOCAL) as f:
+            for _ in range(workers_per_place):
+                ctx.async_(core_work)
+        yield f.wait()
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_SPMD) as f:
+            for p in ctx.places():
+                ctx.at_async(p, place_body)
+        yield f.wait()
+        return f
+
+    fin = rt.run(main)
+    return {"time": rt.now, "ctl_messages": fin.ctl_messages}
+
+
+def bench_places_per_host(benchmark):
+    def run_both():
+        per_core = _run(HOSTS * CORES, 1)  # the paper's mode
+        per_host = _run(HOSTS, CORES)  # the future-work mode
+        return per_core, per_host
+
+    per_core, per_host = run_once(benchmark, run_both)
+    print()
+    print(
+        render_table(
+            ["mode", "makespan [s]", "finish ctl msgs"],
+            [
+                (f"{CORES} places/host, 1 worker", per_core["time"], per_core["ctl_messages"]),
+                (f"1 place/host, {CORES} workers", per_host["time"], per_host["ctl_messages"]),
+            ],
+        )
+    )
+    # same compute either way; fewer places = less termination traffic,
+    # "probably perform marginally better"
+    assert per_host["ctl_messages"] < per_core["ctl_messages"]
+    assert per_host["time"] <= per_core["time"]
+    # and it is marginal, not transformative
+    assert per_host["time"] > 0.5 * per_core["time"]

@@ -1,0 +1,25 @@
+"""Figure 1 / Global FFT: Gflop/s and Gflop/s/core, weak scaling.
+
+Paper: 0.99 Gflop/s (1 core) -> 0.88 Gflop/s/core at 32,768 cores with a
+mid-scale dip from the cross-section bandwidth; 28,696 Gflop/s aggregate.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import aggregate_at, model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_fft(benchmark):
+    panel = run_once(benchmark, figure1_panel, "fft")
+    print()
+    print(render_panel(panel))
+    assert sim_per_core(panel, 1) == pytest.approx(0.99e9, rel=0.05)
+    assert model_per_core(panel, 32768) == pytest.approx(0.88e9, rel=0.05)
+    assert aggregate_at(panel, 32768) == pytest.approx(28_696e9, rel=0.05)
+    # the per-core rate is significantly hindered in between by the
+    # relatively low cross-section bandwidth (paper Section 5.2)
+    dip = model_per_core(panel, 2048)
+    assert dip < 0.6 * model_per_core(panel, 512)
+    assert dip < 0.6 * model_per_core(panel, 32768)

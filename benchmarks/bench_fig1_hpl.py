@@ -1,0 +1,35 @@
+"""Figure 1 / Global HPL: Gflop/s and Gflop/s/core, weak scaling.
+
+Paper: 22.38 Gflop/s (1 core) -> 20.62 (1 host) -> 17.98 at 32,768 cores;
+589.231 Tflop/s aggregate; seesaw from n x n vs 2n x n block-cyclic grids.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import aggregate_at, model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_hpl(benchmark):
+    panel = run_once(benchmark, figure1_panel, "hpl")
+    print()
+    print(render_panel(panel))
+    # single core: the calibrated ESSL-through-X10 rate
+    assert sim_per_core(panel, 1) == pytest.approx(22.38e9, rel=0.02)
+    # one host and at scale (paper: 20.62 / 17.98 Gflop/s/core)
+    assert model_per_core(panel, 32) == pytest.approx(20.62e9, rel=0.05)
+    assert model_per_core(panel, 32768) == pytest.approx(17.98e9, rel=0.02)
+    # aggregate at scale: 589.231 Tflop/s
+    assert aggregate_at(panel, 32768) == pytest.approx(589.231e12, rel=0.02)
+    # ~60% of the theoretical peak of 1,024 hosts (paper Section 5.2)
+    from repro.machine import MachineConfig
+
+    peak = MachineConfig().octant_peak_flops * 1024
+    assert 0.55 < aggregate_at(panel, 32768) / peak < 0.65
+    # efficiency drops primarily when scaling from 1 to 1,024 cores, then the
+    # curve flattens
+    drop_early = model_per_core(panel, 32) - model_per_core(panel, 2048)
+    drop_late = model_per_core(panel, 2048) - model_per_core(panel, 32768)
+    assert drop_early > 0
+    assert drop_late < drop_early * 3

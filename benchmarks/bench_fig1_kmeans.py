@@ -1,0 +1,24 @@
+"""Figure 1 / K-Means: run time and parallel efficiency, weak scaling.
+
+Paper: 6.13 s (1 core) -> 6.16 s (1 host) -> 6.27 s at 47,040 cores for five
+iterations of Lloyd's algorithm (40,000 points/place, k=4096, dim 12);
+efficiency never drops below 97%.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_kmeans(benchmark):
+    panel = run_once(benchmark, figure1_panel, "kmeans")
+    print()
+    print(render_panel(panel))
+    assert sim_per_core(panel, 1) == pytest.approx(6.13, rel=0.01)
+    assert model_per_core(panel, 47040) == pytest.approx(6.27, rel=0.01)
+    # efficiency vs 1 core never below 97%
+    t1 = sim_per_core(panel, 1)
+    for cores, _v, per_core, _src in panel["rows"]:
+        assert t1 / per_core > 0.97, f"{cores} cores"

@@ -1,0 +1,26 @@
+"""Figure 1 / Global RandomAccess: Gup/s and Gup/s per host, weak scaling.
+
+Paper: 0.82 Gup/s/host at both 8 hosts and 1,024 hosts (per-host interconnect
+limit), significantly lower in between (cross-section bottleneck);
+843.58 Gup/s aggregate at 32,768 cores.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import aggregate_at, model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_randomaccess(benchmark):
+    panel = run_once(benchmark, figure1_panel, "randomaccess")
+    print()
+    print(render_panel(panel))
+    # one drawer (8 hosts = 256 places): the hub GUPS engine binds
+    assert sim_per_core(panel, 256) == pytest.approx(0.82e9, rel=0.06)
+    assert model_per_core(panel, 256) == pytest.approx(0.82e9, rel=0.05)
+    # at scale: back to the same per-host limit ("perfect" relative efficiency)
+    assert model_per_core(panel, 32768) == pytest.approx(0.82e9, rel=0.05)
+    assert aggregate_at(panel, 32768) == pytest.approx(843.58e9, rel=0.05)
+    # the valley in between (paper Section 4's three performance modes)
+    assert model_per_core(panel, 2048) < 0.6 * model_per_core(panel, 32768)

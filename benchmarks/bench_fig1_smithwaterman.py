@@ -1,0 +1,22 @@
+"""Figure 1 / Smith-Waterman: run time and parallel efficiency, weak scaling.
+
+Paper: 8.61 s (1 place) -> 12.68 s (1 host; memory-bus contention) -> 12.87 s
+at 47,040 cores — only 2% efficiency loss scaling out from one host.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_smithwaterman(benchmark):
+    panel = run_once(benchmark, figure1_panel, "smithwaterman")
+    print()
+    print(render_panel(panel))
+    assert sim_per_core(panel, 1) == pytest.approx(8.61, rel=0.01)
+    assert sim_per_core(panel, 32) == pytest.approx(12.68, rel=0.01)
+    assert model_per_core(panel, 47040) == pytest.approx(12.87, rel=0.01)
+    # scaling out from one host to 1,470 hosts loses only ~2%
+    assert model_per_core(panel, 47040) / sim_per_core(panel, 32) < 1.03

@@ -1,0 +1,25 @@
+"""Figure 1 / EP Stream (Triad): GB/s and GB/s per place, weak scaling.
+
+Paper: 12.6 GB/s for one place alone, 7.23 GB/s/place with 32 places per host
+(memory-bus contention), 7.12 at 55,680 places; ~397 TB/s system total, which
+exceeds 98% of 1,740x the single-host bandwidth.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import aggregate_at, model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_stream(benchmark):
+    panel = run_once(benchmark, figure1_panel, "stream")
+    print()
+    print(render_panel(panel))
+    assert sim_per_core(panel, 1) == pytest.approx(12.6e9, rel=0.01)
+    assert sim_per_core(panel, 32) == pytest.approx(7.23e9, rel=0.01)
+    assert model_per_core(panel, 55680) == pytest.approx(7.12e9, rel=0.01)
+    assert aggregate_at(panel, 55680) == pytest.approx(396.6e12, rel=0.01)
+    # >= 98% of 1,740 x single-host bandwidth
+    single_host = 32 * sim_per_core(panel, 32)
+    assert aggregate_at(panel, 55680) >= 0.98 * 1740 * single_host

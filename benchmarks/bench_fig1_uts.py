@@ -1,0 +1,26 @@
+"""Figure 1 / UTS: nodes/s and nodes/s per place, weak scaling.
+
+Paper: 10.929 M nodes/s for one place (identical to the sequential
+implementation), 10.712 M at 55,680 places — 98% parallel efficiency; the
+first UTS implementation to scale to petaflop systems.
+"""
+
+import pytest
+
+from repro.harness.figures import figure1_panel, render_panel
+
+from benchmarks._util import aggregate_at, model_per_core, run_once, sim_per_core
+
+
+def bench_fig1_uts(benchmark):
+    panel = run_once(benchmark, figure1_panel, "uts")
+    print()
+    print(render_panel(panel))
+    # single place == sequential rate
+    assert sim_per_core(panel, 1) == pytest.approx(10.929e6, rel=0.005)
+    # protocol-faithful simulation stays within a few % of the calibrated
+    # rate at 64 places (its tree is far smaller than a 90-200 s run)
+    assert sim_per_core(panel, 64) > 0.93 * 10.929e6
+    # at scale: 98% parallel efficiency (10.712 M nodes/s/core)
+    assert model_per_core(panel, 55680) == pytest.approx(10.712e6, rel=0.005)
+    assert aggregate_at(panel, 55680) == pytest.approx(596_451e6, rel=0.005)

@@ -1,0 +1,22 @@
+"""Table 1: X10 performance vs IBM's HPCC Class 1 optimized runs.
+
+Paper: HPL 85%, RandomAccess 81%, FFT 41%, Stream 87% of the Class 1 per-core
+performance at scale.
+"""
+
+import pytest
+
+from repro.harness.tables import render_table1, table1
+
+from benchmarks._util import run_once
+
+
+def bench_table1(benchmark):
+    data = run_once(benchmark, table1)
+    print()
+    print(render_table1(data))
+    for row in data["rows"]:
+        assert row["relative"] == pytest.approx(row["paper_relative"], abs=0.04), (
+            f"{row['benchmark']}: {row['relative']:.2f} vs paper "
+            f"{row['paper_relative']:.2f}"
+        )

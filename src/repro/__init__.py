@@ -1,0 +1,38 @@
+"""Reproduction of *X10 and APGAS at Petascale* (Tardieu et al., PPoPP 2014).
+
+The package provides:
+
+* :mod:`repro.sim` — a deterministic discrete-event simulation kernel;
+* :mod:`repro.machine` — a model of the IBM Power 775 machine (topology,
+  links, routing, NIC, memory system);
+* :mod:`repro.xrt` — the X10RT-like transport layer (PAMI simulation, RDMA,
+  GUPS, collectives with hardware and emulated paths);
+* :mod:`repro.runtime` — the APGAS runtime: places, activities, ``async``,
+  ``at``, the family of ``finish`` termination-detection protocols, teams,
+  scalable broadcast and the congruent memory allocator;
+* :mod:`repro.glb` — lifeline-based global load balancing;
+* :mod:`repro.kernels` — the paper's eight kernels (HPL, FFT, RandomAccess,
+  Stream, UTS, K-Means, Smith-Waterman, Betweenness Centrality);
+* :mod:`repro.harness` — the experiment harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.runtime import ApgasRuntime, Pragma
+
+    rt = ApgasRuntime(places=8)
+
+    def hello(ctx):
+        for p in ctx.places():
+            ctx.at_async(p, greet)
+        yield ctx.end()
+
+    def greet(ctx):
+        yield ctx.compute(seconds=1e-6)
+
+    rt.run(hello)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,88 @@
+"""Command-line interface for the reproduction harness.
+
+::
+
+    python -m repro.cli kernels                      # list kernels
+    python -m repro.cli run uts --places 64          # one simulated run
+    python -m repro.cli figure stream               # one Figure 1 panel
+    python -m repro.cli tables                      # Tables 1 and 2
+    python -m repro.cli report                      # the whole EXPERIMENTS body
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.figures import figure1_panel, render_panel
+from repro.harness.reporting import si
+from repro.harness.runner import KERNELS, simulate
+from repro.harness.tables import render_table1, render_table2, table1, table2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (kernels / run / figure / tables / report)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for 'X10 and APGAS at Petascale' (PPoPP 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the eight kernels")
+
+    run = sub.add_parser("run", help="simulate one kernel at one scale")
+    run.add_argument("kernel", choices=KERNELS)
+    run.add_argument("--places", type=int, default=32)
+
+    fig = sub.add_parser("figure", help="regenerate one Figure 1 panel")
+    fig.add_argument("kernel", choices=KERNELS)
+    fig.add_argument("--no-sim", action="store_true", help="model rows only (fast)")
+
+    sub.add_parser("tables", help="regenerate Tables 1 and 2")
+    sub.add_parser("report", help="regenerate the full EXPERIMENTS body")
+    return parser
+
+
+def main(argv=None, out=sys.stdout) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "kernels":
+        for k in KERNELS:
+            print(k, file=out)
+        return 0
+
+    if args.command == "run":
+        result = simulate(args.kernel, args.places)
+        print(f"kernel        : {result.kernel}", file=out)
+        print(f"places        : {result.places}", file=out)
+        print(f"simulated time: {result.sim_time:.6f} s", file=out)
+        print(f"aggregate     : {si(result.value, result.unit)}", file=out)
+        per = si(result.per_core, result.unit)
+        print(f"per core/host : {per}", file=out)
+        if result.verified is not None:
+            print(f"verified      : {result.verified}", file=out)
+        return 0 if result.verified is not False else 1
+
+    if args.command == "figure":
+        panel = figure1_panel(args.kernel, include_sim=not args.no_sim)
+        print(render_panel(panel), file=out)
+        return 0
+
+    if args.command == "tables":
+        print(render_table1(table1()), file=out)
+        print(file=out)
+        print(render_table2(table2()), file=out)
+        return 0
+
+    if args.command == "report":
+        from repro.harness.report import generate
+
+        generate(out)
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

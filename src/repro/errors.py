@@ -1,0 +1,61 @@
+"""Exception hierarchy shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Carries the list of blocked processes so that protocol bugs (e.g. a
+    ``finish`` that never quiesces) are diagnosable.
+    """
+
+    def __init__(self, blocked):
+        self.blocked = list(blocked)
+        names = ", ".join(str(p) for p in self.blocked[:8])
+        more = "" if len(self.blocked) <= 8 else f" (+{len(self.blocked) - 8} more)"
+        super().__init__(
+            f"simulation deadlock: {len(self.blocked)} process(es) still blocked: {names}{more}"
+        )
+
+
+class RoutingError(ReproError):
+    """No valid route exists between two octants."""
+
+
+class TransportError(ReproError):
+    """Misuse of the X10RT transport layer."""
+
+
+class RegistrationError(TransportError):
+    """RDMA/collective operation attempted on unregistered memory."""
+
+
+class ApgasError(ReproError):
+    """Misuse of the APGAS runtime API."""
+
+
+class PlaceError(ApgasError):
+    """Reference to a place outside the runtime's place set."""
+
+
+class FinishError(ApgasError):
+    """A finish protocol was driven through an invalid transition."""
+
+
+class PragmaError(ApgasError):
+    """A finish pragma was applied to a concurrency pattern it cannot govern."""
+
+
+class GlbError(ReproError):
+    """Misuse of the global load balancing framework."""
+
+
+class KernelError(ReproError):
+    """A kernel was configured with invalid parameters."""

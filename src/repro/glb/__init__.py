@@ -1,0 +1,39 @@
+"""GLB — lifeline-based global load balancing (paper Sections 3.4 and 6).
+
+GLB lets idle places "steal" work from other places.  Steal attempts are first
+*random* and synchronous; past a few failed attempts the thief falls back to a
+fixed precomputed list of victims called *lifelines*, sends requests to these,
+and dies.  Lifelines have memory: if a lifeline later obtains work it splits
+it with the recorded requesters, resuscitating dead workers.  Random attempts
+are effective when most workers are busy; lifelines propagate work quickly
+when many workers are idle.  Lifeline edges form low-diameter low-degree
+graphs (hypercubes).
+
+The paper's refinements over Saraswat et al. [35], all implemented here and
+selectable through :class:`GlbConfig` for ablation:
+
+* cheaper termination detection — FINISH_DENSE for the root finish, a
+  round-trip (FINISH_HERE-like) pattern for steal attempts;
+* traffic shaping — per-place victim sets bounded at 1,024 to cap the
+  communication graph's out-degree;
+* work-queue improvements — compact interval representation and thieves
+  stealing fragments of *every* interval (implemented by the UTS queue in
+  :mod:`repro.kernels.uts`).
+"""
+
+from repro.glb.bag import CountingBag, TaskBag
+from repro.glb.config import GlbConfig
+from repro.glb.lifelines import hypercube_lifelines, ring_lifelines
+from repro.glb.victims import victim_set
+from repro.glb.engine import Glb, GlbStats
+
+__all__ = [
+    "CountingBag",
+    "Glb",
+    "GlbConfig",
+    "GlbStats",
+    "TaskBag",
+    "hypercube_lifelines",
+    "ring_lifelines",
+    "victim_set",
+]

@@ -1,0 +1,84 @@
+"""The TaskBag protocol: what a workload must provide to be GLB-balanced."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+
+class TaskBag(abc.ABC):
+    """A place's pool of pending work items.
+
+    GLB drives the bag: ``process`` consumes items (possibly generating new
+    ones — UTS tree expansion does), ``split`` extracts loot for a thief, and
+    ``merge`` absorbs stolen loot.  Implementations must keep
+    ``serialized_nbytes`` meaningful — it prices loot transfers on the
+    network.
+    """
+
+    @abc.abstractmethod
+    def process(self, max_items: int) -> int:
+        """Consume up to ``max_items`` items; returns the number processed."""
+
+    @abc.abstractmethod
+    def is_empty(self) -> bool: ...
+
+    @abc.abstractmethod
+    def split(self) -> Optional["TaskBag"]:
+        """Extract roughly half the work for a thief; None if not worth splitting."""
+
+    @abc.abstractmethod
+    def merge(self, other: "TaskBag") -> None: ...
+
+    @property
+    @abc.abstractmethod
+    def serialized_nbytes(self) -> int:
+        """Wire size of this bag when shipped as loot."""
+
+    def last_process_cost(self) -> Optional[float]:
+        """Cost units consumed by the most recent :meth:`process` call.
+
+        ``None`` (the default) means one cost unit per item.  Workloads with
+        heavy-tailed per-item costs — a Betweenness Centrality source in a
+        giant component vs an isolated vertex — report their true cost here so
+        the balancer charges honest compute time.
+        """
+        return None
+
+
+class CountingBag(TaskBag):
+    """The simplest bag: ``n`` identical unit-work items.
+
+    Used by GLB's own tests and by microbenchmarks; real workloads (UTS, BC)
+    provide their own bags.
+    """
+
+    def __init__(self, items: int = 0) -> None:
+        if items < 0:
+            raise ValueError("item count cannot be negative")
+        self.items = items
+
+    def process(self, max_items: int) -> int:
+        n = min(self.items, max_items)
+        self.items -= n
+        return n
+
+    def is_empty(self) -> bool:
+        return self.items == 0
+
+    def split(self) -> Optional["CountingBag"]:
+        if self.items < 2:
+            return None
+        half = self.items // 2
+        self.items -= half
+        return CountingBag(half)
+
+    def merge(self, other: "CountingBag") -> None:
+        self.items += other.items
+
+    @property
+    def serialized_nbytes(self) -> int:
+        return 16  # an interval (count) ships as two words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CountingBag({self.items})"

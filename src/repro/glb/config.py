@@ -1,0 +1,52 @@
+"""GLB tuning knobs, including the original-vs-refined ablation switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.runtime.finish.pragmas import Pragma
+
+
+@dataclass(frozen=True)
+class GlbConfig:
+    """Configuration of the global load balancer.
+
+    :meth:`original` reproduces the Saraswat et al. [35] configuration that
+    "achieves its peak performance with a few thousand cores and slows down to
+    a crawl beyond that"; the defaults are the paper's refined algorithm.
+    """
+
+    #: items processed between scheduler interaction points
+    chunk_items: int = 512
+    #: items a distribution-tree node expands *before* splitting for its
+    #: children, so the initial wave actually carries work (matters for
+    #: workloads like UTS whose root bag starts nearly unsplittable)
+    prime_items: int = 64
+    #: random steal attempts before falling back to lifelines
+    random_attempts: int = 2
+    #: bound on each place's precomputed victim set (None = unbounded)
+    max_victims: Optional[int] = 1024
+    #: lifeline graph family ("hypercube" or "ring")
+    lifeline_graph: str = "hypercube"
+    #: termination detection for the root finish
+    root_finish: Pragma = Pragma.FINISH_DENSE
+    #: RNG seed for victim sets and steal choices
+    seed: int = 0
+
+    def with_(self, **overrides) -> "GlbConfig":
+        """A modified copy (configs are frozen)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def refined(cls, **overrides) -> "GlbConfig":
+        """The paper's scalable configuration (the defaults)."""
+        return cls(**overrides)
+
+    @classmethod
+    def original(cls, **overrides) -> "GlbConfig":
+        """The PPoPP'11 lifeline scheduler [35], before the paper's refinements:
+        unbounded victim sets and the default (task-balancing) root finish."""
+        defaults = dict(max_victims=None, root_finish=Pragma.DEFAULT)
+        defaults.update(overrides)
+        return cls(**defaults)

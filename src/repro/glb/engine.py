@@ -1,0 +1,274 @@
+"""The GLB engine: workers, random steals, lifelines, resuscitation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import GlbError
+from repro.glb.bag import TaskBag
+from repro.glb.config import GlbConfig
+from repro.glb.lifelines import GRAPHS
+from repro.glb.victims import victim_set
+from repro.runtime.runtime import ApgasRuntime
+from repro.sim.rng import RngStream
+
+
+class _PlaceState:
+    """GLB bookkeeping for one place."""
+
+    __slots__ = (
+        "bag",
+        "alive",
+        "processed",
+        "cost",
+        "steal_attempts",
+        "steals_ok",
+        "lifelines_sent",
+        "resuscitations",
+        "lifeline_requests",
+        "victims",
+        "lifelines",
+        "rng",
+    )
+
+    def __init__(self, bag: TaskBag, victims, lifelines, rng: RngStream) -> None:
+        self.bag = bag
+        self.alive = False
+        self.processed = 0
+        self.cost = 0.0
+        self.steal_attempts = 0
+        self.steals_ok = 0
+        self.lifelines_sent = 0
+        self.resuscitations = 0
+        self.lifeline_requests: list[int] = []
+        self.victims = victims
+        self.lifelines = lifelines
+        self.rng = rng
+
+
+@dataclass
+class GlbStats:
+    """Outcome of one balanced run."""
+
+    places: int
+    total_processed: int
+    makespan: float
+    processed_per_place: list[int]
+    steal_attempts: int
+    steals_ok: int
+    lifelines_sent: int
+    resuscitations: int
+    ctl_messages: int
+    #: total cost units (== total_processed for unit-cost workloads)
+    total_cost: float = 0.0
+
+    def efficiency(self, rate: float) -> float:
+        """Parallel efficiency against perfect static balance at ``rate``.
+
+        ``rate`` is in cost units per second (items/s for unit-cost bags).
+        """
+        if self.makespan <= 0:
+            return 1.0
+        ideal = self.total_cost / (rate * self.places)
+        return min(1.0, ideal / self.makespan)
+
+    def imbalance(self) -> float:
+        """max/mean of per-place processed counts (1.0 = perfectly balanced)."""
+        mean = self.total_processed / self.places
+        return max(self.processed_per_place) / mean if mean else float("inf")
+
+
+class Glb:
+    """Balance a :class:`TaskBag` workload across all places of a runtime.
+
+    Usage::
+
+        rt = ApgasRuntime(places=64, config=MachineConfig.small())
+        glb = Glb(rt, root_bag=CountingBag(1_000_000),
+                  make_empty_bag=CountingBag, process_rate=1e6)
+        stats = glb.run()
+        assert stats.efficiency(1e6) > 0.9
+    """
+
+    def __init__(
+        self,
+        rt: ApgasRuntime,
+        root_bag: TaskBag,
+        make_empty_bag: Callable[[], TaskBag],
+        process_rate: float,
+        config: Optional[GlbConfig] = None,
+    ) -> None:
+        if process_rate <= 0:
+            raise GlbError("process_rate must be positive (items per second)")
+        self.rt = rt
+        self.config = config or GlbConfig()
+        self.root_bag = root_bag
+        self.process_rate = process_rate
+        try:
+            graph = GRAPHS[self.config.lifeline_graph]
+        except KeyError:
+            raise GlbError(
+                f"unknown lifeline graph {self.config.lifeline_graph!r}; "
+                f"choose from {sorted(GRAPHS)}"
+            ) from None
+        n = rt.n_places
+        self.state = [
+            _PlaceState(
+                bag=make_empty_bag(),
+                victims=victim_set(n, p, self.config.max_victims, self.config.seed),
+                lifelines=graph(n, p),
+                rng=RngStream(self.config.seed, f"glb/steal/{p}"),
+            )
+            for p in range(n)
+        ]
+        self._root_finish = None
+
+    # -- public API ------------------------------------------------------------------
+
+    def run(self) -> GlbStats:
+        """Distribute, balance, and drain the workload; returns the statistics."""
+        self.rt.run(self._main)
+        return self.stats()
+
+    def stats(self) -> GlbStats:
+        """Aggregate statistics of the (completed) run."""
+        per_place = [st.processed for st in self.state]
+        return GlbStats(
+            places=self.rt.n_places,
+            total_processed=sum(per_place),
+            makespan=self.rt.now,
+            processed_per_place=per_place,
+            steal_attempts=sum(st.steal_attempts for st in self.state),
+            steals_ok=sum(st.steals_ok for st in self.state),
+            lifelines_sent=sum(st.lifelines_sent for st in self.state),
+            resuscitations=sum(st.resuscitations for st in self.state),
+            ctl_messages=self._root_finish.ctl_messages if self._root_finish else 0,
+            total_cost=sum(st.cost for st in self.state),
+        )
+
+    # -- program structure ---------------------------------------------------------------
+
+    def _main(self, ctx):
+        with ctx.finish(self.config.root_finish, name="glb-root") as f:
+            self._root_finish = f
+            ctx.async_(self._distribute, 0, self.rt.n_places, self.root_bag)
+        yield f.wait()
+
+    def _distribute(self, ctx, lo: int, hi: int, bag: TaskBag):
+        """Initial work distribution: one tree-shaped wave from the root worker."""
+        step = 1
+        st = self.state[ctx.here]
+        while lo + step < hi:
+            child_lo = lo + step
+            child_hi = min(lo + 2 * step, hi)
+            part = bag.split() if bag is not None else None
+            if part is None and bag is not None and not bag.is_empty():
+                # expand a little so the wave has something to carry
+                n = bag.process(self.config.prime_items)
+                cost = bag.last_process_cost()
+                cost = float(n) if cost is None else cost
+                st.processed += n
+                st.cost += cost
+                if cost:
+                    yield ctx.compute(seconds=cost / self.process_rate)
+                part = bag.split()
+            if part is not None:
+                ctx.at_async(
+                    child_lo, self._distribute, child_lo, child_hi, part,
+                    nbytes=part.serialized_nbytes,
+                )
+            else:
+                ctx.at_async(child_lo, self._distribute, child_lo, child_hi, None)
+            step *= 2
+        yield from self._worker(ctx, bag)
+
+    # -- the worker ---------------------------------------------------------------------------
+
+    def _worker(self, ctx, bag: Optional[TaskBag]):
+        st = self.state[ctx.here]
+        if bag is not None:
+            st.bag.merge(bag)
+        st.alive = True
+        yield from self._work_loop(ctx, st)
+
+    def _work_loop(self, ctx, st: _PlaceState):
+        cfg = self.config
+        while True:
+            while not st.bag.is_empty():
+                n = st.bag.process(cfg.chunk_items)
+                cost = st.bag.last_process_cost()
+                cost = float(n) if cost is None else cost
+                st.processed += n
+                st.cost += cost
+                if cost:
+                    yield ctx.compute(seconds=cost / self.process_rate)
+                self._serve_lifelines(ctx, st)
+            # idle: a few synchronous random steal attempts...
+            stole = yield from self._random_steal(ctx, st)
+            if stole:
+                continue
+            # ...then lifeline requests, and death
+            for neighbor in st.lifelines:
+                st.lifelines_sent += 1
+                ctx.at_async(neighbor, self._lifeline_request, ctx.here)
+            if not st.bag.is_empty():
+                continue  # loot landed while we were out stealing
+            st.alive = False
+            return
+
+    def _random_steal(self, ctx, st: _PlaceState):
+        if len(st.victims) == 0:
+            return False
+        for _ in range(self.config.random_attempts):
+            victim = int(st.victims[int(st.rng.integers(0, len(st.victims)))])
+            st.steal_attempts += 1
+            loot = yield ctx.at(victim, self._try_steal)
+            if loot is not None:
+                st.steals_ok += 1
+                st.bag.merge(loot)
+                return True
+        return False
+
+    # -- handlers running at other places -----------------------------------------------------
+
+    def _try_steal(self, vctx):
+        """Synchronous steal attempt (runs at the victim; round-trip pattern)."""
+        st = self.state[vctx.here]
+        if st.bag.is_empty():
+            return None
+        return st.bag.split()
+
+    def _lifeline_request(self, vctx, thief: int):
+        """A lifeline request: satisfy now, or remember the thief."""
+        st = self.state[vctx.here]
+        if not st.bag.is_empty():
+            loot = st.bag.split()
+            if loot is not None:
+                self._ship(vctx, thief, loot)
+                return
+        if thief not in st.lifeline_requests:
+            st.lifeline_requests.append(thief)
+
+    def _serve_lifelines(self, ctx, st: _PlaceState) -> None:
+        """Redistribute along lifelines with memory: split fresh work among
+        recorded requesters, resuscitating dead workers."""
+        while st.lifeline_requests and not st.bag.is_empty():
+            loot = st.bag.split()
+            if loot is None:
+                break
+            thief = st.lifeline_requests.pop(0)
+            self._ship(ctx, thief, loot)
+
+    def _ship(self, ctx, thief: int, loot: TaskBag) -> None:
+        ctx.at_async(thief, self._receive_loot, loot, nbytes=loot.serialized_nbytes)
+
+    def _receive_loot(self, tctx, loot: TaskBag):
+        st = self.state[tctx.here]
+        if st.alive:
+            st.bag.merge(loot)
+            return
+        st.alive = True
+        st.resuscitations += 1
+        st.bag.merge(loot)
+        yield from self._work_loop(tctx, st)

@@ -1,0 +1,50 @@
+"""Lifeline graphs: low diameter *and* low degree.
+
+Lifeline edges are organized in graphs with both low diameters and low degree,
+such as hypercubes, to co-minimize the distance between any two workers and
+the number of lifeline requests in flight (paper Section 6.1).
+"""
+
+from __future__ import annotations
+
+
+def hypercube_lifelines(n_places: int, place: int) -> list[int]:
+    """Hypercube neighbors of ``place``: flip each bit, keep in-range results.
+
+    For non-power-of-two ``n_places`` the out-of-range flips wrap to
+    ``candidate % n_places`` so every place keeps ~log2(n) lifelines and the
+    graph stays connected.
+    """
+    if not (0 <= place < n_places):
+        raise ValueError(f"place {place} outside 0..{n_places - 1}")
+    if n_places == 1:
+        return []
+    neighbors: list[int] = []
+    bit = 1
+    while bit < n_places:
+        candidate = place ^ bit
+        if candidate >= n_places:
+            candidate %= n_places
+        if candidate != place and candidate not in neighbors:
+            neighbors.append(candidate)
+        bit <<= 1
+    return neighbors
+
+
+def ring_lifelines(n_places: int, place: int) -> list[int]:
+    """Degenerate comparison graph: a single successor edge (diameter n-1).
+
+    Low degree but high diameter: work propagates slowly when many workers
+    are idle.  Kept for the lifeline-topology ablation.
+    """
+    if not (0 <= place < n_places):
+        raise ValueError(f"place {place} outside 0..{n_places - 1}")
+    if n_places == 1:
+        return []
+    return [(place + 1) % n_places]
+
+
+GRAPHS = {
+    "hypercube": hypercube_lifelines,
+    "ring": ring_lifelines,
+}

@@ -1,0 +1,6 @@
+"""Experiment harness: calibration, weak-scaling runners, tables, figures."""
+
+from repro.harness.calibration import Calibration, CLASS1
+from repro.harness.results import KernelResult, ScalingSeries
+
+__all__ = ["Calibration", "CLASS1", "KernelResult", "ScalingSeries"]

@@ -1,0 +1,95 @@
+"""Figure 1 regeneration: weak-scaling series for all eight kernels.
+
+Each panel is produced from protocol-faithful simulation points at small
+scale plus the analytic model out to the paper's core counts, and rendered
+next to the paper's anchor values.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harness import paper_data
+from repro.harness.models import MODELS
+from repro.harness.reporting import render_table, si
+from repro.harness.results import KernelResult
+from repro.harness.runner import simulate
+from repro.machine.config import MachineConfig
+
+#: place counts executed in the event simulator per kernel (kept small enough
+#: that one panel regenerates in seconds of wall-clock)
+SIM_PLACES = {
+    "hpl": [1, 4, 16],
+    "fft": [1, 4, 16],
+    "randomaccess": [64, 128, 256],  # the paper plots from 8 hosts upward
+    "stream": [1, 32, 128],
+    "uts": [1, 16, 64],
+    "kmeans": [1, 32, 64],
+    "smithwaterman": [1, 32, 64],
+    "bc": [1, 8, 32],
+}
+
+#: place counts evaluated with the analytic model (out to the paper's scale)
+MODEL_PLACES = {
+    "hpl": [32, 128, 512, 2048, 4096, 8192, 16384, 32768],
+    "fft": [32, 512, 2048, 8192, 32768],
+    "randomaccess": [256, 1024, 2048, 8192, 32768],
+    "stream": [32, 1024, 8192, 55680],
+    "uts": [256, 2048, 16384, 55680],
+    "kmeans": [256, 2048, 16384, 47040],
+    "smithwaterman": [256, 2048, 16384, 47040],
+    "bc": [256, 1024, 2048, 8192, 47040],
+}
+
+#: the per-core metric's denominator: some kernels report per host
+PER_HOST_KERNELS = {"randomaccess"}
+
+
+def figure1_panel(
+    kernel: str,
+    config: Optional[MachineConfig] = None,
+    include_sim: bool = True,
+    sim_places: Optional[list[int]] = None,
+    sim_kwargs: Optional[dict] = None,
+) -> dict:
+    """Compute one Figure 1 panel; returns rows + the paper's anchors."""
+    cfg = config or MachineConfig()
+    rows: list[tuple] = []
+    results: list[KernelResult] = []
+    if include_sim:
+        for places in sim_places if sim_places is not None else SIM_PLACES[kernel]:
+            r = simulate(kernel, places, config=cfg, **(sim_kwargs or {}))
+            results.append(r)
+            rows.append((places, r.value, r.per_core, "sim"))
+    for places in MODEL_PLACES[kernel]:
+        r = MODELS[kernel](cfg, places)
+        results.append(r)
+        rows.append((places, r.value, r.per_core, "model"))
+    return {
+        "kernel": kernel,
+        "rows": rows,
+        "results": results,
+        "anchors": paper_data.FIGURE1[kernel],
+        "aggregate": paper_data.AGGREGATES.get(kernel),
+    }
+
+
+def render_panel(panel: dict) -> str:
+    """Text rendering of a panel next to the paper's anchor values."""
+    kernel = panel["kernel"]
+    unit = panel["results"][0].unit
+    per_label = "per host" if kernel in PER_HOST_KERNELS else "per core"
+    header = f"Figure 1 / {kernel} (weak scaling)"
+    table = render_table(
+        ["cores", f"aggregate [{unit}]", f"{per_label} [{unit}]", "source"],
+        [(c, si(v, unit), si(pc, unit), src) for c, v, pc, src in panel["rows"]],
+    )
+    anchors = render_table(
+        ["cores", f"paper {per_label}", "note"],
+        [(c, si(v, unit if unit != "s" else "s"), note) for c, v, note in panel["anchors"]],
+    )
+    parts = [header, table, "paper anchors:", anchors]
+    if panel["aggregate"]:
+        value, agg_unit, cores = panel["aggregate"]
+        parts.append(f"paper aggregate at {cores} cores: {si(value, agg_unit)}")
+    return "\n".join(parts)

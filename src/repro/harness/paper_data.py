@@ -1,0 +1,78 @@
+"""The paper's reported numbers (Figure 1, Tables 1 and 2) as reference data.
+
+These are transcription targets, not inputs to the simulator (except the
+single-core/single-host *calibration* rates, which live in
+:mod:`repro.harness.calibration`).  EXPERIMENTS.md compares our measured
+curves against these anchors.
+"""
+
+#: Figure 1 anchor points: kernel -> list of (cores, per-core metric, note).
+#: Units: flop/s per core (hpl, fft), up/s per *host* (randomaccess),
+#: B/s per place (stream), nodes/s per place (uts), seconds (kmeans,
+#: smithwaterman), edges/s per place (bc).
+FIGURE1 = {
+    "hpl": [
+        (1, 22.38e9, "1 core"),
+        (32, 20.62e9, "1 host"),
+        (32768, 17.98e9, "at scale"),
+    ],
+    "fft": [
+        (1, 0.99e9, "1 core"),
+        (32768, 0.88e9, "at scale"),
+    ],
+    "randomaccess": [
+        (256, 0.82e9, "8 hosts (1 drawer)"),
+        (32768, 0.82e9, "1,024 hosts"),
+    ],
+    "stream": [
+        (1, 12.6e9, "1 core"),
+        (32, 7.23e9, "1 host"),
+        (55680, 7.12e9, "at scale"),
+    ],
+    "uts": [
+        (1, 10.929e6, "1 core"),
+        (32, 10.900e6, "1 host"),
+        (55680, 10.712e6, "at scale"),
+    ],
+    "kmeans": [
+        (1, 6.13, "1 core"),
+        (32, 6.16, "1 host"),
+        (47040, 6.27, "at scale"),
+    ],
+    "smithwaterman": [
+        (1, 8.61, "1 core"),
+        (32, 12.68, "1 host"),
+        (47040, 12.87, "at scale"),
+    ],
+    "bc": [
+        (32, 11.59e6, "1 host, 2^18 vertices"),
+        (2048, 10.67e6, "64 hosts, 2^18 vertices"),
+        (2048, 6.23e6, "64 hosts, 2^20 vertices"),
+        (47040, 5.21e6, "at scale, 2^20 vertices"),
+    ],
+}
+
+#: aggregate values at scale quoted in the paper
+AGGREGATES = {
+    "hpl": (589.231e12, "flop/s", 32768),
+    "fft": (28_696e9, "flop/s", 32768),
+    "randomaccess": (843.58e9, "up/s", 32768),
+    "stream": (396_614e9, "B/s", 55680),
+    "uts": (596_451e6, "nodes/s", 55680),
+    "bc": (245_153e6, "edges/s", 47040),
+}
+
+#: Table 1: X10 relative to the HPCC Class 1 optimized runs
+TABLE1_RELATIVE = {"hpl": 0.85, "randomaccess": 0.81, "fft": 0.41, "stream": 0.87}
+
+#: Table 2: per-host performance at scale relative to one host
+TABLE2_EFFICIENCY = {
+    "hpl": 0.87,
+    "randomaccess": 1.00,
+    "fft": 1.00,
+    "stream": 0.98,
+    "uts": 0.98,
+    "kmeans": 0.98,
+    "smithwaterman": 0.98,
+    "bc": 0.45,
+}

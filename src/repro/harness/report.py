@@ -1,0 +1,47 @@
+"""Regenerate the full experiment report (the body of EXPERIMENTS.md).
+
+Run:  python -m repro.harness.report
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.figures import figure1_panel, render_panel
+from repro.harness.runner import KERNELS
+from repro.harness.tables import render_table1, render_table2, table1, table2
+
+PANEL_ORDER = [
+    "hpl",
+    "fft",
+    "randomaccess",
+    "stream",
+    "uts",
+    "kmeans",
+    "smithwaterman",
+    "bc",
+]
+
+
+def generate(out=sys.stdout) -> None:
+    """Write every Figure 1 panel and both tables to ``out``."""
+    print("## Figure 1 (all eight panels)", file=out)
+    for kernel in PANEL_ORDER:
+        print(file=out)
+        print("```", file=out)
+        print(render_panel(figure1_panel(kernel)), file=out)
+        print("```", file=out)
+    print(file=out)
+    print("## Tables", file=out)
+    print(file=out)
+    print("```", file=out)
+    print(render_table1(table1()), file=out)
+    print("```", file=out)
+    print(file=out)
+    print("```", file=out)
+    print(render_table2(table2()), file=out)
+    print("```", file=out)
+
+
+if __name__ == "__main__":
+    generate()

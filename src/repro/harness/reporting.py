@@ -1,0 +1,45 @@
+"""Plain-text rendering of tables and weak-scaling series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table (right-aligned numbers, left-aligned first col)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells, pad=" "):
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        return pad + (" | ").join(parts)
+
+    sep = "-" + "-+-".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e13 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        if abs(cell) >= 100:
+            return f"{cell:,.0f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def si(value: float, unit: str) -> str:
+    """Human units: 5.96e11 nodes/s -> '596.5 Gnodes/s'."""
+    for factor, prefix in [(1e15, "P"), (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")]:
+        if abs(value) >= factor:
+            return f"{value / factor:.3f} {prefix}{unit}"
+    return f"{value:.3f} {unit}"

@@ -1,0 +1,55 @@
+"""Result containers shared by kernels, the harness, and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class KernelResult:
+    """Outcome of one kernel run at one scale."""
+
+    kernel: str
+    places: int
+    sim_time: float
+    #: primary aggregate metric (flop/s, up/s, B/s, nodes/s, edges/s, or
+    #: seconds of run time for the time-metric kernels)
+    value: float
+    unit: str
+    #: value per core (per host for RandomAccess, per the paper's convention)
+    per_core: Optional[float] = None
+    verified: Optional[bool] = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ScalingSeries:
+    """A weak-scaling curve: one KernelResult per place count."""
+
+    kernel: str
+    results: list[KernelResult] = field(default_factory=list)
+
+    def add(self, result: KernelResult) -> None:
+        """Append one scale's result."""
+        self.results.append(result)
+
+    @property
+    def places(self) -> list[int]:
+        """The core counts of the series."""
+        return [r.places for r in self.results]
+
+    @property
+    def values(self) -> list[float]:
+        """The aggregate metric at each scale."""
+        return [r.value for r in self.results]
+
+    @property
+    def per_core(self) -> list[Optional[float]]:
+        """The per-core metric at each scale."""
+        return [r.per_core for r in self.results]
+
+    def relative_efficiency(self, baseline_index: int = 0) -> list[float]:
+        """per-core metric relative to the series entry at ``baseline_index``."""
+        base = self.results[baseline_index].per_core
+        return [r.per_core / base if base else float("nan") for r in self.results]

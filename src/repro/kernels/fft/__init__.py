@@ -1,0 +1,5 @@
+"""Global FFT: 1D discrete Fourier transform, transpose algorithm."""
+
+from repro.kernels.fft.fft import fft_six_step_reference, run_fft
+
+__all__ = ["fft_six_step_reference", "run_fft"]

@@ -1,0 +1,13 @@
+"""Global HPL: dense LU factorization with row-partial pivoting."""
+
+from repro.kernels.hpl.grid import ProcessGrid, default_grid
+from repro.kernels.hpl.lu import blocked_lu_inplace, reconstruction_residual
+from repro.kernels.hpl.hpl import run_hpl
+
+__all__ = [
+    "ProcessGrid",
+    "default_grid",
+    "blocked_lu_inplace",
+    "reconstruction_residual",
+    "run_hpl",
+]

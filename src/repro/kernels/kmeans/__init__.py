@@ -1,0 +1,17 @@
+"""K-Means clustering (Lloyd's algorithm) with All-Reduce refinement."""
+
+from repro.kernels.kmeans.kmeans import (
+    assign_and_accumulate,
+    generate_points,
+    initial_centroids,
+    kmeans_reference,
+    run_kmeans,
+)
+
+__all__ = [
+    "assign_and_accumulate",
+    "generate_points",
+    "initial_centroids",
+    "kmeans_reference",
+    "run_kmeans",
+]

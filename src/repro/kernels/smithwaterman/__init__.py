@@ -1,0 +1,10 @@
+"""Smith-Waterman local sequence alignment."""
+
+from repro.kernels.smithwaterman.sw import (
+    random_sequence,
+    run_smith_waterman,
+    sw_score,
+    sw_score_reference,
+)
+
+__all__ = ["random_sequence", "run_smith_waterman", "sw_score", "sw_score_reference"]

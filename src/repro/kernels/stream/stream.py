@@ -1,0 +1,87 @@
+"""EP Stream Triad: ``a = b + alpha * c`` (paper Section 5.1).
+
+A straightforward SPMD code: the main activity launches an activity at every
+place using a PlaceGroup broadcast; these allocate and initialize the local
+arrays, perform the computation, and verify the results.  Backing storage uses
+huge pages (congruent allocator) for efficient TLB usage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.harness.results import KernelResult
+from repro.machine.memory import stream_bw_per_place
+from repro.runtime import CongruentAllocator, PlaceGroup, broadcast_spawn
+from repro.runtime.runtime import ApgasRuntime
+
+#: triad traffic per element: read b, read c, write a
+BYTES_PER_ELEMENT = 24
+
+
+def triad(a: np.ndarray, b: np.ndarray, c: np.ndarray, alpha: float) -> None:
+    """The triad itself, in place: ``a[:] = b + alpha * c``."""
+    np.multiply(c, alpha, out=a)
+    np.add(a, b, out=a)
+
+
+def run_stream(
+    rt: ApgasRuntime,
+    elements_per_place: int,
+    iterations: int = 10,
+    alpha: float = 3.0,
+    actual_elements: Optional[int] = None,
+    verify: bool = True,
+) -> KernelResult:
+    """Weak-scaling Stream Triad over all places of ``rt``.
+
+    ``elements_per_place`` sizes the *modeled* arrays (time charges);
+    ``actual_elements`` (default: capped at 65,536) sizes the real arrays the
+    kernel actually computes on and verifies — so at-scale runs do not
+    allocate terabytes.
+    """
+    if elements_per_place < 1 or iterations < 1:
+        raise KernelError("need at least one element and one iteration")
+    real_n = min(elements_per_place, 65_536) if actual_elements is None else actual_elements
+    cfg = rt.config
+    alloc = CongruentAllocator(rt, large_pages=True)
+    failures: list[int] = []
+
+    def body(ctx):
+        place = ctx.here
+        octant = rt.topology.octant_of(place)
+        crowd = len(rt.topology.places_on_octant(octant))
+        bw = stream_bw_per_place(cfg, crowd)
+        # allocate and initialize the local arrays (huge pages)
+        a = alloc.alloc(place, shape=(real_n,))
+        b = alloc.alloc(place, shape=(real_n,))
+        c = alloc.alloc(place, shape=(real_n,))
+        b.data[:] = 1.0 + place
+        c.data[:] = 2.0
+        for _ in range(iterations):
+            triad(a.data, b.data, c.data, alpha)
+            yield ctx.compute(mem_bytes=BYTES_PER_ELEMENT * elements_per_place, mem_bw=bw)
+        if verify:
+            expected = b.data + alpha * c.data
+            if not np.array_equal(a.data, expected):
+                failures.append(place)
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+
+    rt.run(main)
+    total_bytes = BYTES_PER_ELEMENT * elements_per_place * iterations * rt.n_places
+    rate = total_bytes / rt.now
+    return KernelResult(
+        kernel="stream",
+        places=rt.n_places,
+        sim_time=rt.now,
+        value=rate,
+        unit="B/s",
+        per_core=rate / rt.n_places,
+        verified=(not failures) if verify else None,
+        extra={"failures": failures, "iterations": iterations},
+    )

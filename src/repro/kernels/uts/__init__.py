@@ -1,0 +1,16 @@
+"""Unbalanced Tree Search on geometric trees (paper Section 6)."""
+
+from repro.kernels.uts.rng import Sha1Rng, SplitMixRng, make_rng
+from repro.kernels.uts.tree import UtsBag, UtsParams
+from repro.kernels.uts.sequential import sequential_count
+from repro.kernels.uts.uts import run_uts
+
+__all__ = [
+    "Sha1Rng",
+    "SplitMixRng",
+    "make_rng",
+    "UtsBag",
+    "UtsParams",
+    "sequential_count",
+    "run_uts",
+]

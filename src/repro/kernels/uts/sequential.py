@@ -1,0 +1,42 @@
+"""Independent sequential UTS traversal — the oracle for the interval queue.
+
+Node-at-a-time explicit-stack traversal written directly against the
+splittable RNG, sharing no code with :class:`~repro.kernels.uts.tree.UtsBag`.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.uts.rng import make_rng
+from repro.kernels.uts.tree import UtsParams
+
+
+def sequential_count(params: UtsParams, max_nodes: int = 50_000_000) -> int:
+    """Total number of nodes in the tree (raises if it exceeds ``max_nodes``)."""
+    rng = make_rng(params.rng_mode)
+    q = params.q
+    root = rng.root_state(params.seed)
+    count = 1
+    stack = [(root, 0)]  # (node state, node depth)
+    while stack:
+        state, depth = stack.pop()
+        if depth >= params.depth:
+            continue
+        states = rng.child_states(state, 0, _branching(rng, state, q))
+        n = len(states)
+        count += n
+        if count > max_nodes:
+            raise RuntimeError(f"tree exceeds {max_nodes} nodes; lower the depth")
+        for child in _iterate(states):
+            stack.append((child, depth + 1))
+    return count
+
+
+def _branching(rng, state, q: float) -> int:
+    import numpy as np
+
+    states = [state] if isinstance(state, bytes) else np.asarray([state], dtype=np.uint64)
+    return int(rng.num_children(states, q)[0])
+
+
+def _iterate(states):
+    return list(states)

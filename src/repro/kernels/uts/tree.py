@@ -1,0 +1,163 @@
+"""Geometric UTS trees as interval work queues.
+
+The paper's compact representation: instead of expanded lists of nodes, a
+place's pending work is a list of *intervals of siblings* — (parent state,
+depth, lo, hi) meaning children ``lo..hi-1`` of that parent are not yet
+visited.  Processing is depth-first (top of the stack), so the list stays
+short.  To counteract the bias introduced by the depth cut-off, a thief steals
+fragments of *every* interval (the refined mode); the original mode splits a
+single interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import KernelError
+from repro.glb.bag import TaskBag
+from repro.kernels.uts.rng import make_rng
+
+
+@dataclass(frozen=True)
+class UtsParams:
+    """Tree shape: fixed geometric law (paper: b0=4, r=19, d=14..22)."""
+
+    b0: float = 4.0
+    depth: int = 10
+    seed: int = 19
+    rng_mode: str = "splitmix"
+
+    def __post_init__(self) -> None:
+        if self.b0 <= 1.0:
+            raise KernelError("geometric branching factor b0 must exceed 1")
+        if self.depth < 1:
+            raise KernelError("depth cut-off must be at least 1")
+
+    @property
+    def q(self) -> float:
+        """Geometric parameter: P(X >= k) = q^k, E[X] = b0."""
+        return self.b0 / (self.b0 + 1.0)
+
+
+class UtsBag(TaskBag):
+    """A place's pending sibling intervals."""
+
+    def __init__(
+        self,
+        params: UtsParams,
+        intervals: Optional[list] = None,
+        bootstrap_nodes: int = 0,
+        steal_all_intervals: bool = True,
+    ) -> None:
+        self.params = params
+        self.rng = make_rng(params.rng_mode)
+        self.intervals: list = intervals if intervals is not None else []
+        self._bootstrap = bootstrap_nodes
+        self.steal_all_intervals = steal_all_intervals
+
+    @classmethod
+    def root(cls, params: UtsParams, steal_all_intervals: bool = True) -> "UtsBag":
+        """The whole tree: the root node plus the interval of its children."""
+        rng = make_rng(params.rng_mode)
+        state = rng.root_state(params.seed)
+        bag = cls(params, bootstrap_nodes=1, steal_all_intervals=steal_all_intervals)
+        states = [state] if params.rng_mode == "sha1" else _as_array(state)
+        n = int(rng.num_children(states, params.q)[0])
+        if n > 0:
+            bag.intervals.append((state, 0, 0, n))
+        return bag
+
+    # -- TaskBag protocol -----------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.intervals and self._bootstrap == 0
+
+    def process(self, max_items: int) -> int:
+        """Visit up to ``max_items`` nodes depth-first; returns nodes visited."""
+        processed = self._bootstrap
+        self._bootstrap = 0
+        params, rng, q = self.params, self.rng, self.params.q
+        while processed < max_items and self.intervals:
+            state, depth, lo, hi = self.intervals[-1]
+            take = min(hi - lo, max_items - processed)
+            children = rng.child_states(state, lo, lo + take)
+            if lo + take >= hi:
+                self.intervals.pop()
+            else:
+                self.intervals[-1] = (state, depth, lo + take, hi)
+            if depth + 1 < params.depth:  # the children may have children
+                counts = rng.num_children(children, q)
+                push = self.intervals.append
+                for st, k in zip(children, counts):
+                    if k > 0:
+                        push((st, depth + 1, 0, int(k)))
+            processed += take
+        return processed
+
+    def split(self) -> Optional["UtsBag"]:
+        if self.steal_all_intervals:
+            return self._split_every_interval()
+        return self._split_one_interval()
+
+    def _split_every_interval(self) -> Optional["UtsBag"]:
+        """The refined policy: a fragment of every interval (all tree depths).
+
+        Intervals with two or more remaining siblings are halved.  Singleton
+        intervals — typically the *shallow* ones holding the largest subtrees,
+        since a DFS parent's sibling range drains to one quickly — alternate
+        between thief and victim, so big subtrees change hands instead of
+        being hoarded by the victim (the paper's "steal fragments of every
+        interval" fix for shallow trees).
+        """
+        loot = []
+        kept = []
+        give_singleton = True
+        for st, dep, lo, hi in self.intervals:
+            span = hi - lo
+            if span >= 2:
+                take = span // 2
+                loot.append((st, dep, lo, lo + take))
+                kept.append((st, dep, lo + take, hi))
+            elif span == 1 and give_singleton:
+                loot.append((st, dep, lo, hi))
+                give_singleton = False
+            else:
+                kept.append((st, dep, lo, hi))
+                if span == 1:
+                    give_singleton = True
+        if not loot:
+            return None
+        self.intervals = kept
+        return UtsBag(self.params, loot, steal_all_intervals=True)
+
+    def _split_one_interval(self) -> Optional["UtsBag"]:
+        """The original policy: split the single bottom-most splittable interval."""
+        for idx, (st, dep, lo, hi) in enumerate(self.intervals):
+            take = (hi - lo) // 2
+            if take > 0:
+                self.intervals[idx] = (st, dep, lo + take, hi)
+                return UtsBag(self.params, [(st, dep, lo, lo + take)], steal_all_intervals=False)
+        return None
+
+    def merge(self, other: "UtsBag") -> None:
+        # stolen intervals go to the bottom of the stack: the thief keeps
+        # working depth-first on its own subtrees first
+        self.intervals[:0] = other.intervals
+        self._bootstrap += other._bootstrap
+
+    @property
+    def serialized_nbytes(self) -> int:
+        state_bytes = 20 if self.params.rng_mode == "sha1" else 8
+        return 16 + (state_bytes + 16) * len(self.intervals)
+
+    @property
+    def pending_lower_bound(self) -> int:
+        """Nodes directly represented (children of pushed intervals)."""
+        return sum(hi - lo for _, _, lo, hi in self.intervals) + self._bootstrap
+
+
+def _as_array(state):
+    import numpy as np
+
+    return np.asarray([state], dtype=np.uint64)

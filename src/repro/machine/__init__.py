@@ -1,0 +1,55 @@
+"""Model of the IBM Power 775 ("Hurcules") machine from Section 4 of the paper.
+
+The machine is a two-level direct-connect topology:
+
+* an **octant** (host/node): 32 Power7 cores at 3.84 GHz, one Torrent hub chip,
+  128 GB of memory;
+* a **drawer**: 8 octants, fully connected by "L" Local (LL) links, 24 GB/s
+  each direction;
+* a **supernode**: 4 drawers; every octant pair within a supernode but across
+  drawers is connected by an "L" Remote (LR) link, 5 GB/s;
+* the **system**: 56 supernodes; every supernode pair is connected by 8 "D"
+  links, 10 GB/s each (80 GB/s aggregate), so any two octants are at most
+  L-D-L (3 hops) apart with ``hw_direct_striped`` routing.
+
+The model charges simulated time for every message: per-message NIC injection
+and ejection occupancy at the hub (this is what a naive ``finish`` floods),
+link serialization with FIFO sharing, per-hop latency, and a per-octant route
+cache whose misses penalize communication graphs with large out-degree (the
+effect that forces UTS victim sets to be bounded at 1,024).
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.topology import Topology
+from repro.machine.resources import SerialResource
+from repro.machine.routing import LinkClass, Route
+from repro.machine.network import Network, TransferKind
+from repro.machine.bandwidth import (
+    alltoall_bw_per_octant,
+    bisection_bandwidth,
+    broadcast_time,
+    alltoall_time,
+    allreduce_time,
+    barrier_time,
+)
+from repro.machine.memory import stream_bw_per_place, host_stream_bw
+from repro.machine.noise import JitterModel
+
+__all__ = [
+    "MachineConfig",
+    "Topology",
+    "SerialResource",
+    "LinkClass",
+    "Route",
+    "Network",
+    "TransferKind",
+    "alltoall_bw_per_octant",
+    "bisection_bandwidth",
+    "broadcast_time",
+    "alltoall_time",
+    "allreduce_time",
+    "barrier_time",
+    "stream_bw_per_place",
+    "host_stream_bw",
+    "JitterModel",
+]

@@ -1,0 +1,139 @@
+"""Analytic bandwidth and collective-time models for the two-level topology.
+
+These closed-form models reproduce the paper's Section 4 analysis: as a
+partition grows from one octant to a drawer to a supernode to the full system,
+the all-to-all cross-section bandwidth passes through three modes —
+injection-limited within a supernode, a sharp drop when D links become the
+bottleneck at a few supernodes, then a slow recovery back to the injection
+plateau.  They are used by the hardware-collectives path of
+:class:`repro.runtime.team.Team` and by the harness's at-scale models, and are
+cross-validated against the event-level simulation by tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.config import MachineConfig
+
+
+def _occupied_supernodes(config: MachineConfig, n_octants: int) -> tuple[int, int]:
+    """(number of supernodes touched, octants in a full supernode)."""
+    m = config.octants_per_supernode
+    return -(-n_octants // m), m
+
+
+def alltoall_bw_per_octant(config: MachineConfig, n_octants: int) -> float:
+    """Sustainable all-to-all bandwidth per octant (bytes/s, one direction).
+
+    Three regimes (paper Section 4):
+
+    * **one supernode or less** — each octant's flows fan out over direct L
+      links; the per-octant injection bandwidth (or, for very small
+      partitions, the few direct links) is the bound;
+    * **a few supernodes** — the aggregated D-link bandwidth between
+      supernode pairs is the bound, producing the sharp drop at two
+      supernodes;
+    * **many supernodes** — D capacity grows with the supernode count until
+      per-octant injection is again the bound (the plateau).
+    """
+    if n_octants <= 1:
+        return config.octant_injection_bandwidth
+    inj = config.octant_injection_bandwidth
+    supernodes, m = _occupied_supernodes(config, n_octants)
+
+    if supernodes == 1:
+        # flows use direct L links; the slowest link class present bounds the
+        # uniform per-pair flow
+        per_drawer = config.octants_per_drawer
+        slowest = config.ll_bandwidth if n_octants <= per_drawer else config.lr_bandwidth
+        return min(inj, slowest * (n_octants - 1))
+
+    # inter-supernode traffic: with S supernodes of m octants, the flow
+    # between one supernode pair is (m * r) * (m / n); each pair has the
+    # aggregate striped-D bandwidth.
+    n = supernodes * m  # model full supernodes; partial last SN is pessimistic
+    d_bound = config.d_pair_bandwidth * n / (m * m)
+    # intra-supernode LR flows rarely bind at scale but are included
+    lr_bound = config.lr_bandwidth * (n - 1)
+    return min(inj, d_bound, lr_bound)
+
+
+def bisection_bandwidth(config: MachineConfig, n_octants: int) -> float:
+    """Aggregate bandwidth across the worst-case even bisection (bytes/s)."""
+    if n_octants <= 1:
+        return config.shm_bandwidth
+    supernodes, m = _occupied_supernodes(config, n_octants)
+    half = n_octants // 2
+    if supernodes == 1:
+        per_drawer = config.octants_per_drawer
+        link = config.ll_bandwidth if n_octants <= per_drawer else config.lr_bandwidth
+        cross_links = half * (n_octants - half)
+        return min(half * config.octant_injection_bandwidth, cross_links * link)
+    half_sn = supernodes // 2
+    cross_pairs = half_sn * (supernodes - half_sn)
+    return min(
+        half * config.octant_injection_bandwidth,
+        cross_pairs * config.d_pair_bandwidth,
+    )
+
+
+# -- collective time models (hardware-accelerated path) -------------------------
+
+
+def _tree_depth(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(2, n)))) if n > 1 else 0
+
+
+def _stage_latency(config: MachineConfig) -> float:
+    # one tree stage: software dispatch + worst-case physical path (L-D-L)
+    return config.software_latency + 3 * config.hop_latency
+
+
+def barrier_time(config: MachineConfig, n_places: int) -> float:
+    """Hardware barrier: reduce + release over a binomial tree of octants."""
+    if n_places <= 1:
+        return config.shm_latency
+    n_octants = -(-n_places // config.cores_per_octant)
+    depth = _tree_depth(n_octants) + _tree_depth(min(n_places, config.cores_per_octant))
+    return 2 * depth * _stage_latency(config)
+
+
+def broadcast_time(config: MachineConfig, n_places: int, nbytes: float) -> float:
+    """Hardware broadcast: pipelined binomial tree."""
+    if n_places <= 1:
+        return config.shm_latency
+    n_octants = -(-n_places // config.cores_per_octant)
+    depth = _tree_depth(n_octants)
+    wire = nbytes / min(config.lr_bandwidth, config.d_pair_bandwidth)
+    local = nbytes / config.shm_bandwidth if n_places > n_octants else 0.0
+    return depth * _stage_latency(config) + wire + local
+
+
+def allreduce_time(config: MachineConfig, n_places: int, nbytes: float) -> float:
+    """Hardware all-reduce: reduce tree + broadcast tree on the data."""
+    if n_places <= 1:
+        return config.shm_latency
+    return 2 * broadcast_time(config, n_places, nbytes)
+
+
+def alltoall_time(config: MachineConfig, n_places: int, bytes_per_pair: float) -> float:
+    """Complete exchange: every place sends ``bytes_per_pair`` to every other.
+
+    Driven by the cross-section model, so the mid-scale bandwidth valley of
+    Figure 1 (RandomAccess, FFT) falls out of this function.
+    """
+    if n_places <= 1:
+        return config.shm_latency
+    n_octants = -(-n_places // config.cores_per_octant)
+    places_per_octant = min(n_places, config.cores_per_octant)
+    total_sent_per_octant = bytes_per_pair * places_per_octant * (n_places - places_per_octant)
+    if n_octants == 1:
+        return (
+            bytes_per_pair * n_places * (n_places - 1) / config.shm_bandwidth
+            + config.shm_latency
+        )
+    bw = alltoall_bw_per_octant(config, n_octants)
+    startup = _tree_depth(n_octants) * _stage_latency(config)
+    local = bytes_per_pair * places_per_octant * places_per_octant / config.shm_bandwidth
+    return startup + total_sent_per_octant / bw + local

@@ -1,0 +1,138 @@
+"""Machine calibration constants (paper Section 4 and IBM Power 775 documentation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All hardware parameters of the simulated Power 775.
+
+    Defaults reproduce the paper's machine.  Tests use :meth:`small` to get a
+    miniature machine with the same structure.  All bandwidths are bytes/second
+    per direction; all times are seconds.
+    """
+
+    # -- structure -----------------------------------------------------------
+    cores_per_octant: int = 32
+    octants_per_drawer: int = 8
+    drawers_per_supernode: int = 4
+    supernodes: int = 56
+    #: octants actually usable for computation (paper: 1,740 of 56*32=1,792)
+    usable_octants: int = 1740
+
+    # -- compute -------------------------------------------------------------
+    clock_hz: float = 3.84e9
+    flops_per_cycle: int = 8  # Power7: 4-wide DP FMA
+    octant_memory_bytes: float = 128e9
+
+    # -- links (per direction) -------------------------------------------------
+    ll_bandwidth: float = 24e9  # "L" Local: octant pairs within a drawer
+    lr_bandwidth: float = 5e9  # "L" Remote: octant pairs across drawers, same supernode
+    d_bandwidth: float = 10e9  # one "D" link between a supernode pair
+    d_links_per_pair: int = 8  # eight parallel D links (80 GB/s aggregate)
+    shm_bandwidth: float = 96e9  # intra-octant (PAMI via shared memory)
+
+    # -- hub (Torrent) -------------------------------------------------------
+    #: peak injection bandwidth of one octant into the interconnect
+    octant_injection_bandwidth: float = 96e9
+    #: per-message fixed occupancy of the hub send/recv engines (software +
+    #: descriptor processing); the term that makes message *count* matter
+    msg_injection_overhead: float = 1.2e-6
+    #: reduced per-message occupancy for RDMA (no CPU involvement, no
+    #: software protocol on the critical path)
+    rdma_injection_overhead: float = 0.25e-6
+    #: per-update occupancy of the GUPS remote-XOR engine at the target hub;
+    #: calibrated so a fully loaded octant sustains the paper's 0.82 Gup/s
+    gups_update_overhead: float = 1.2e-9
+
+    # -- latency -------------------------------------------------------------
+    software_latency: float = 1.0e-6  # PAMI send/dispatch software path
+    hop_latency: float = 0.45e-6  # per physical hop (L or D)
+    shm_latency: float = 0.30e-6  # intra-octant delivery
+    rdma_latency: float = 0.8e-6  # RDMA setup + completion notification
+
+    # -- route cache (favors low out-degree communication graphs) -------------
+    route_cache_entries: int = 1024
+    route_miss_penalty: float = 6.0e-6
+
+    # -- TLB / pages (congruent allocator) ------------------------------------
+    small_page_bytes: int = 65536  # 64 KB
+    large_page_bytes: int = 16 * 2**20  # 16 MB
+    hub_tlb_entries: int = 512
+    tlb_miss_penalty: float = 0.9e-6
+
+    # -- memory system (calibrated to the paper's Stream curve) ---------------
+    #: sustainable stream bandwidth of a single place alone on an octant
+    place_stream_bandwidth: float = 12.6e9
+    #: aggregate sustainable stream bandwidth of a fully loaded octant
+    #: (32 places x 7.23 GB/s measured in the paper)
+    octant_stream_bandwidth: float = 231.5e9
+
+    # -- OS jitter -------------------------------------------------------------
+    jitter_fraction: float = 0.0  # mean fractional slowdown; 0 disables
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_octant < 1:
+            raise ReproError("cores_per_octant must be >= 1")
+        max_octants = self.octants_per_supernode * self.supernodes
+        if not (1 <= self.usable_octants <= max_octants):
+            raise ReproError(
+                f"usable_octants={self.usable_octants} out of range 1..{max_octants}"
+            )
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def octants_per_supernode(self) -> int:
+        return self.octants_per_drawer * self.drawers_per_supernode
+
+    @property
+    def total_cores(self) -> int:
+        return self.usable_octants * self.cores_per_octant
+
+    @property
+    def core_peak_flops(self) -> float:
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def octant_peak_flops(self) -> float:
+        return self.core_peak_flops * self.cores_per_octant
+
+    @property
+    def system_peak_flops(self) -> float:
+        """~1.7 Pflop/s for the default configuration."""
+        return self.octant_peak_flops * self.usable_octants
+
+    @property
+    def d_pair_bandwidth(self) -> float:
+        """Aggregate bandwidth of the 8 parallel D links between two supernodes."""
+        return self.d_bandwidth * self.d_links_per_pair
+
+    def with_(self, **overrides) -> "MachineConfig":
+        """A modified copy (configs are frozen)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def small(cls, **overrides) -> "MachineConfig":
+        """A miniature machine for tests: 4 cores/octant, 2x2x4 structure.
+
+        Same topology classes and cost model; just small enough that unit
+        tests can enumerate octants and places exhaustively.
+        """
+        defaults = dict(
+            cores_per_octant=4,
+            octants_per_drawer=2,
+            drawers_per_supernode=2,
+            supernodes=4,
+            usable_octants=16,
+            # keep the same per-core contention curve as the full machine:
+            # solo 12.6 GB/s -> 7.23 GB/s per place on a fully loaded octant
+            octant_stream_bandwidth=231.5e9 * 4 / 32,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

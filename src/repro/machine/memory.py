@@ -1,0 +1,26 @@
+"""Memory-system model: per-place stream bandwidth under bus contention.
+
+Calibrated to the paper's EP Stream measurements: a place alone on an octant
+sustains 12.6 GB/s; a fully loaded octant (32 places) sustains 231.5 GB/s in
+aggregate, i.e. 7.23 GB/s per place.  The QCM memory bus saturates, so
+per-place bandwidth is flat until the aggregate demand hits the octant's
+sustainable bandwidth and then decays as 1/p.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+
+
+def stream_bw_per_place(config: MachineConfig, places_on_octant: int) -> float:
+    """Sustainable triad bandwidth (bytes/s) for each of ``places_on_octant`` places."""
+    if places_on_octant < 1:
+        raise ValueError("places_on_octant must be >= 1")
+    solo = config.place_stream_bandwidth
+    shared = config.octant_stream_bandwidth / places_on_octant
+    return min(solo, shared)
+
+
+def host_stream_bw(config: MachineConfig, places_on_octant: int) -> float:
+    """Aggregate triad bandwidth of one octant running ``places_on_octant`` places."""
+    return stream_bw_per_place(config, places_on_octant) * places_on_octant

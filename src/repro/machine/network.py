@@ -1,0 +1,191 @@
+"""The simulated interconnect: message transfers with real resource contention."""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import TransportError
+from repro.machine.config import MachineConfig
+from repro.machine.resources import SerialResource
+from repro.machine.routing import LinkClass, link_bandwidth, resolve
+from repro.machine.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+
+
+class TransferKind(enum.Enum):
+    """How a transfer engages the hub hardware."""
+
+    MSG = "msg"  # active message / control message (PAMI software path)
+    RDMA = "rdma"  # remote direct memory access (asyncCopy)
+    GUPS = "gups"  # batched remote atomic updates (Torrent GUPS engine)
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters, used by tests to assert message complexity."""
+
+    messages: dict = field(default_factory=lambda: {k: 0 for k in TransferKind})
+    bytes: dict = field(default_factory=lambda: {k: 0 for k in TransferKind})
+    route_misses: int = 0
+    by_link_class: dict = field(default_factory=lambda: {c: 0 for c in LinkClass})
+
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+
+class _RouteCache:
+    """Per-octant LRU of recently used destination octants.
+
+    Models the hub's preference for low out-degree communication graphs: a
+    transfer to a destination not in the cache pays a route-setup penalty.
+    """
+
+    __slots__ = ("capacity", "entries", "misses")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: OrderedDict[int, None] = OrderedDict()
+        self.misses = 0
+
+    def lookup(self, dst_octant: int) -> bool:
+        """Touch the route; returns True on hit."""
+        if dst_octant in self.entries:
+            self.entries.move_to_end(dst_octant)
+            return True
+        self.misses += 1
+        self.entries[dst_octant] = None
+        if len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+        return False
+
+
+class Network:
+    """Transfers bytes between places over the modeled Power 775 fabric.
+
+    Every transfer serializes on three resources — source hub injection, the
+    bottleneck link, destination hub ejection — and pays software and per-hop
+    latencies.  Resources are created lazily, so a 32k-place machine does not
+    allocate O(n^2) link objects up front.
+    """
+
+    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+        self.engine = engine
+        self.config = config
+        self.topology = topology
+        self.stats = NetworkStats()
+        self._injection: dict[int, SerialResource] = {}
+        self._ejection: dict[int, SerialResource] = {}
+        self._shm: dict[int, SerialResource] = {}
+        self._links: dict[tuple, SerialResource] = {}
+        self._route_caches: dict[int, _RouteCache] = {}
+
+    # -- lazy resources ---------------------------------------------------------
+
+    def injection(self, octant: int) -> SerialResource:
+        res = self._injection.get(octant)
+        if res is None:
+            res = self._injection[octant] = SerialResource(f"inj[{octant}]")
+        return res
+
+    def ejection(self, octant: int) -> SerialResource:
+        res = self._ejection.get(octant)
+        if res is None:
+            res = self._ejection[octant] = SerialResource(f"ej[{octant}]")
+        return res
+
+    def _shm_resource(self, octant: int) -> SerialResource:
+        res = self._shm.get(octant)
+        if res is None:
+            res = self._shm[octant] = SerialResource(f"shm[{octant}]")
+        return res
+
+    def link(self, key: tuple) -> SerialResource:
+        res = self._links.get(key)
+        if res is None:
+            res = self._links[key] = SerialResource(f"link{key}")
+        return res
+
+    def route_cache(self, octant: int) -> _RouteCache:
+        cache = self._route_caches.get(octant)
+        if cache is None:
+            cache = self._route_caches[octant] = _RouteCache(self.config.route_cache_entries)
+        return cache
+
+    # -- the transfer model -------------------------------------------------------
+
+    def transfer(
+        self,
+        src_place: int,
+        dst_place: int,
+        nbytes: float,
+        kind: TransferKind = TransferKind.MSG,
+        tlb_factor: float = 1.0,
+    ) -> SimEvent:
+        """Start a transfer now; the returned event fires at delivery time."""
+        if nbytes < 0:
+            raise TransportError(f"negative transfer size {nbytes!r}")
+        cfg = self.config
+        src_oct = self.topology.octant_of(src_place)
+        dst_oct = self.topology.octant_of(dst_place)
+        route = resolve(self.topology, src_oct, dst_oct)
+        now = self.engine.now
+
+        self.stats.messages[kind] += 1
+        self.stats.bytes[kind] += int(nbytes)
+        self.stats.by_link_class[route.link_class] += 1
+
+        if route.link_class is LinkClass.SHM:
+            occ = nbytes / cfg.shm_bandwidth
+            done = self._shm_resource(src_oct).reserve(now + cfg.shm_latency, occ)
+            return self._deliver_at(done, kind)
+
+        # route-setup penalty for destinations outside the hub's route cache
+        start = now + self._software_overhead(kind)
+        if not self.route_cache(src_oct).lookup(dst_oct):
+            self.stats.route_misses += 1
+            start += cfg.route_miss_penalty
+
+        inj_occ, ej_occ = self._hub_occupancy(kind, nbytes, tlb_factor)
+        bw = link_bandwidth(cfg, route.link_class)
+        t = self.injection(src_oct).reserve(start, inj_occ)
+        t = self.link(route.link_key).reserve(t, nbytes / bw)
+        t = self.ejection(dst_oct).reserve(t, ej_occ)
+        t += cfg.hop_latency * route.hops
+        return self._deliver_at(t, kind)
+
+    def _software_overhead(self, kind: TransferKind) -> float:
+        if kind is TransferKind.MSG:
+            return self.config.software_latency
+        return self.config.rdma_latency
+
+    def _hub_occupancy(self, kind: TransferKind, nbytes: float, tlb_factor: float):
+        cfg = self.config
+        stream_occ = nbytes / cfg.octant_injection_bandwidth
+        if kind is TransferKind.MSG:
+            occ = max(cfg.msg_injection_overhead, stream_occ)
+            return occ, occ
+        if kind is TransferKind.RDMA:
+            occ = max(cfg.rdma_injection_overhead, stream_occ * tlb_factor)
+            return occ, occ
+        # GUPS: per-update engine occupancy at the target hub; updates are
+        # 16 bytes (index + operand) each
+        updates = max(1, int(nbytes / 16))
+        ej = updates * cfg.gups_update_overhead * tlb_factor
+        inj = max(cfg.rdma_injection_overhead, stream_occ)
+        return inj, ej
+
+    def _deliver_at(self, time: float, kind: TransferKind) -> SimEvent:
+        event = SimEvent(name=f"{kind.value}-delivery")
+        self.engine.schedule(max(0.0, time - self.engine.now), lambda: event.trigger())
+        return event
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def route_miss_total(self) -> int:
+        return sum(c.misses for c in self._route_caches.values())

@@ -1,0 +1,83 @@
+"""FIFO-serialized resources: NIC engines and links.
+
+A :class:`SerialResource` models a pipe of fixed bandwidth (or a fixed
+per-operation engine): each reservation occupies the resource for a duration
+and reservations are served in request order.  This fluid FIFO model is what
+makes a flood of small control messages at the finish-home octant *cost time*
+— the pathology the paper's specialized finishes eliminate.
+"""
+
+from __future__ import annotations
+
+
+class SerialResource:
+    """A resource that serves reservations one after another."""
+
+    __slots__ = ("name", "busy_until", "total_busy", "reservations")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.busy_until = 0.0
+        #: total occupied time (for utilization accounting)
+        self.total_busy = 0.0
+        self.reservations = 0
+
+    def reserve(self, earliest: float, duration: float) -> float:
+        """Occupy the resource for ``duration`` starting no earlier than ``earliest``.
+
+        Returns the completion time.  Queueing is implicit: if the resource is
+        busy past ``earliest``, the reservation starts when it frees up.
+        """
+        start = earliest if earliest > self.busy_until else self.busy_until
+        end = start + duration
+        self.busy_until = end
+        self.total_busy += duration
+        self.reservations += 1
+        return end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / horizon)
+
+
+class MultiLaneResource:
+    """A pool of ``lanes`` identical serial resources (a multi-worker place).
+
+    Each reservation is served by the lane that frees up first — the behavior
+    of X10's intra-place work-stealing scheduler at the fidelity the timing
+    model needs (``X10_NTHREADS > 1``).
+    """
+
+    __slots__ = ("name", "_lanes", "total_busy", "reservations")
+
+    def __init__(self, lanes: int, name: str = "") -> None:
+        if lanes < 1:
+            raise ValueError("a resource needs at least one lane")
+        self.name = name
+        self._lanes = [0.0] * lanes
+        self.total_busy = 0.0
+        self.reservations = 0
+
+    @property
+    def lanes(self) -> int:
+        return len(self._lanes)
+
+    @property
+    def busy_until(self) -> float:
+        return max(self._lanes)
+
+    def reserve(self, earliest: float, duration: float) -> float:
+        index = min(range(len(self._lanes)), key=lambda i: self._lanes[i])
+        start = earliest if earliest > self._lanes[index] else self._lanes[index]
+        end = start + duration
+        self._lanes[index] = end
+        self.total_busy += duration
+        self.reservations += 1
+        return end
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.total_busy / (horizon * len(self._lanes)))

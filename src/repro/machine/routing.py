@@ -1,0 +1,65 @@
+"""``hw_direct_striped`` routing over the two-level direct-connect topology."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machine.topology import Topology
+
+
+class LinkClass(enum.Enum):
+    """Physical class of the bottleneck link between two octants."""
+
+    SHM = "shm"  # same octant: shared memory through PAMI
+    LL = "LL"  # same drawer: L Local link, 24 GB/s
+    LR = "LR"  # same supernode, different drawer: L Remote link, 5 GB/s
+    D = "D"  # different supernodes: 8 striped D links, 80 GB/s aggregate
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved route between two octants.
+
+    ``hops`` counts physical link traversals (0 for shared memory, 1 within a
+    supernode, 3 for the L-D-L path between supernodes).  ``link_key`` is the
+    canonical identity of the bottleneck resource the transfer serializes on:
+    the (unordered) octant pair for L links, the (unordered) supernode pair for
+    the striped D bundle.
+    """
+
+    link_class: LinkClass
+    hops: int
+    link_key: tuple
+
+
+def resolve(topology: Topology, src_octant: int, dst_octant: int) -> Route:
+    """Classify the octant pair and name the bottleneck link.
+
+    Per the paper's ``MP_RDMA_ROUTE_MODE=hw_direct_striped`` configuration:
+    intra-supernode messages use the single direct L link (LL or LR);
+    inter-supernode messages use only the direct D links between the two
+    supernodes, spread across all eight parallel lanes.
+    """
+    if src_octant == dst_octant:
+        return Route(LinkClass.SHM, 0, ("shm", src_octant))
+    ca = topology.coord_of_octant(src_octant)
+    cb = topology.coord_of_octant(dst_octant)
+    pair = (min(src_octant, dst_octant), max(src_octant, dst_octant))
+    if ca.supernode == cb.supernode:
+        if ca.drawer == cb.drawer:
+            return Route(LinkClass.LL, 1, ("LL",) + pair)
+        return Route(LinkClass.LR, 1, ("LR",) + pair)
+    sn_pair = (min(ca.supernode, cb.supernode), max(ca.supernode, cb.supernode))
+    return Route(LinkClass.D, 3, ("D",) + sn_pair)
+
+
+def link_bandwidth(config, link_class: LinkClass) -> float:
+    """Per-direction bandwidth of the bottleneck resource for a link class."""
+    if link_class is LinkClass.SHM:
+        return config.shm_bandwidth
+    if link_class is LinkClass.LL:
+        return config.ll_bandwidth
+    if link_class is LinkClass.LR:
+        return config.lr_bandwidth
+    return config.d_pair_bandwidth  # all 8 striped lanes together

@@ -1,0 +1,242 @@
+"""Activities and the APGAS programming surface (``ctx``).
+
+An activity body is a Python callable ``fn(ctx, *args)``; it may be a plain
+function or a generator.  Generators ``yield`` effects — compute charges,
+remote evaluations, finish waits — and are resumed when the effect completes.
+``ctx`` exposes the APGAS constructs of Section 2 of the paper:
+
+=====================  ==========================================
+X10                    here
+=====================  ==========================================
+``async S``            ``ctx.async_(fn, *args)``
+``at(p) async S``      ``ctx.at_async(p, fn, *args)``
+``at(p) e``            ``val = yield ctx.at(p, fn, *args)``
+``finish S``           ``with ctx.finish(pragma) as f: ...`` then
+                       ``yield f.wait()``
+``atomic S``           ``ctx.atomic(fn)``
+``when(c) S``          ``yield from ctx.when(pred)`` then ``S``
+``here``               ``ctx.here``
+``Place.places()``     ``ctx.places()``
+=====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import ApgasError
+from repro.runtime.finish.base import BaseFinish
+from repro.runtime.finish.pragmas import Pragma
+from repro.sim.events import SimEvent
+from repro.sim.process import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import ApgasRuntime
+
+_activity_ids = itertools.count(1)
+
+
+class Activity:
+    """One asynchronous task, governed by a finish, running at a place."""
+
+    def __init__(self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str = ""):
+        self.id = next(_activity_ids)
+        self.place = place
+        self.fn = fn
+        self.args = args
+        self.governing_finish = finish
+        self.name = name or f"{getattr(fn, '__name__', 'activity')}@{place}"
+        #: innermost-first stack of finish scopes opened inside this activity
+        self.finish_stack: list[BaseFinish] = [finish]
+        self.process = None  # set when the activity starts
+
+    @property
+    def current_finish(self) -> BaseFinish:
+        return self.finish_stack[-1]
+
+
+class FinishScope:
+    """``with ctx.finish(...) as f:`` — push/pop a finish scope.
+
+    Exiting the ``with`` block does *not* block (Python context managers
+    cannot suspend); termination is awaited explicitly with
+    ``yield f.wait()``.
+    """
+
+    def __init__(self, ctx: "ActivityContext", pragma: Pragma, name: str) -> None:
+        self._ctx = ctx
+        self._pragma = pragma
+        self._name = name
+        self._finish: Optional[BaseFinish] = None
+
+    def __enter__(self) -> BaseFinish:
+        from repro.runtime.finish import make_finish
+
+        self._finish = make_finish(self._ctx.rt, self._ctx.here, self._pragma, self._name)
+        self._ctx.activity.finish_stack.append(self._finish)
+        return self._finish
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = self._ctx.activity.finish_stack.pop()
+        if popped is not self._finish:
+            raise ApgasError("finish scopes closed out of order")
+
+
+class ActivityContext:
+    """The APGAS API handed to every activity body."""
+
+    __slots__ = ("rt", "activity")
+
+    def __init__(self, rt: "ApgasRuntime", activity: Activity) -> None:
+        self.rt = rt
+        self.activity = activity
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        """The current place (X10's ``here``)."""
+        return self.activity.place
+
+    @property
+    def engine(self):
+        return self.rt.engine
+
+    @property
+    def now(self) -> float:
+        return self.rt.engine.now
+
+    def places(self) -> range:
+        """All places of this computation, 0..n-1."""
+        return range(self.rt.n_places)
+
+    @property
+    def n_places(self) -> int:
+        return self.rt.n_places
+
+    # -- compute -------------------------------------------------------------------
+
+    def compute(
+        self,
+        seconds: Optional[float] = None,
+        flops: Optional[float] = None,
+        flop_rate: Optional[float] = None,
+        mem_bytes: Optional[float] = None,
+        mem_bw: Optional[float] = None,
+    ) -> Timeout:
+        """Charge local computation to this place's worker.
+
+        Duration is ``seconds``, plus ``flops / flop_rate``, plus
+        ``mem_bytes / mem_bw`` for memory-bound phases.  The place's OS-jitter
+        factor is applied, and the work serializes on the place's single
+        worker.  Yield the returned effect.
+        """
+        dt = seconds or 0.0
+        if flops is not None:
+            if not flop_rate:
+                raise ApgasError("compute(flops=...) requires flop_rate")
+            dt += flops / flop_rate
+        if mem_bytes is not None:
+            if not mem_bw:
+                raise ApgasError("compute(mem_bytes=...) requires mem_bw")
+            dt += mem_bytes / mem_bw
+        if dt < 0:
+            raise ApgasError(f"negative compute duration {dt!r}")
+        dt *= self.rt.jitter.factor(self.here)
+        now = self.rt.engine.now
+        end = self.rt.place(self.here).worker.reserve(now, dt)
+        return Timeout(end - now)
+
+    def sleep(self, seconds: float) -> Timeout:
+        """Suspend without occupying the worker (pure waiting)."""
+        return Timeout(seconds)
+
+    # -- spawning ----------------------------------------------------------------
+
+    def async_(self, fn: Callable, *args: Any, name: str = "") -> Activity:
+        """``async S``: spawn a local activity under the current finish."""
+        return self.rt.spawn_local(self.here, fn, args, self.activity.current_finish, name)
+
+    def at_async(
+        self, place: int, fn: Callable, *args: Any, nbytes: Optional[int] = None, name: str = ""
+    ) -> None:
+        """``at(p) async S``: an active message — non-blocking remote spawn."""
+        self.rt.spawn_remote(
+            self.here, place, fn, args, self.activity.current_finish, nbytes, name
+        )
+
+    def at(
+        self, place: int, fn: Callable, *args: Any, nbytes: Optional[int] = None
+    ) -> SimEvent:
+        """``at(p) e``: blocking remote evaluation.
+
+        The current activity logically shifts to ``place``, evaluates
+        ``fn(ctx, *args)`` there, and resumes here with the value.  Yield the
+        returned event to obtain the result.  No finish is involved — the
+        activity never terminated, it moved.
+        """
+        return self.rt.remote_eval(self.here, place, fn, args, nbytes)
+
+    # -- finish ---------------------------------------------------------------------
+
+    def finish(self, pragma: Pragma = Pragma.DEFAULT, name: str = "") -> FinishScope:
+        """Open a finish scope: ``with ctx.finish() as f: ...; yield f.wait()``."""
+        return FinishScope(self, pragma, name)
+
+    @property
+    def current_finish(self) -> BaseFinish:
+        return self.activity.current_finish
+
+    def async_copy(self, src, dst, nbytes: Optional[int] = None) -> None:
+        """``Array.asyncCopy``: an RDMA bulk copy treated exactly as if it
+        were an async — its termination is tracked by the enclosing finish,
+        making it easy to overlap communication and computation::
+
+            with ctx.finish() as f:
+                ctx.async_copy(src_array, dst_array)   # srcArray is local
+                ...                                    # compute while sending
+            yield f.wait()
+
+        ``src`` and ``dst`` are congruent arrays
+        (:class:`~repro.runtime.congruent.CongruentArray`); the transfer never
+        occupies either place's worker.
+        """
+        self.rt.async_copy(self.here, src, dst, self.activity.current_finish, nbytes)
+
+    # -- messaging (library-level protocols such as GLB) -----------------------------
+
+    def send(self, place: int, mailbox: str, item: Any, nbytes: Optional[int] = None) -> None:
+        """Deliver ``item`` into ``mailbox`` at ``place`` (one-way message)."""
+        self.rt.send_item(self.here, place, mailbox, item, nbytes)
+
+    def recv(self, mailbox: str):
+        """Blocking receive from this place's ``mailbox``: yield the effect."""
+        return self.rt.place(self.here).mailbox(mailbox).get()
+
+    def try_recv(self, mailbox: str):
+        """Non-blocking receive: ``(True, item)`` or ``(False, None)``."""
+        return self.rt.place(self.here).mailbox(mailbox).try_get()
+
+    # -- atomic / when ----------------------------------------------------------------
+
+    def atomic(self, fn: Callable[[], Any]) -> Any:
+        """``atomic S``: run ``fn`` in one uninterrupted step.
+
+        With one cooperative worker per place, atomicity holds by
+        construction; the monitor is notified so blocked ``when`` conditions
+        re-evaluate.
+        """
+        result = fn()
+        self.rt.place(self.here).monitor.notify_all()
+        return result
+
+    def when(self, predicate: Callable[[], bool]):
+        """``when(c)``: suspend until ``predicate()`` is true.
+
+        Use as ``yield from ctx.when(pred)``.  The predicate is re-evaluated
+        after every atomic block executed at this place.
+        """
+        while not predicate():
+            yield self.rt.place(self.here).monitor.wait()

@@ -1,0 +1,71 @@
+"""Clocks: X10's dynamic barriers (``Clock.advanceAll()``)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ApgasError
+from repro.machine.bandwidth import barrier_time
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import ApgasRuntime
+
+
+class Clock:
+    """A dynamic barrier over a changing set of registered activities.
+
+    Registered activities call ``yield clock.advance(ctx)``; the phase
+    completes when every registered activity has advanced (or dropped).  The
+    release pays the machine's collective-barrier latency across the places of
+    the registered activities.
+    """
+
+    def __init__(self, rt: "ApgasRuntime") -> None:
+        self.rt = rt
+        self._places: list[int] = []
+        self._registered = 0
+        self._arrived = 0
+        self._phase = 0
+        self._release = SimEvent(name="clock.phase0")
+
+    @property
+    def phase(self) -> int:
+        return self._phase
+
+    @property
+    def registered(self) -> int:
+        return self._registered
+
+    def register(self, ctx) -> None:
+        """A ``clocked async``: the activity joins the barrier set."""
+        self._registered += 1
+        self._places.append(ctx.here)
+
+    def drop(self, ctx) -> None:
+        """The activity leaves the clock; it no longer holds up phases."""
+        if self._registered <= 0:
+            raise ApgasError("drop on a clock with no registered activities")
+        self._registered -= 1
+        if ctx.here in self._places:
+            self._places.remove(ctx.here)
+        self._maybe_release()
+
+    def advance(self, ctx) -> SimEvent:
+        """``Clock.advanceAll()``: yield the returned event to block at the barrier."""
+        if self._registered == 0:
+            raise ApgasError("advance on a clock with no registered activities")
+        event = self._release
+        self._arrived += 1
+        self._maybe_release()
+        return event
+
+    def _maybe_release(self) -> None:
+        if self._registered == 0 or self._arrived < self._registered:
+            return
+        release, self._release = self._release, SimEvent(name=f"clock.phase{self._phase + 1}")
+        self._arrived = 0
+        self._phase += 1
+        n = max(1, len(set(self._places)))
+        delay = barrier_time(self.rt.config, n)
+        self.rt.engine.schedule(delay, lambda: release.trigger())

@@ -1,0 +1,133 @@
+"""The congruent memory allocator (paper Section 3.3).
+
+RDMA and hardware collectives require memory segments registered with the
+network hardware, and the initiating task must know the effective address of
+both source and destination segments.  The congruent allocator returns arrays
+backed by registered segments (outside the garbage collector's control); when
+every place performs the same allocation sequence, *symmetric* mode returns
+the same sequence of addresses everywhere.  Segments are backed by large pages
+when enabled, minimizing hub TLB entries — essential for RandomAccess.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ApgasError
+from repro.xrt.rdma import MemRegion
+
+#: congruent segments live in their own reserved part of the address space
+_BASE_ADDRESS = 0x7F00_0000_0000
+
+
+class CongruentArray:
+    """A registered array: numpy data (optional) + its network memory region.
+
+    ``data`` may be ``None`` for *model-only* arrays: at-scale benchmark runs
+    account for a 2 GB-per-place table's transfer behavior without allocating
+    terabytes of host memory.  Element access then raises.
+    """
+
+    def __init__(self, region: MemRegion, data: Optional[np.ndarray]) -> None:
+        self.region = region
+        self._data = data
+
+    @property
+    def place(self) -> int:
+        return self.region.place
+
+    @property
+    def address(self) -> int:
+        return self.region.address
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.nbytes
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise ApgasError(
+                "model-only congruent array has no backing data; allocate with "
+                "materialize=True to access elements"
+            )
+        return self._data
+
+    @property
+    def materialized(self) -> bool:
+        return self._data is not None
+
+
+class CongruentAllocator:
+    """Bump allocator of registered, optionally symmetric, segments."""
+
+    def __init__(self, rt, large_pages: bool = True) -> None:
+        self.rt = rt
+        self.large_pages = large_pages
+        self.page_bytes = (
+            rt.config.large_page_bytes if large_pages else rt.config.small_page_bytes
+        )
+        self._next_address: dict[int, int] = {}
+
+    def alloc(
+        self,
+        place: int,
+        shape=None,
+        dtype=np.float64,
+        nbytes: Optional[int] = None,
+        materialize: bool = True,
+    ) -> CongruentArray:
+        """Allocate and register one segment at ``place``.
+
+        Pass ``shape``/``dtype`` for a real numpy-backed array, or ``nbytes``
+        with ``materialize=False`` for a model-only segment.
+        """
+        self.rt.place(place)  # validate
+        if shape is not None:
+            data = np.zeros(shape, dtype=dtype) if materialize else None
+            size = int(np.prod(np.atleast_1d(shape))) * np.dtype(dtype).itemsize
+        elif nbytes is not None:
+            if materialize:
+                raise ApgasError("materialized arrays need a shape, not raw nbytes")
+            data, size = None, int(nbytes)
+        else:
+            raise ApgasError("alloc needs shape or nbytes")
+
+        address = self._bump(place, size)
+        region = MemRegion(
+            place=place, nbytes=size, page_bytes=self.page_bytes, address=address, data=data
+        )
+        self.rt.registry.register(region)
+        return CongruentArray(region, data)
+
+    def alloc_symmetric(
+        self,
+        places: Sequence[int],
+        shape=None,
+        dtype=np.float64,
+        nbytes: Optional[int] = None,
+        materialize: bool = True,
+    ) -> dict[int, CongruentArray]:
+        """One identically-addressed segment per place.
+
+        Requires the allocation sequences of all places to be aligned — the
+        paper's "same allocation sequence in every place" contract.
+        """
+        cursors = {self._next_address.get(p, _BASE_ADDRESS) for p in places}
+        if len(cursors) != 1:
+            raise ApgasError(
+                "symmetric allocation requires identical allocation sequences "
+                f"across places, but cursors diverged: {sorted(cursors)}"
+            )
+        arrays = {p: self.alloc(p, shape, dtype, nbytes, materialize) for p in places}
+        addresses = {a.address for a in arrays.values()}
+        assert len(addresses) == 1, "bump allocator must keep symmetric addresses equal"
+        return arrays
+
+    def _bump(self, place: int, size: int) -> int:
+        aligned = -(-size // self.page_bytes) * self.page_bytes
+        address = self._next_address.get(place, _BASE_ADDRESS)
+        self._next_address[place] = address + aligned
+        return address

@@ -1,0 +1,35 @@
+"""Scalable ``finish``: the default protocol and its five specializations."""
+
+from repro.runtime.finish.base import BaseFinish, CTL_BYTES
+from repro.runtime.finish.default import DefaultFinish
+from repro.runtime.finish.dense import FinishDense
+from repro.runtime.finish.pragmas import Pragma
+from repro.runtime.finish.specialized import FinishAsync, FinishHere, FinishLocal, FinishSpmd
+
+_IMPLEMENTATIONS = {
+    Pragma.DEFAULT: DefaultFinish,
+    Pragma.FINISH_ASYNC: FinishAsync,
+    Pragma.FINISH_HERE: FinishHere,
+    Pragma.FINISH_LOCAL: FinishLocal,
+    Pragma.FINISH_SPMD: FinishSpmd,
+    Pragma.FINISH_DENSE: FinishDense,
+}
+
+
+def make_finish(rt, home: int, pragma: Pragma = Pragma.DEFAULT, name: str = "") -> BaseFinish:
+    """Instantiate the finish implementation selected by ``pragma``."""
+    return _IMPLEMENTATIONS[pragma](rt, home, name)
+
+
+__all__ = [
+    "BaseFinish",
+    "CTL_BYTES",
+    "DefaultFinish",
+    "FinishAsync",
+    "FinishHere",
+    "FinishLocal",
+    "FinishSpmd",
+    "FinishDense",
+    "Pragma",
+    "make_finish",
+]

@@ -1,0 +1,132 @@
+"""Prototype compiler analysis for finish-implementation selection.
+
+The paper prototyped a fully automatic compiler analysis capable of detecting
+many situations where the specialized finish patterns apply (it correctly
+classifies the finishes in their HPL code into FINISH_SPMD, FINISH_ASYNC, and
+FINISH_HERE), while the production system still relies on pragmas.  This
+module is the same kind of prototype for our Python surface: it inspects an
+activity body's AST and suggests a pragma for each ``with ctx.finish(...)``
+site.  Unrecognized patterns fall back to the DEFAULT algorithm, which is
+always correct.
+
+Known limitation (the reason it remains a prototype, exactly as in the
+paper): the analysis is intraprocedural, so a spawned body that itself
+spawns — e.g. the return leg of a FINISH_HERE round trip — is invisible.  A
+mis-suggested pragma is never silently wrong, though: every specialized
+finish validates the forks it governs at runtime and raises
+:class:`~repro.errors.PragmaError` on a pattern violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.runtime.finish.pragmas import Pragma
+
+
+@dataclass(frozen=True)
+class FinishSite:
+    """One ``with ctx.finish(...)`` occurrence and its suggested implementation."""
+
+    lineno: int
+    suggestion: Pragma
+    reason: str
+
+
+def classify_function(fn: Callable) -> list[FinishSite]:
+    """Suggest a finish implementation for every finish site in ``fn``.
+
+    Returns an empty list when the source is unavailable (builtins, lambdas
+    defined in a REPL) — the caller falls back to pragmas or DEFAULT.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return []
+    sites: list[FinishSite] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                if _is_finish_call(item.context_expr):
+                    sites.append(_classify_site(node))
+    return sites
+
+
+def suggest(fn: Callable) -> Optional[Pragma]:
+    """The suggestion for the first finish site of ``fn``, or None."""
+    sites = classify_function(fn)
+    return sites[0].suggestion if sites else None
+
+
+# -- the pattern rules ------------------------------------------------------------
+
+
+def _classify_site(with_node: ast.With) -> FinishSite:
+    body = with_node.body
+    spawns = _count_calls(body, "at_async")
+    local_spawns = _count_calls(body, "async_")
+    loops = _loops_containing_spawn(body)
+
+    if spawns == 0 and local_spawns > 0:
+        return FinishSite(with_node.lineno, Pragma.FINISH_LOCAL, "only local asyncs")
+    if spawns == 1 and local_spawns == 0 and not loops:
+        return FinishSite(with_node.lineno, Pragma.FINISH_ASYNC, "a single remote async")
+    if loops:
+        depth = max(loops)
+        if depth >= 2:
+            return FinishSite(
+                with_node.lineno,
+                Pragma.FINISH_DENSE,
+                "remote asyncs inside nested place loops (dense communication graph)",
+            )
+        return FinishSite(
+            with_node.lineno, Pragma.FINISH_SPMD, "one remote async per place in a loop"
+        )
+    return FinishSite(with_node.lineno, Pragma.DEFAULT, "pattern not recognized")
+
+
+def _is_finish_call(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "finish"
+    )
+
+
+def _count_calls(body: list[ast.stmt], method: str) -> int:
+    count = 0
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+            ):
+                count += 1
+    return count
+
+
+def _loops_containing_spawn(body: list[ast.stmt]) -> list[int]:
+    """Nesting depths of loops that contain an ``at_async`` call."""
+    depths: list[int] = []
+
+    def visit(node: ast.AST, depth: int) -> None:
+        if isinstance(node, (ast.For, ast.While)):
+            depth += 1
+            if _count_calls([node], "at_async") > 0:  # type: ignore[list-item]
+                depths.append(depth)
+        elif isinstance(node, ast.With) and any(
+            _is_finish_call(i.context_expr) for i in node.items
+        ):
+            return  # nested finish sites are classified separately
+        for child in ast.iter_child_nodes(node):
+            visit(child, depth)
+
+    for stmt in body:
+        visit(stmt, 0)
+    return depths

@@ -1,0 +1,132 @@
+"""Distributed termination detection: the machinery shared by all protocols.
+
+A ``finish`` must detect when every activity transitively spawned in its scope
+has terminated.  The simulator keeps *exact* fork/join counters (the oracle —
+bookkeeping is free in Python), but a finish only *declares* quiescence once
+the control messages its protocol would really send have all arrived at the
+finish home through the simulated network.  Protocols therefore differ in
+observable cost — message count, message size, who gets flooded, home-side
+state — which is precisely what the paper's Section 3.1 is about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import FinishError
+from repro.runtime.finish.pragmas import Pragma
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import ApgasRuntime
+
+_finish_ids = itertools.count(1)
+
+#: envelope of a count-only termination message
+CTL_BYTES = 16
+
+
+class BaseFinish:
+    """Common fork/join accounting and control-message plumbing.
+
+    Subclasses override :meth:`on_fork` / :meth:`on_join` to implement their
+    control-message behavior, and may override :meth:`validate_fork` to reject
+    concurrency patterns the pragma cannot govern.
+    """
+
+    pragma = Pragma.DEFAULT
+
+    #: how long a software router buffers reports before forwarding
+    COALESCE_WINDOW = 10e-6
+
+    def __init__(self, rt: "ApgasRuntime", home: int, name: str = "") -> None:
+        self.rt = rt
+        self.home = home
+        self.finish_id = next(_finish_ids)
+        self.name = name or f"{self.pragma.value}#{self.finish_id}"
+        #: forks minus joins (exact oracle)
+        self.pending = 0
+        self.total_forks = 0
+        #: joins whose termination report has not yet reached the home place
+        self._unreported = 0
+        self._waiters: list[SimEvent] = []
+        #: control messages / bytes this finish caused (diagnostics + tests)
+        self.ctl_messages = 0
+        self.ctl_bytes = 0
+        #: bytes of protocol state held at the home place (diagnostics)
+        self.home_space_bytes = 0
+        rt.register_finish(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} pending={self.pending} "
+            f"unreported={self._unreported}>"
+        )
+
+    # -- the three protocol events ------------------------------------------------
+
+    def fork(self, src: int, dst: int) -> None:
+        """An activity governed by this finish is being spawned src -> dst."""
+        self.validate_fork(src, dst)
+        self.pending += 1
+        self.total_forks += 1
+        self.on_fork(src, dst)
+
+    def join(self, place: int) -> None:
+        """An activity governed by this finish terminated at ``place``."""
+        if self.pending <= 0:
+            raise FinishError(f"{self.name}: join without a matching fork")
+        self.pending -= 1
+        self.on_join(place)
+        self._check()
+
+    def wait(self) -> SimEvent:
+        """Event that fires when this finish is quiescent."""
+        event = SimEvent(name=f"{self.name}.wait")
+        if self.quiescent:
+            event.trigger()
+        else:
+            self._waiters.append(event)
+        return event
+
+    @property
+    def quiescent(self) -> bool:
+        return self.pending == 0 and self._unreported == 0
+
+    # -- protocol hooks ----------------------------------------------------------
+
+    def validate_fork(self, src: int, dst: int) -> None:
+        """Reject forks the pragma's pattern cannot govern."""
+
+    def on_fork(self, src: int, dst: int) -> None:
+        """Protocol bookkeeping at spawn time (no message: bookkeeping rides
+        inside the spawn message itself)."""
+
+    def on_join(self, place: int) -> None:
+        """Send whatever termination reports the protocol requires."""
+        raise NotImplementedError
+
+    # -- shared plumbing ------------------------------------------------------------
+
+    def _check(self) -> None:
+        if self.quiescent and self._waiters:
+            waiters, self._waiters = self._waiters, []
+            for event in waiters:
+                event.trigger()
+
+    def report_pending(self, count: int = 1) -> None:
+        """Mark ``count`` joins as awaiting delivery of their report at home."""
+        self._unreported += count
+
+    def report_arrived(self, count: int = 1) -> None:
+        if count > self._unreported:
+            raise FinishError(f"{self.name}: more reports arrived than sent")
+        self._unreported -= count
+        self._check()
+
+    def send_ctl(self, src: int, dst: int, nbytes: int, on_arrival) -> None:
+        """Route one protocol control message through the simulated network."""
+        self.ctl_messages += 1
+        self.ctl_bytes += nbytes
+        self.rt.send_finish_ctl(self, src, dst, nbytes, on_arrival)

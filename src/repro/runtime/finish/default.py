@@ -1,0 +1,49 @@
+"""The general task-balancing algorithm: X10's default distributed finish.
+
+Handles arbitrary patterns of distributed task creation and termination, at a
+price: the home place accumulates a matrix of (source, destination) spawn
+counts — O(n^2) space in the number of places involved — and every remotely
+terminating task causes a control message carrying its place's compressed
+transition vector to be sent *directly to the home place*, which may flood the
+home's network interface (paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.finish.base import CTL_BYTES, BaseFinish
+from repro.runtime.finish.pragmas import Pragma
+
+
+class DefaultFinish(BaseFinish):
+    pragma = Pragma.DEFAULT
+
+    def __init__(self, rt, home, name=""):
+        super().__init__(rt, home, name)
+        #: per-place set of destinations spawned to since the last report;
+        #: its size determines the compressed control-message payload
+        self._dirty_dsts: dict[int, set[int]] = {}
+        #: distinct (src, dst) pairs the home has learned about — the O(n^2)
+        #: state of the paper
+        self._home_matrix: set[tuple[int, int]] = set()
+
+    def on_fork(self, src: int, dst: int) -> None:
+        if src == self.home:
+            # the home place's transition counts are home-resident state
+            self._home_matrix.add((src, dst))
+            self.home_space_bytes = 8 * len(self._home_matrix)
+        else:
+            self._dirty_dsts.setdefault(src, set()).add(dst)
+
+    def on_join(self, place: int) -> None:
+        dirty = self._dirty_dsts.pop(place, set())
+        for dst in dirty:
+            if (place, dst) not in self._home_matrix:
+                self._home_matrix.add((place, dst))
+        self.home_space_bytes = 8 * len(self._home_matrix)
+        if place == self.home:
+            return  # local termination: no network traffic
+        # one message per remote termination, straight to home, carrying the
+        # place's compressed transition vector
+        nbytes = CTL_BYTES + 8 * max(1, len(dirty))
+        self.report_pending()
+        self.send_ctl(place, self.home, nbytes, lambda: self.report_arrived())

@@ -1,0 +1,39 @@
+"""Finish pragmas: the five specialized termination-detection patterns.
+
+The runtime provides implementations of distributed ``finish`` that are
+specialized to common patterns of distributed concurrency (paper Section 3.1).
+Opportunities to apply them are guided by programmer-supplied annotations —
+pragmas — exactly as in the paper's current system (the prototype compiler
+analysis lives in :mod:`repro.runtime.finish.analysis`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Pragma(enum.Enum):
+    """Which termination-detection algorithm a ``finish`` should use."""
+
+    #: the general task-balancing algorithm: handles arbitrary nesting, but
+    #: uses O(n^2) space at the finish home and sends one control message per
+    #: remotely terminating task directly to the home place
+    DEFAULT = "default"
+
+    #: a finish governing a single activity, possibly remote
+    FINISH_ASYNC = "finish_async"
+
+    #: a finish governing a round trip (a "get")
+    FINISH_HERE = "finish_here"
+
+    #: a finish governing only local activities
+    FINISH_LOCAL = "finish_local"
+
+    #: a finish governing one remote activity per place that does not spawn
+    #: subactivities outside a nested finish
+    FINISH_SPMD = "finish_spmd"
+
+    #: a finish governing activities with dense or irregular communication
+    #: graphs; control traffic is software-routed through per-node master
+    #: places and coalesced
+    FINISH_DENSE = "finish_dense"

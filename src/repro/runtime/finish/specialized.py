@@ -1,0 +1,99 @@
+"""FINISH_ASYNC, FINISH_HERE, FINISH_LOCAL, FINISH_SPMD.
+
+These four are *actual specializations* of the default algorithm (paper
+Section 3.1): for FINISH_SPMD, the runtime knows it needs to wait for exactly
+n count-only termination messages if n remote activities were spawned — the
+order, source place, and content of each message are irrelevant — so no spawn
+matrix is kept and messages shrink to a bare count.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PragmaError
+from repro.runtime.finish.base import CTL_BYTES, BaseFinish
+from repro.runtime.finish.pragmas import Pragma
+
+
+class FinishAsync(BaseFinish):
+    """A finish governing a single activity, possibly remote.
+
+    E.g. ``finish at(p) async S;`` — the "put" idiom.
+    """
+
+    pragma = Pragma.FINISH_ASYNC
+
+    def validate_fork(self, src: int, dst: int) -> None:
+        if self.total_forks >= 1:
+            raise PragmaError(
+                f"{self.name}: FINISH_ASYNC governs a single activity, "
+                "but a second one was spawned"
+            )
+
+    def on_join(self, place: int) -> None:
+        if place == self.home:
+            return
+        self.report_pending()
+        self.send_ctl(place, self.home, CTL_BYTES, lambda: self.report_arrived())
+
+
+class FinishHere(BaseFinish):
+    """A finish governing a round trip — the "get" idiom.
+
+    E.g. ``h=here; finish at(p) async {S1; at(h) async S2;}``: one outgoing
+    activity whose continuation comes back to the home place.
+    """
+
+    pragma = Pragma.FINISH_HERE
+
+    def validate_fork(self, src: int, dst: int) -> None:
+        if self.total_forks >= 2:
+            raise PragmaError(
+                f"{self.name}: FINISH_HERE governs a round trip (two activities)"
+            )
+        if self.total_forks == 1 and dst != self.home:
+            raise PragmaError(
+                f"{self.name}: FINISH_HERE's second activity must return to the "
+                f"home place {self.home}, not {dst}"
+            )
+
+    def on_join(self, place: int) -> None:
+        if place == self.home:
+            # the return leg terminated at home: nothing to report; the
+            # outbound leg's report below is the only control message
+            return
+        self.report_pending()
+        self.send_ctl(place, self.home, CTL_BYTES, lambda: self.report_arrived())
+
+
+class FinishLocal(BaseFinish):
+    """A finish governing local activities only: a bare counter, no messages."""
+
+    pragma = Pragma.FINISH_LOCAL
+
+    def validate_fork(self, src: int, dst: int) -> None:
+        if dst != self.home:
+            raise PragmaError(
+                f"{self.name}: FINISH_LOCAL cannot govern a remote activity "
+                f"(spawn to place {dst}, home is {self.home})"
+            )
+
+    def on_join(self, place: int) -> None:
+        pass  # purely local: quiescence is the counter hitting zero
+
+
+class FinishSpmd(BaseFinish):
+    """A finish governing remote activities that do not spawn subactivities
+    outside a nested finish.
+
+    E.g. ``finish for(p in places) at(p) async finish S;`` — the "root" finish
+    of an SPMD computation.  Home waits for exactly one count-only message per
+    remote activity.
+    """
+
+    pragma = Pragma.FINISH_SPMD
+
+    def on_join(self, place: int) -> None:
+        if place == self.home:
+            return
+        self.report_pending()
+        self.send_ctl(place, self.home, CTL_BYTES, lambda: self.report_arrived())

@@ -1,0 +1,52 @@
+"""GlobalRef and Cell: cross-place references with home-place dereference."""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar
+
+from repro.errors import ApgasError
+
+T = TypeVar("T")
+
+
+class Cell(Generic[T]):
+    """A mutable box, X10's ``Cell[T]`` (used with atomic updates)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: T) -> None:
+        self.value = value
+
+    def __call__(self) -> T:
+        return self.value
+
+
+class GlobalRef(Generic[T]):
+    """A reference that can be passed freely between places but only
+    dereferenced at its home place.
+
+    X10's type checker tracks occurrences of GlobalRefs to ensure they are
+    dereferenced in the proper places; here the check happens at runtime:
+    :meth:`resolve` raises unless called at the home place.
+    """
+
+    __slots__ = ("home", "_value")
+
+    #: serialized size: a global reference is (place, address)
+    serialized_nbytes = 16
+
+    def __init__(self, home: int, value: T) -> None:
+        self.home = home
+        self._value = value
+
+    def resolve(self, ctx) -> T:
+        """Dereference; only legal when ``ctx.here == self.home``."""
+        if ctx.here != self.home:
+            raise ApgasError(
+                f"GlobalRef dereferenced at place {ctx.here}, but its home is "
+                f"{self.home}; shift there first with ctx.at(ref.home, ...)"
+            )
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GlobalRef(home={self.home})"

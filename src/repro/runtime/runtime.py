@@ -1,0 +1,342 @@
+"""The APGAS runtime: places, spawning, remote evaluation, finish plumbing."""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ApgasError, PlaceError
+from repro.machine.config import MachineConfig
+from repro.machine.noise import JitterModel
+from repro.machine.topology import Topology
+from repro.runtime.activity import Activity, ActivityContext
+from repro.runtime.finish import BaseFinish, Pragma, make_finish
+from repro.runtime.place import PlaceRuntime
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+from repro.sim.process import Process
+from repro.xrt import (
+    Collectives,
+    MemoryRegistry,
+    Message,
+    PamiTransport,
+    RdmaEngine,
+    estimate_nbytes,
+)
+
+_reply_ids = itertools.count(1)
+
+
+@dataclass
+class RuntimeStats:
+    """Counters a completed run exposes for analysis and tests."""
+
+    activities_spawned: int = 0
+    remote_spawns: int = 0
+    remote_evals: int = 0
+
+
+class ApgasRuntime:
+    """A single X10 computation over a collection of places.
+
+    The number of places and the mapping from places to nodes is specified at
+    launch (paper Section 2.1): place ``i`` is bound to core ``i % 32`` of
+    octant ``i // 32``.  Execution starts with ``main`` at place 0; other
+    places are initially idle.
+
+    Example::
+
+        rt = ApgasRuntime(places=64, config=MachineConfig.small())
+
+        def main(ctx):
+            with ctx.finish() as f:
+                for p in ctx.places():
+                    ctx.at_async(p, work)
+            yield f.wait()
+
+        def work(ctx):
+            yield ctx.compute(seconds=1e-3)
+
+        rt.run(main)
+        print(rt.now)   # simulated makespan
+    """
+
+    def __init__(
+        self,
+        places: int,
+        config: Optional[MachineConfig] = None,
+        transport_cls: type = PamiTransport,
+        collectives_emulated: Optional[bool] = None,
+        workers_per_place: int = 1,
+    ) -> None:
+        """``workers_per_place`` models ``X10_NTHREADS``: the paper runs one
+        worker per place (the default); larger values let concurrent
+        activities' compute overlap within a place (the intra-place
+        scheduling the paper defers to future work)."""
+        if workers_per_place < 1:
+            raise ApgasError("workers_per_place must be >= 1")
+        self.workers_per_place = workers_per_place
+        self.config = config if config is not None else MachineConfig()
+        self.engine = Engine()
+        self.topology = Topology(self.config, places)
+        self.transport = transport_cls(self.engine, self.config, self.topology)
+        self.network = self.transport.network
+        self.collectives = Collectives(self.transport, emulated=collectives_emulated)
+        self.registry = MemoryRegistry()
+        self.rdma = (
+            RdmaEngine(self.transport, self.registry) if self.transport.supports_rdma else None
+        )
+        self.jitter = JitterModel(self.config, places)
+        self._places = [PlaceRuntime(i, workers=workers_per_place) for i in range(places)]
+        self._finishes: dict[int, BaseFinish] = {}
+        self._replies: dict[int, SimEvent] = {}
+        self.stats = RuntimeStats()
+
+        self.transport.register_handler("apgas-spawn", self._on_spawn)
+        self.transport.register_handler("apgas-eval", self._on_eval)
+        self.transport.register_handler("apgas-reply", self._on_reply)
+        self.transport.register_handler("apgas-finish", self._on_finish_ctl)
+        self.transport.register_handler("apgas-item", self._on_item)
+
+    # -- basic accessors -----------------------------------------------------------
+
+    @property
+    def n_places(self) -> int:
+        return len(self._places)
+
+    def place(self, place_id: int) -> PlaceRuntime:
+        try:
+            return self._places[place_id]
+        except IndexError:
+            raise PlaceError(f"place {place_id} outside 0..{self.n_places - 1}") from None
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- running a program ------------------------------------------------------------
+
+    def run(self, main: Callable, *args: Any, until: Optional[float] = None) -> Any:
+        """Execute ``main(ctx, *args)`` at place 0 and drain the simulation.
+
+        Returns ``main``'s return value.  The root finish governs ``main`` and
+        everything it transitively spawns, exactly as X10 wraps the main
+        method.
+        """
+        root = make_finish(self, 0, Pragma.DEFAULT, name="root")
+        activity = self.spawn_local(0, main, args, root, name="main")
+        self.engine.run(until=until)
+        if activity.process is None or not activity.process.done.fired:
+            raise ApgasError("main activity did not complete")
+        return activity.process.done.value
+
+    # -- spawning --------------------------------------------------------------------
+
+    def spawn_local(
+        self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str = ""
+    ) -> Activity:
+        self.place(place)  # validate
+        finish.fork(place, place)
+        return self._start_activity(place, fn, args, finish, name)
+
+    def spawn_remote(
+        self,
+        src: int,
+        dst: int,
+        fn: Callable,
+        args: tuple,
+        finish: BaseFinish,
+        nbytes: Optional[int] = None,
+        name: str = "",
+    ) -> None:
+        self.place(dst)
+        finish.fork(src, dst)
+        self.stats.remote_spawns += 1
+        size = nbytes if nbytes is not None else estimate_nbytes(args)
+        self.transport.send(
+            Message(src=src, dst=dst, handler="apgas-spawn", body=(fn, args, finish, name), nbytes=size)
+        )
+
+    def _on_spawn(self, dst: int, body) -> None:
+        fn, args, finish, name = body
+        self._start_activity(dst, fn, args, finish, name)
+
+    def _start_activity(
+        self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str
+    ) -> Activity:
+        activity = Activity(place, fn, args, finish, name)
+        self.stats.activities_spawned += 1
+        self.place(place).activities_run += 1
+
+        def runner():
+            ctx = ActivityContext(self, activity)
+            try:
+                result = fn(ctx, *args)
+                if inspect.isgenerator(result):
+                    result = yield from result
+                return result
+            finally:
+                if len(activity.finish_stack) != 1:
+                    raise ApgasError(
+                        f"activity {activity.name} terminated inside an open finish scope"
+                    )
+                finish.join(place)
+
+        activity.process = Process(self.engine, runner(), name=activity.name)
+        return activity
+
+    # -- remote evaluation (`at (p) e`) --------------------------------------------------
+
+    def remote_eval(
+        self, src: int, dst: int, fn: Callable, args: tuple, nbytes: Optional[int] = None
+    ) -> SimEvent:
+        """The activity shifts to ``dst``, evaluates, and the result ships back."""
+        self.place(dst)
+        self.stats.remote_evals += 1
+        result_event = SimEvent(name=f"at({dst})")
+        if src == dst:
+            # `at (here)` degenerates to a direct call
+            self._eval_here(dst, fn, args, src, result_event)
+            return result_event
+        reply_id = next(_reply_ids)
+        self._replies[reply_id] = result_event
+        size = nbytes if nbytes is not None else estimate_nbytes(args)
+        self.transport.send(
+            Message(src=src, dst=dst, handler="apgas-eval", body=(fn, args, src, reply_id), nbytes=size)
+        )
+        return result_event
+
+    def _on_eval(self, dst: int, body) -> None:
+        fn, args, reply_to, reply_id = body
+
+        def runner():
+            # the shifted activity evaluates at dst, then the value travels home
+            shifted = Activity(dst, fn, args, _UNGOVERNED, name=f"at-eval@{dst}")
+            ctx = ActivityContext(self, shifted)
+            try:
+                result = fn(ctx, *args)
+                if inspect.isgenerator(result):
+                    result = yield from result
+            except BaseException as exc:  # ship the exception home
+                self._send_reply(dst, reply_to, reply_id, exc, is_error=True)
+                return
+            self._send_reply(dst, reply_to, reply_id, result, is_error=False)
+
+        Process(self.engine, runner(), name=f"at-eval@{dst}")
+
+    def _eval_here(self, place: int, fn: Callable, args: tuple, src: int, event: SimEvent) -> None:
+        def runner():
+            shifted = Activity(place, fn, args, _UNGOVERNED, name=f"at-eval@{place}")
+            ctx = ActivityContext(self, shifted)
+            try:
+                result = fn(ctx, *args)
+                if inspect.isgenerator(result):
+                    result = yield from result
+            except BaseException as exc:
+                event.fail(exc)
+                return
+            event.trigger(result)
+
+        Process(self.engine, runner(), name=f"at-eval@{place}")
+
+    def _send_reply(self, src: int, dst: int, reply_id: int, payload, is_error: bool) -> None:
+        self.transport.send(
+            Message(
+                src=src,
+                dst=dst,
+                handler="apgas-reply",
+                body=(reply_id, payload, is_error),
+                nbytes=estimate_nbytes(payload),
+            )
+        )
+
+    def _on_reply(self, dst: int, body) -> None:
+        reply_id, payload, is_error = body
+        event = self._replies.pop(reply_id)
+        if is_error:
+            event.fail(payload)
+        else:
+            event.trigger(payload)
+
+    # -- asynchronous bulk copies (Array.asyncCopy) ------------------------------------------
+
+    def async_copy(self, here: int, src, dst, finish, nbytes: Optional[int] = None) -> None:
+        """RDMA copy whose termination is tracked by ``finish`` like an async."""
+        if self.rdma is None:
+            raise ApgasError(
+                f"transport {self.transport.name!r} has no RDMA; asyncCopy "
+                "falls back to plain messages only on RDMA-capable fabrics"
+            )
+        if src.place != here:
+            raise ApgasError(
+                f"asyncCopy must be initiated where the source lives "
+                f"(source at {src.place}, initiator at {here})"
+            )
+        size = nbytes if nbytes is not None else min(src.nbytes, dst.nbytes)
+        finish.fork(here, dst.place)
+        done = self.rdma.put(src.region, dst.region, size)
+        if src.materialized and dst.materialized:
+            n = min(len(src.data), len(dst.data))
+            data = src.data[:n].copy()
+
+            def land(_event):
+                dst.data[:n] = data
+                finish.join(dst.place)
+
+            done.add_callback(land)
+        else:
+            done.add_callback(lambda _event: finish.join(dst.place))
+
+    # -- finish control traffic -------------------------------------------------------------
+
+    def register_finish(self, finish: BaseFinish) -> None:
+        self._finishes[finish.finish_id] = finish
+
+    def send_finish_ctl(
+        self, finish: BaseFinish, src: int, dst: int, nbytes: int, on_arrival: Callable[[], None]
+    ) -> None:
+        self.transport.send(
+            Message(src=src, dst=dst, handler="apgas-finish", body=on_arrival, nbytes=nbytes)
+        )
+
+    def _on_finish_ctl(self, dst: int, body) -> None:
+        body()
+
+    # -- mailbox items ---------------------------------------------------------------------
+
+    def send_item(
+        self, src: int, dst: int, mailbox: str, item: Any, nbytes: Optional[int] = None
+    ) -> None:
+        size = nbytes if nbytes is not None else estimate_nbytes(item)
+        self.transport.send(
+            Message(src=src, dst=dst, handler="apgas-item", body=(mailbox, item), nbytes=size)
+        )
+
+    def _on_item(self, dst: int, body) -> None:
+        mailbox, item = body
+        self.place(dst).mailbox(mailbox).put(item)
+
+
+class _UngovernedFinish:
+    """Sentinel finish for shifted (`at`) evaluation bodies.
+
+    An ``at`` does not create a new task — the current activity moves — so its
+    body has no governing finish of its own.  Spawning an *ungoverned* async
+    inside an ``at`` body without opening a finish scope is an error.
+    """
+
+    home = -1
+
+    def fork(self, src: int, dst: int) -> None:
+        raise ApgasError(
+            "cannot spawn an async inside an `at` body without opening a finish "
+            "scope: wrap it in `with ctx.finish(...)`"
+        )
+
+    def join(self, place: int) -> None:  # pragma: no cover - defensive
+        raise ApgasError("ungoverned finish cannot join")
+
+
+_UNGOVERNED = _UngovernedFinish()

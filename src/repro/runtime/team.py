@@ -1,0 +1,235 @@
+"""Teams: X10's ``x10.util.Team`` — collectives over groups of places.
+
+Team operations offer capabilities similar to HPC collectives — Barrier,
+All-Reduce, Broadcast, All-To-All, etc.  On networks supporting these
+multi-way patterns in hardware (including simple calculations on the data),
+the team operations map directly to the hardware implementations; otherwise
+the emulation layer kicks in (paper Section 3.3).
+
+Usage — every member activity makes the same sequence of calls::
+
+    team = Team(rt, members=list(range(n)))
+
+    def member_body(ctx):
+        total = yield team.allreduce(ctx, local_value)
+        yield team.barrier(ctx)
+
+Data flow (the numpy reduction) is computed exactly; time flows through
+:class:`repro.xrt.collectives.Collectives`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ApgasError
+from repro.sim.events import SimEvent
+from repro.xrt import estimate_nbytes
+from repro.xrt.collectives import CollectiveOp
+
+
+class _Slot:
+    """One in-progress collective: members rendezvous here."""
+
+    __slots__ = ("op", "values", "arrived", "events", "meta")
+
+    def __init__(self, op: CollectiveOp, n: int) -> None:
+        self.op = op
+        self.values: list[Any] = [None] * n
+        self.arrived = 0
+        self.events: list[SimEvent] = [SimEvent(name=f"team.{op.value}") for _ in range(n)]
+        self.meta: dict = {}
+
+
+class Team:
+    """An ordered group of places executing collectives together."""
+
+    def __init__(self, rt, members: Sequence[int]) -> None:
+        if len(set(members)) != len(members):
+            raise ApgasError("team members must be distinct places")
+        if not members:
+            raise ApgasError("team needs at least one member")
+        self.rt = rt
+        self.members = list(members)
+        self._rank = {p: i for i, p in enumerate(self.members)}
+        self._call_index = {p: 0 for p in self.members}
+        self._slots: dict[int, _Slot] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def rank(self, place: int) -> int:
+        try:
+            return self._rank[place]
+        except KeyError:
+            raise ApgasError(f"place {place} is not a member of this team") from None
+
+    def split(self, color_of) -> dict:
+        """X10's ``Team.split``: partition into sub-teams by color.
+
+        ``color_of`` maps each member place to a hashable color; returns
+        ``{color: Team}`` with members in this team's rank order.  HPL's
+        process-row and process-column teams are the canonical use::
+
+            rows = world.split(lambda p: grid.coords_of(p)[0])
+        """
+        groups: dict = {}
+        for place in self.members:
+            groups.setdefault(color_of(place), []).append(place)
+        return {color: Team(self.rt, members) for color, members in groups.items()}
+
+    # -- the collective operations (each returns an event to yield) -----------------
+
+    def barrier(self, ctx) -> SimEvent:
+        return self._collective(ctx, CollectiveOp.BARRIER, None, nbytes=8)
+
+    def broadcast(
+        self, ctx, value: Any = None, root: int = 0, nbytes: Optional[int] = None
+    ) -> SimEvent:
+        """Every member receives the root's ``value``.
+
+        ``nbytes`` overrides the modeled payload size.
+        """
+
+        def finalize(slot):
+            return [slot.values[self._root_rank(slot)]] * self.size
+
+        return self._collective(
+            ctx, CollectiveOp.BROADCAST, value, root=root, finalize=finalize, nbytes=nbytes
+        )
+
+    def reduce(
+        self, ctx, value: Any, root: int = 0, op: Callable = np.add, nbytes: Optional[int] = None
+    ) -> SimEvent:
+        """Root receives the reduction; others receive None."""
+
+        def finalize(slot):
+            total = _reduce_values(slot.values, op)
+            return [total if i == self._root_rank(slot) else None for i in range(self.size)]
+
+        return self._collective(
+            ctx, CollectiveOp.REDUCE, value, root=root, finalize=finalize, nbytes=nbytes
+        )
+
+    def allreduce(
+        self, ctx, value: Any, op: Callable = np.add, nbytes: Optional[int] = None
+    ) -> SimEvent:
+        """Every member receives the reduction of all members' values.
+
+        ``nbytes`` overrides the modeled payload size (used when the real
+        value is a scaled-down stand-in for a bigger modeled array).
+        """
+
+        def finalize(slot):
+            total = _reduce_values(slot.values, op)
+            return [total] * self.size
+
+        return self._collective(
+            ctx, CollectiveOp.ALLREDUCE, value, finalize=finalize, nbytes=nbytes
+        )
+
+    def allgather(self, ctx, value: Any) -> SimEvent:
+        """Every member receives the list of all members' values, in rank order."""
+
+        def finalize(slot):
+            gathered = list(slot.values)
+            return [gathered] * self.size
+
+        return self._collective(ctx, CollectiveOp.ALLGATHER, value, finalize=finalize)
+
+    def scatter(self, ctx, values: Optional[Sequence] = None, root: int = 0) -> SimEvent:
+        """Root supplies one value per member; each member receives its own."""
+        if ctx.here == root and (values is None or len(values) != self.size):
+            raise ApgasError("scatter root must supply exactly one value per member")
+
+        def finalize(slot):
+            vals = slot.values[self._root_rank(slot)]
+            return list(vals)
+
+        return self._collective(ctx, CollectiveOp.SCATTER, values, root=root, finalize=finalize)
+
+    def alltoall(self, ctx, values: Sequence, nbytes_per_pair: Optional[int] = None) -> SimEvent:
+        """Member i's ``values[j]`` is delivered to member j; each member
+        receives the list indexed by source rank.
+
+        ``nbytes_per_pair`` overrides the modeled per-destination payload.
+        """
+        if len(values) != self.size:
+            raise ApgasError("alltoall needs exactly one value per member")
+
+        def finalize(slot):
+            return [[slot.values[src][dst] for src in range(self.size)] for dst in range(self.size)]
+
+        per_pair = nbytes_per_pair
+        if per_pair is None:
+            per_pair = max(1, estimate_nbytes(values) // max(1, self.size))
+        return self._collective(
+            ctx, CollectiveOp.ALLTOALL, list(values), finalize=finalize, nbytes=per_pair
+        )
+
+    # -- mechanics --------------------------------------------------------------------
+
+    def _root_rank(self, slot: _Slot) -> int:
+        return slot.meta.get("root_rank", 0)
+
+    def _collective(
+        self,
+        ctx,
+        op: CollectiveOp,
+        value: Any,
+        root: Optional[int] = None,
+        finalize: Optional[Callable] = None,
+        nbytes: Optional[int] = None,
+    ) -> SimEvent:
+        rank = self.rank(ctx.here)
+        index = self._call_index[ctx.here]
+        self._call_index[ctx.here] += 1
+
+        slot = self._slots.get(index)
+        if slot is None:
+            slot = self._slots[index] = _Slot(op, self.size)
+        if slot.op is not op:
+            raise ApgasError(
+                f"team collective mismatch at call {index}: {slot.op.value} vs {op.value}"
+            )
+        if root is not None:
+            slot.meta["root_rank"] = self.rank(root)
+        slot.values[rank] = value
+        slot.arrived += 1
+        event = slot.events[rank]
+
+        if slot.arrived == self.size:
+            self._complete(index, slot, finalize, nbytes)
+        return event
+
+    def _complete(self, index: int, slot: _Slot, finalize, nbytes: Optional[int]) -> None:
+        results = finalize(slot) if finalize is not None else [None] * self.size
+        size = nbytes
+        if size is None:
+            size = max(estimate_nbytes(v) for v in slot.values)
+        timing = self.rt.collectives.run(
+            slot.op,
+            self.members,
+            nbytes=size,
+            root=self.members[self._root_rank(slot)] if "root_rank" in slot.meta else None,
+        )
+
+        def on_done(_event):
+            del self._slots[index]
+            for rank, event in enumerate(slot.events):
+                event.trigger(results[rank])
+
+        timing.add_callback(on_done)
+
+
+def _reduce_values(values: list, op: Callable):
+    """Elementwise reduction preserving the first value's type."""
+    total = values[0]
+    if isinstance(total, np.ndarray):
+        total = total.copy()
+    for v in values[1:]:
+        total = op(total, v)
+    return total

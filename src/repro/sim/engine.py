@@ -1,0 +1,96 @@
+"""The discrete-event engine: a virtual clock and an ordered event heap."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlockError, SimulationError
+
+
+class Handle:
+    """A cancellable reference to a scheduled callback."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """Event loop with a virtual clock.
+
+    Events scheduled at equal times fire in scheduling order (a monotonically
+    increasing sequence number breaks ties), which makes runs fully
+    deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Handle, Callable[[], None]]] = []
+        self._now = 0.0
+        self._seq = 0
+        #: number of callbacks executed so far (useful for complexity tests)
+        self.events_executed = 0
+        #: processes currently blocked on an effect; used for deadlock reports
+        self._blocked: dict[int, Any] = {}
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Handle:
+        """Run ``callback`` ``delay`` seconds from now; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        handle = Handle()
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, handle, callback))
+        return handle
+
+    def call_soon(self, callback: Callable[[], None]) -> Handle:
+        """Schedule ``callback`` at the current time, after already-queued events."""
+        return self.schedule(0.0, callback)
+
+    # -- blocked-process registry (populated by Process) ---------------------
+
+    def _note_blocked(self, process: Any) -> None:
+        self._blocked[id(process)] = process
+
+    def _note_unblocked(self, process: Any) -> None:
+        self._blocked.pop(id(process), None)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or virtual time passes ``until``).
+
+        Raises :class:`~repro.errors.DeadlockError` if the heap drains while
+        processes are still blocked on effects that can no longer fire.
+        Returns the final virtual time.
+        """
+        while self._heap:
+            time, _seq, handle, callback = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            if until is not None and time > until:
+                # put it back: the caller may resume the run later
+                heapq.heappush(self._heap, (time, _seq, handle, callback))
+                self._now = until
+                return self._now
+            self._now = time
+            self.events_executed += 1
+            callback()
+        if self._blocked and until is None:
+            raise DeadlockError(self._blocked.values())
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the heap is empty."""
+        for time, _seq, handle, _cb in self._heap:
+            if not handle.cancelled:
+                return time
+        return None

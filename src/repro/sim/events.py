@@ -1,0 +1,69 @@
+"""One-shot events: the simulation's condition variables."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event is *triggered* exactly once with an optional value (or *failed*
+    with an exception).  Processes waiting on it are resumed with that value in
+    the order they started waiting.  Waiting on an already-triggered event
+    completes immediately — this makes events usable as futures.
+    """
+
+    __slots__ = ("name", "_value", "_exc", "_fired", "_callbacks")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else f"pending({len(self._callbacks)} waiters)"
+        return f"<SimEvent {self.name or hex(id(self))} {state}>"
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters with ``value``."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._fired = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def fail(self, exc: BaseException) -> None:
+        """Fire the event with an exception; waiters re-raise it."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._fired = True
+        self._exc = exc
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Invoke ``callback(event)`` when the event fires (immediately if fired)."""
+        if self._fired:
+            callback(self)
+        else:
+            self._callbacks.append(callback)

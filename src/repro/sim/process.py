@@ -1,0 +1,130 @@
+"""Generator-based processes and the effects they may yield."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+
+
+class Timeout:
+    """Effect: suspend the yielding process for ``delay`` virtual seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay!r}")
+        self.delay = delay
+        self.value = value
+
+
+class Process:
+    """A coroutine driven by the engine.
+
+    The body is a generator.  Each ``yield`` suspends the process on an
+    *effect*; the process is resumed with the effect's result:
+
+    ``yield Timeout(dt)``
+        resume after ``dt`` seconds (result: ``Timeout.value``);
+    ``yield event`` (a :class:`SimEvent`)
+        resume when the event fires (result: the event's value);
+    ``yield store.get()``
+        resume when an item is available (result: the item);
+    ``yield process``
+        resume when the other process terminates (result: its return value);
+    ``yield None``
+        reschedule immediately (a cooperative yield point).
+
+    Uncaught exceptions in the body propagate out of :meth:`Engine.run` after
+    being recorded on :attr:`done`, so protocol bugs fail loudly.
+    """
+
+    def __init__(self, engine: Engine, body: Generator, name: str = "") -> None:
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"process body must be a generator, got {type(body).__name__}: "
+                "did you forget a 'yield' in the body function?"
+            )
+        self.engine = engine
+        self.name = name or getattr(body, "__name__", "process")
+        self._body = body
+        #: fires with the body's return value when the process terminates
+        self.done = SimEvent(name=f"{self.name}.done")
+        engine.call_soon(lambda: self._step(None))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done.fired else "running"
+        return f"<Process {self.name} {state}>"
+
+    # -- driving the generator -------------------------------------------------
+
+    def _step(self, send_value: Any) -> None:
+        self.engine._note_unblocked(self)
+        try:
+            effect = self._body.send(send_value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except BaseException as exc:
+            self._crash(exc)
+            return
+        self._dispatch(effect)
+
+    def _throw(self, exc: BaseException) -> None:
+        self.engine._note_unblocked(self)
+        try:
+            effect = self._body.throw(exc)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except BaseException as raised:
+            self._crash(raised)
+            return
+        self._dispatch(effect)
+
+    def _crash(self, exc: BaseException) -> None:
+        # If someone is waiting on .done the exception is delivered there
+        # (remote-eval semantics); an orphan crash aborts the whole run.
+        had_waiters = bool(self.done._callbacks)
+        self.done.fail(exc)
+        if not had_waiters:
+            raise exc
+
+    def _dispatch(self, effect: Any) -> None:
+        if effect is None:
+            self.engine.call_soon(lambda: self._step(None))
+            return
+        if isinstance(effect, Timeout):
+            self.engine.schedule(effect.delay, lambda: self._step(effect.value))
+            return
+        if isinstance(effect, Process):
+            effect = effect.done
+        if isinstance(effect, SimEvent):
+            self.engine._note_blocked(self)
+            effect.add_callback(self._on_event)
+            return
+        # Store.get() returns a _Get object with an `event` attribute.
+        event = getattr(effect, "event", None)
+        if isinstance(event, SimEvent):
+            self.engine._note_blocked(self)
+            event.add_callback(self._on_event)
+            return
+        raise SimulationError(
+            f"process {self.name!r} yielded an unknown effect: {effect!r}"
+        )
+
+    def _on_event(self, event: SimEvent) -> None:
+        try:
+            value = event.value
+        except BaseException as exc:
+            self._throw(exc)
+            return
+        self._step(value)
+
+
+def spawn(engine: Engine, body: Generator, name: str = "") -> Process:
+    """Convenience constructor mirroring ``Process(engine, body, name)``."""
+    return Process(engine, body, name)

@@ -1,0 +1,32 @@
+"""MPI transport: the middle option of the X10RT family.
+
+The X10RT API provides a common interface to transports such as IBM's PAMI,
+MPI, and TCP/IP sockets (paper Section 3.3).  An MPI library on the same
+fabric reaches the hardware collectives through its own tuned algorithms but
+exposes no RDMA-registration path to X10's congruent arrays and pays a
+thicker per-message software stack than PAMI.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.machine.topology import Topology
+from repro.sim.engine import Engine
+from repro.xrt.transport import Transport
+
+
+class MpiTransport(Transport):
+    supports_rdma = False
+    supports_hw_collectives = True
+    name = "mpi"
+    software_overhead_factor = 1.5
+
+    #: extra per-message MPI matching/progress cost on top of the fabric
+    MPI_SOFTWARE_LATENCY = 2.5e-6
+
+    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+        mpi_cost = config.with_(
+            software_latency=config.software_latency + self.MPI_SOFTWARE_LATENCY,
+            msg_injection_overhead=config.msg_injection_overhead * 1.5,
+        )
+        super().__init__(engine, mpi_cost, topology)

@@ -1,0 +1,18 @@
+"""PAMI on the Power 775: the transport used for all results in the paper."""
+
+from __future__ import annotations
+
+from repro.xrt.transport import Transport
+
+
+class PamiTransport(Transport):
+    """IBM Parallel Active Messaging Interface over the Torrent hub.
+
+    Native RDMA and hardware collectives; intra-octant messages go through
+    shared memory (handled by the network model's SHM link class).
+    """
+
+    supports_rdma = True
+    supports_hw_collectives = True
+    name = "pami"
+    software_overhead_factor = 1.0

@@ -1,0 +1,46 @@
+"""Payload size estimation for `at` captures and active messages.
+
+The X10 compiler analyzes the bodies of ``at`` statements to identify
+inter-place data dependencies and serializes the captured data.  The simulator
+needs only the *size* of that serialized data; this module estimates it for
+the Python values kernels actually ship around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SCALAR_BYTES = 8
+_OVERHEAD_BYTES = 16  # per-message envelope (type ids, finish id, etc.)
+
+
+def estimate_nbytes(obj) -> int:
+    """Estimated serialized size of ``obj`` in bytes.
+
+    NumPy arrays count their buffer; containers recurse; scalars count one
+    machine word.  Objects can opt in by exposing a ``serialized_nbytes``
+    attribute (used by work items in the GLB queues).
+    """
+    return _OVERHEAD_BYTES + _estimate(obj)
+
+
+def _estimate(obj) -> int:
+    if obj is None:
+        return 0
+    custom = getattr(obj, "serialized_nbytes", None)
+    if custom is not None:
+        return int(custom)
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return _SCALAR_BYTES
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, dict):
+        return sum(_estimate(k) + _estimate(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(_estimate(item) for item in obj)
+    # unknown object: charge a conservative flat cost
+    return 64

@@ -1,0 +1,31 @@
+"""TCP/IP sockets transport: the commodity-cluster fallback.
+
+X10 code "runs unchanged on commodity clusters" (paper Section 5); this
+transport models that: point-to-point only, no RDMA, no hardware collectives,
+and a kernel/network-stack software path that is an order of magnitude more
+expensive per message than PAMI.
+"""
+
+from __future__ import annotations
+
+from repro.machine.config import MachineConfig
+from repro.machine.topology import Topology
+from repro.sim.engine import Engine
+from repro.xrt.transport import Transport
+
+
+class SocketsTransport(Transport):
+    supports_rdma = False
+    supports_hw_collectives = False
+    name = "sockets"
+    software_overhead_factor = 4.0
+
+    #: extra per-message kernel/TCP time on top of the fabric costs
+    SOCKET_SOFTWARE_LATENCY = 15e-6
+
+    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+        kernel_cost = config.with_(
+            software_latency=config.software_latency + self.SOCKET_SOFTWARE_LATENCY,
+            msg_injection_overhead=config.msg_injection_overhead * 4,
+        )
+        super().__init__(engine, kernel_cost, topology)

@@ -1,0 +1,85 @@
+"""The common X10RT point-to-point API: active messages with named handlers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import TransportError
+from repro.machine.config import MachineConfig
+from repro.machine.network import Network, TransferKind
+from repro.machine.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent
+
+
+@dataclass
+class Message:
+    """An active message: on delivery the destination runs ``handler(dst, body)``."""
+
+    src: int
+    dst: int
+    handler: str
+    body: Any = None
+    nbytes: int = 16
+
+
+class Transport:
+    """Base X10RT transport: point-to-point active messages.
+
+    Handlers are registered by name (the moral equivalent of X10RT message
+    types).  Delivery order between a fixed (src, dst) pair follows simulated
+    delivery times; the engine's deterministic tie-breaking makes runs
+    reproducible.
+    """
+
+    #: capability flags, overridden by concrete transports
+    supports_rdma = False
+    supports_hw_collectives = False
+    name = "base"
+
+    #: multiplier on per-message software cost relative to PAMI
+    software_overhead_factor = 1.0
+
+    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+        self.engine = engine
+        self.config = config
+        self.topology = topology
+        self.network = Network(engine, config, topology)
+        self._handlers: dict[str, Callable[[int, Any], None]] = {}
+        self.messages_sent = 0
+
+    # -- handler registry ---------------------------------------------------------
+
+    def register_handler(self, name: str, fn: Callable[[int, Any], None]) -> None:
+        if name in self._handlers:
+            raise TransportError(f"handler {name!r} already registered")
+        self._handlers[name] = fn
+
+    def handler(self, name: str) -> Callable[[int, Any], None]:
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise TransportError(f"no handler registered for {name!r}") from None
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, msg: Message) -> SimEvent:
+        """Send an active message; the returned event fires after the handler ran."""
+        fn = self.handler(msg.handler)  # fail fast on unknown handlers
+        self.messages_sent += 1
+        delivered = self.network.transfer(
+            msg.src, msg.dst, self._wire_bytes(msg), kind=TransferKind.MSG
+        )
+        done = SimEvent(name=f"am:{msg.handler}")
+
+        def on_delivery(_event):
+            fn(msg.dst, msg.body)
+            done.trigger()
+
+        delivered.add_callback(on_delivery)
+        return done
+
+    def _wire_bytes(self, msg: Message) -> float:
+        # software-heavy transports behave as if each message were bigger
+        return msg.nbytes * self.software_overhead_factor

@@ -1,0 +1,54 @@
+"""Tests for the TaskBag protocol and CountingBag."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.glb import CountingBag
+
+
+def test_process_consumes_items():
+    bag = CountingBag(10)
+    assert bag.process(4) == 4
+    assert bag.process(100) == 6
+    assert bag.is_empty()
+    assert bag.process(5) == 0
+
+
+def test_split_takes_half():
+    bag = CountingBag(10)
+    loot = bag.split()
+    assert loot.items == 5
+    assert bag.items == 5
+
+
+def test_split_refuses_tiny_bags():
+    assert CountingBag(1).split() is None
+    assert CountingBag(0).split() is None
+
+
+def test_merge():
+    bag = CountingBag(3)
+    bag.merge(CountingBag(7))
+    assert bag.items == 10
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        CountingBag(-1)
+
+
+def test_serialized_size_constant():
+    assert CountingBag(1_000_000).serialized_nbytes == CountingBag(2).serialized_nbytes
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=50, deadline=None)
+def test_split_merge_conserves_items(n):
+    bag = CountingBag(n)
+    loot = bag.split()
+    total = bag.items + (loot.items if loot else 0)
+    assert total == n
+    if loot:
+        bag.merge(loot)
+        assert bag.items == n

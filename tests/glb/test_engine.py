@@ -1,0 +1,131 @@
+"""Integration tests for the GLB engine."""
+
+import pytest
+
+from repro.errors import GlbError
+from repro.glb import CountingBag, Glb, GlbConfig
+from repro.machine import MachineConfig
+from repro.runtime import ApgasRuntime
+
+
+RATE = 1e6  # items per second
+
+
+def run_glb(items, places=16, config=None, rate=RATE, machine=None):
+    rt = ApgasRuntime(places=places, config=machine or MachineConfig.small())
+    glb = Glb(
+        rt,
+        root_bag=CountingBag(items),
+        make_empty_bag=CountingBag,
+        process_rate=rate,
+        config=config,
+    )
+    return glb.run()
+
+
+def test_all_items_processed_exactly_once():
+    stats = run_glb(100_000)
+    assert stats.total_processed == 100_000
+
+
+def test_single_place_runs_sequentially():
+    stats = run_glb(10_000, places=1)
+    assert stats.total_processed == 10_000
+    assert stats.makespan == pytest.approx(10_000 / RATE, rel=0.01)
+    assert stats.steal_attempts == 0
+
+
+def test_work_spreads_across_places():
+    stats = run_glb(200_000, places=16)
+    busy_places = sum(1 for n in stats.processed_per_place if n > 0)
+    assert busy_places == 16
+    assert stats.imbalance() < 2.0
+
+
+def test_high_efficiency_on_divisible_work():
+    stats = run_glb(512 * 16 * 20, places=16)
+    assert stats.efficiency(RATE) > 0.8
+
+
+def test_efficiency_scales_with_places():
+    for places in (4, 16, 64):
+        stats = run_glb(512 * places * 30, places=places)
+        assert stats.efficiency(RATE) > 0.75, f"places={places}"
+
+
+def test_stealing_actually_happens():
+    stats = run_glb(100_000, places=16)
+    assert stats.steals_ok + stats.resuscitations > 0
+
+
+def test_lifelines_resuscitate_idle_places():
+    # tree distribution gives everyone work up front; force starvation by
+    # making the bag too small to split during distribution
+    stats = run_glb(100_000, places=64)
+    assert stats.total_processed == 100_000
+    assert stats.lifelines_sent > 0
+
+
+def test_tiny_workload_terminates():
+    stats = run_glb(1, places=16)
+    assert stats.total_processed == 1
+
+
+def test_empty_workload_terminates():
+    stats = run_glb(0, places=8)
+    assert stats.total_processed == 0
+
+
+def test_deterministic_given_seed():
+    a = run_glb(50_000, places=8, config=GlbConfig(seed=4))
+    b = run_glb(50_000, places=8, config=GlbConfig(seed=4))
+    assert a.makespan == b.makespan
+    assert a.processed_per_place == b.processed_per_place
+
+
+def test_invalid_rate_rejected():
+    rt = ApgasRuntime(places=2, config=MachineConfig.small())
+    with pytest.raises(GlbError, match="process_rate"):
+        Glb(rt, CountingBag(1), CountingBag, process_rate=0)
+
+
+def test_unknown_lifeline_graph_rejected():
+    rt = ApgasRuntime(places=2, config=MachineConfig.small())
+    with pytest.raises(GlbError, match="lifeline graph"):
+        Glb(rt, CountingBag(1), CountingBag, 1.0, GlbConfig(lifeline_graph="torus"))
+
+
+def test_ring_lifelines_slower_than_hypercube():
+    """Low-diameter lifeline graphs propagate work faster to idle places."""
+    items = 512 * 64 * 4
+    hyper = run_glb(items, places=64, config=GlbConfig(lifeline_graph="hypercube"))
+    ring = run_glb(items, places=64, config=GlbConfig(lifeline_graph="ring"))
+    assert hyper.makespan <= ring.makespan * 1.05
+
+
+def test_original_config_uses_default_finish_and_unbounded_victims():
+    from repro.runtime import Pragma
+
+    cfg = GlbConfig.original()
+    assert cfg.max_victims is None
+    assert cfg.root_finish is Pragma.DEFAULT
+    refined = GlbConfig.refined()
+    assert refined.max_victims == 1024
+    assert refined.root_finish is Pragma.FINISH_DENSE
+
+
+def test_refined_beats_original_at_scale_with_small_route_cache():
+    """The paper's refinements pay off once the machine punishes high
+    out-degree and home-place floods (modeled via a small route cache)."""
+    machine = MachineConfig.small(route_cache_entries=4)
+    items = 512 * 64 * 8
+    refined = run_glb(items, places=64, config=GlbConfig.refined(max_victims=4), machine=machine)
+    original = run_glb(items, places=64, config=GlbConfig.original(), machine=machine)
+    assert refined.total_processed == original.total_processed == items
+    assert refined.makespan < original.makespan
+
+
+def test_stats_imbalance_and_efficiency_bounds():
+    stats = run_glb(512 * 16 * 10, places=16)
+    assert 0.0 < stats.efficiency(RATE) <= 1.0
+    assert stats.imbalance() >= 1.0

@@ -1,0 +1,94 @@
+"""Tests for lifeline graphs and bounded victim sets."""
+
+import numpy as np
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.glb import hypercube_lifelines, ring_lifelines, victim_set
+
+
+def test_hypercube_power_of_two_degree_and_symmetry():
+    n = 16
+    for p in range(n):
+        nbrs = hypercube_lifelines(n, p)
+        assert len(nbrs) == 4  # log2(16)
+        for q in nbrs:
+            assert p in hypercube_lifelines(n, q)
+
+
+def test_hypercube_graph_connected_and_low_diameter():
+    for n in (8, 13, 16, 40, 64):
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        for p in range(n):
+            for q in hypercube_lifelines(n, p):
+                g.add_edge(p, q)
+        assert nx.is_connected(g)
+        assert nx.diameter(g) <= 2 * int(np.ceil(np.log2(n)))
+
+
+def test_hypercube_no_self_edges_no_duplicates():
+    for n in (5, 9, 31):
+        for p in range(n):
+            nbrs = hypercube_lifelines(n, p)
+            assert p not in nbrs
+            assert len(set(nbrs)) == len(nbrs)
+
+
+def test_single_place_has_no_lifelines():
+    assert hypercube_lifelines(1, 0) == []
+    assert ring_lifelines(1, 0) == []
+
+
+def test_ring_is_single_successor():
+    assert ring_lifelines(8, 3) == [4]
+    assert ring_lifelines(8, 7) == [0]
+
+
+def test_out_of_range_place_rejected():
+    with pytest.raises(ValueError):
+        hypercube_lifelines(8, 8)
+    with pytest.raises(ValueError):
+        ring_lifelines(4, -1)
+
+
+def test_victim_set_excludes_self_and_dedups():
+    v = victim_set(100, 17, max_victims=20, seed=1)
+    assert len(v) == 20
+    assert 17 not in v
+    assert len(set(v.tolist())) == 20
+    assert (v >= 0).all() and (v < 100).all()
+
+
+def test_victim_set_unbounded_returns_everyone_else():
+    v = victim_set(10, 3, max_victims=None)
+    assert sorted(v.tolist()) == [p for p in range(10) if p != 3]
+
+
+def test_victim_set_bound_larger_than_places():
+    v = victim_set(5, 0, max_victims=1024)
+    assert sorted(v.tolist()) == [1, 2, 3, 4]
+
+
+def test_victim_set_deterministic_per_seed():
+    a = victim_set(1000, 5, max_victims=50, seed=9)
+    b = victim_set(1000, 5, max_victims=50, seed=9)
+    c = victim_set(1000, 5, max_victims=50, seed=10)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_single_place_no_victims():
+    assert len(victim_set(1, 0, max_victims=10)) == 0
+
+
+@given(st.integers(2, 200), st.integers(1, 64))
+@settings(max_examples=40, deadline=None)
+def test_victim_set_properties(n, bound):
+    p = n // 2
+    v = victim_set(n, p, max_victims=bound, seed=0)
+    assert len(v) == min(bound, n - 1)
+    assert p not in v
+    assert len(np.unique(v)) == len(v)

@@ -1,0 +1,49 @@
+"""Tests for the calibration constants and contention-aware rates."""
+
+import pytest
+
+from repro.harness import CLASS1, Calibration
+from repro.machine import MachineConfig
+
+
+@pytest.fixture
+def cal():
+    return Calibration()
+
+
+def test_dgemm_rate_endpoints(cal):
+    cfg = MachineConfig()
+    assert cal.dgemm_rate(cfg, 1) == pytest.approx(22.38e9)
+    assert cal.dgemm_rate(cfg, 32) == pytest.approx(20.62e9)
+
+
+def test_dgemm_rate_monotone(cal):
+    cfg = MachineConfig()
+    rates = [cal.dgemm_rate(cfg, p) for p in range(1, 33)]
+    assert all(b <= a for a, b in zip(rates, rates[1:]))
+
+
+def test_dgemm_rate_clamps_out_of_range(cal):
+    cfg = MachineConfig()
+    assert cal.dgemm_rate(cfg, 0) == cal.dgemm_rate(cfg, 1)
+    assert cal.dgemm_rate(cfg, 100) == cal.dgemm_rate(cfg, 32)
+
+
+def test_sw_rate_endpoints(cal):
+    cfg = MachineConfig()
+    assert cal.sw_rate(cfg, 1) == pytest.approx(9.29e7)
+    assert cal.sw_rate(cfg, 32) == pytest.approx(6.31e7, rel=1e-6)
+
+
+def test_sw_rate_derives_from_paper_run_times(cal):
+    """The rates must reproduce the paper's 8.61 s and 12.68 s measurements."""
+    cells = 5 * 4000 * 40_000
+    cfg = MachineConfig()
+    assert cells / cal.sw_rate(cfg, 1) == pytest.approx(8.61, rel=0.01)
+    assert cells / cal.sw_rate(cfg, 32) == pytest.approx(12.68, rel=0.01)
+
+
+def test_class1_reference_values():
+    assert CLASS1["hpl"]["value"] == pytest.approx(1343.67e12)
+    assert CLASS1["randomaccess"]["cores"] == 63_648
+    assert set(CLASS1) == {"hpl", "randomaccess", "fft", "stream"}

@@ -1,0 +1,155 @@
+"""Model-vs-simulation cross-validation and paper-anchor checks.
+
+Every analytic model must (a) agree with the event-level simulation at small
+scale where both run, and (b) hit the paper's reported values at the paper's
+core counts.
+"""
+
+import pytest
+
+from repro.harness.models import (
+    model_bc,
+    model_fft,
+    model_hpl,
+    model_kmeans,
+    model_randomaccess,
+    model_smithwaterman,
+    model_stream,
+    model_uts,
+)
+from repro.harness.runner import simulate
+from repro.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MachineConfig()
+
+
+# -- paper anchors ------------------------------------------------------------------
+
+
+def test_stream_model_hits_paper_anchors(cfg):
+    assert model_stream(cfg, 1).per_core == pytest.approx(12.6e9, rel=0.01)
+    assert model_stream(cfg, 32).per_core == pytest.approx(7.23e9, rel=0.01)
+    assert model_stream(cfg, 55_680).per_core == pytest.approx(7.12e9, rel=0.01)
+    assert model_stream(cfg, 55_680).value == pytest.approx(396.6e12, rel=0.01)
+
+
+def test_hpl_model_hits_paper_anchors(cfg):
+    assert model_hpl(cfg, 32).per_core == pytest.approx(20.62e9, rel=0.05)
+    at_scale = model_hpl(cfg, 32_768)
+    assert at_scale.per_core == pytest.approx(17.98e9, rel=0.02)
+    assert at_scale.value == pytest.approx(589.2e12, rel=0.02)
+
+
+def test_randomaccess_model_hits_paper_anchors(cfg):
+    assert model_randomaccess(cfg, 256).per_core == pytest.approx(0.82e9, rel=0.05)
+    at_scale = model_randomaccess(cfg, 32_768)
+    assert at_scale.per_core == pytest.approx(0.82e9, rel=0.05)
+    assert at_scale.value == pytest.approx(843.58e9, rel=0.05)
+
+
+def test_randomaccess_model_has_midscale_valley(cfg):
+    valley = model_randomaccess(cfg, 2048).per_core
+    assert valley < 0.6 * model_randomaccess(cfg, 256).per_core
+    assert valley < 0.6 * model_randomaccess(cfg, 32_768).per_core
+
+
+def test_fft_model_hits_paper_anchors(cfg):
+    at_scale = model_fft(cfg, 32_768)
+    assert at_scale.per_core == pytest.approx(0.88e9, rel=0.05)
+    assert at_scale.value == pytest.approx(28_696e9, rel=0.05)
+
+
+def test_fft_model_has_midscale_dip(cfg):
+    dip = model_fft(cfg, 2048).per_core
+    assert dip < model_fft(cfg, 512).per_core
+    assert dip < model_fft(cfg, 32_768).per_core
+
+
+def test_uts_model_hits_paper_anchors(cfg):
+    assert model_uts(cfg, 1).per_core == pytest.approx(10.929e6, rel=0.002)
+    assert model_uts(cfg, 32).per_core == pytest.approx(10.900e6, rel=0.002)
+    at_scale = model_uts(cfg, 55_680)
+    assert at_scale.per_core == pytest.approx(10.712e6, rel=0.002)
+    assert at_scale.value == pytest.approx(596_451e6, rel=0.005)
+
+
+def test_kmeans_model_hits_paper_anchors(cfg):
+    assert model_kmeans(cfg, 1).value == pytest.approx(6.13, rel=0.01)
+    assert model_kmeans(cfg, 32).value == pytest.approx(6.16, rel=0.01)
+    assert model_kmeans(cfg, 47_040).value == pytest.approx(6.27, rel=0.01)
+
+
+def test_smithwaterman_model_hits_paper_anchors(cfg):
+    assert model_smithwaterman(cfg, 1).value == pytest.approx(8.61, rel=0.01)
+    assert model_smithwaterman(cfg, 32).value == pytest.approx(12.68, rel=0.01)
+    assert model_smithwaterman(cfg, 47_040).value == pytest.approx(12.87, rel=0.01)
+
+
+def test_bc_model_hits_paper_anchors(cfg):
+    assert model_bc(cfg, 32).per_core == pytest.approx(11.59e6, rel=0.02)
+    assert model_bc(cfg, 2048, scale=18).per_core == pytest.approx(10.67e6, rel=0.02)
+    assert model_bc(cfg, 2048, scale=20).per_core == pytest.approx(6.23e6, rel=0.05)
+    at_scale = model_bc(cfg, 47_040)
+    assert at_scale.per_core == pytest.approx(5.21e6, rel=0.02)
+    assert at_scale.value == pytest.approx(245_153e6, rel=0.02)
+
+
+def test_bc_model_graph_switch_at_2048(cfg):
+    small_graph = model_bc(cfg, 2048)
+    large_graph = model_bc(cfg, 2049)
+    assert large_graph.per_core < 0.7 * small_graph.per_core
+
+
+# -- model vs simulation -----------------------------------------------------------------
+
+
+def test_stream_sim_matches_model(cfg):
+    sim = simulate("stream", 32, config=cfg)
+    model = model_stream(cfg, 32)
+    assert sim.per_core == pytest.approx(model.per_core, rel=0.03)
+
+
+def test_hpl_sim_matches_model_at_one_place(cfg):
+    sim = simulate("hpl", 1, config=cfg)
+    # one place: no communication; both approach the calibrated solo rate
+    assert sim.per_core == pytest.approx(22.38e9, rel=0.02)
+
+
+def test_randomaccess_sim_matches_model_at_one_drawer(cfg):
+    sim = simulate("randomaccess", 256, config=cfg)
+    model = model_randomaccess(cfg, 256)
+    assert sim.per_core == pytest.approx(model.per_core, rel=0.05)
+
+
+def test_kmeans_sim_matches_model(cfg):
+    sim = simulate("kmeans", 32, config=cfg)
+    model = model_kmeans(cfg, 32)
+    assert sim.value == pytest.approx(model.value, rel=0.03)
+
+
+def test_smithwaterman_sim_matches_model(cfg):
+    sim = simulate("smithwaterman", 32, config=cfg)
+    model = model_smithwaterman(cfg, 32)
+    assert sim.value == pytest.approx(model.value, rel=0.03)
+
+
+def test_uts_sim_approaches_model(cfg):
+    sim = simulate("uts", 16, config=cfg)
+    model = model_uts(cfg, 16)
+    # the simulated tree is far smaller than a 90-200 s run, so the sim pays
+    # proportionally more ramp-up; it must still be within a few percent
+    assert sim.per_core > 0.93 * model.per_core
+    assert sim.per_core <= 1.01 * model.per_core
+
+
+def test_fft_sim_matches_model_at_one_place(cfg):
+    sim = simulate("fft", 1, config=cfg)
+    assert sim.per_core == pytest.approx(0.99e9, rel=0.05)
+
+
+def test_bc_sim_matches_model_at_one_place(cfg):
+    sim = simulate("bc", 1, config=cfg)
+    assert sim.per_core == pytest.approx(model_bc(cfg, 1).per_core, rel=0.05)

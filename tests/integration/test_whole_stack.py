@@ -1,0 +1,132 @@
+"""Cross-module integration: several subsystems composed in one program."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineConfig
+from repro.runtime import (
+    ApgasRuntime,
+    CongruentAllocator,
+    GlobalRef,
+    PlaceGroup,
+    Pragma,
+    Team,
+    broadcast_spawn,
+)
+
+
+def test_spmd_stencil_like_program():
+    """Broadcast launch + per-place data + clocked halo exchange via teams."""
+    places = 8
+    rt = ApgasRuntime(places=places, config=MachineConfig.small())
+    team = Team(rt, list(range(places)))
+    results = {}
+
+    def body(ctx):
+        me = ctx.here
+        local = np.full(16, float(me))
+        for _step in range(3):
+            # exchange boundary sums with everyone (stand-in for halos)
+            total = yield team.allreduce(ctx, local.sum())
+            local += total / (places * len(local))
+            yield ctx.compute(mem_bytes=local.nbytes * 3, mem_bw=1e10)
+        results[me] = local.copy()
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+
+    rt.run(main)
+    assert len(results) == places
+    assert all(np.isfinite(v).all() for v in results.values())
+
+
+def test_master_worker_with_mailboxes_and_finish():
+    """Active messages + mailboxes + dense finish, all at once."""
+    places = 16
+    rt = ApgasRuntime(places=places, config=MachineConfig.small())
+    outcomes = []
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_DENSE) as f:
+            for p in ctx.places():
+                if p != ctx.here:
+                    ctx.at_async(p, worker, ctx.here)
+        yield f.wait()
+        # collect everything the workers mailed back
+        while True:
+            ok, item = ctx.try_recv("results")
+            if not ok:
+                break
+            outcomes.append(item)
+
+    def worker(ctx, master):
+        yield ctx.compute(seconds=1e-5)
+        ctx.send(master, "results", ctx.here**2)
+
+    rt.run(main)
+    assert sorted(outcomes) == [p**2 for p in range(1, places)]
+
+
+def test_gather_via_async_copy_pipeline():
+    """asyncCopy + finish: gather distributed fragments to place 0."""
+    places = 8
+    n = 64
+    rt = ApgasRuntime(places=places, config=MachineConfig.small())
+    alloc = CongruentAllocator(rt)
+    fragments = {p: alloc.alloc(p, shape=(n,)) for p in range(places)}
+    gathered = [alloc.alloc(0, shape=(n,)) for _ in range(places)]
+
+    def main(ctx):
+        with ctx.finish() as f:
+            for p in ctx.places():
+                ctx.at_async(p, send_fragment, fragments[p], gathered[p])
+        yield f.wait()
+        return [g.data.copy() for g in gathered]
+
+    def send_fragment(ctx, src, dst):
+        src.data[:] = ctx.here
+        with ctx.finish(Pragma.FINISH_ASYNC if ctx.here != 0 else Pragma.DEFAULT) as f:
+            ctx.async_copy(src, dst)
+        yield f.wait()
+
+    parts = rt.run(main)
+    for p, part in enumerate(parts):
+        np.testing.assert_array_equal(part, float(p))
+
+
+def test_remote_eval_chain_across_places():
+    """at(p) evaluations hopping across the machine."""
+    rt = ApgasRuntime(places=16, config=MachineConfig.small())
+
+    def main(ctx):
+        value = 0
+        for p in [3, 7, 11, 15]:
+            value = yield ctx.at(p, add_here, value)
+        return value
+
+    def add_here(ctx, acc):
+        yield ctx.compute(seconds=1e-6)
+        return acc + ctx.here
+
+    assert rt.run(main) == 3 + 7 + 11 + 15
+
+
+def test_global_ref_round_trip_with_team_reduction():
+    rt = ApgasRuntime(places=8, config=MachineConfig.small())
+    team = Team(rt, list(range(8)))
+    box = {"test": 0.0}
+
+    def main(ctx):
+        ref = GlobalRef(ctx.here, box)
+        with ctx.finish(Pragma.FINISH_SPMD) as f:
+            for p in ctx.places():
+                ctx.at_async(p, member, ref)
+        yield f.wait()
+        return box["test"]
+
+    def member(ctx, ref):
+        total = yield team.allreduce(ctx, 1.0)
+        if ctx.here == ref.home:
+            ref.resolve(ctx)["test"] = total
+
+    assert rt.run(main) == 8.0

@@ -1,0 +1,10 @@
+"""Shared kernel-test helpers."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.runtime import ApgasRuntime
+
+
+def make_rt(places=8, **overrides):
+    return ApgasRuntime(places=places, config=MachineConfig.small(**overrides))

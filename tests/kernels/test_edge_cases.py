@@ -1,0 +1,104 @@
+"""Degenerate-size edge cases for every kernel."""
+
+import numpy as np
+import pytest
+
+from repro.glb import GlbConfig
+from repro.kernels.fft import run_fft
+from repro.kernels.hpl import run_hpl
+from repro.kernels.kmeans import run_kmeans
+from repro.kernels.randomaccess import run_randomaccess
+from repro.kernels.smithwaterman import run_smith_waterman
+from repro.kernels.stream import run_stream
+from repro.kernels.uts import UtsParams, run_uts, sequential_count
+
+from tests.kernels.conftest import make_rt
+
+
+def test_hpl_single_block_matrix():
+    rt = make_rt(places=1)
+    result = run_hpl(rt, N=8, NB=8)  # one panel, no trailing update
+    assert result.verified
+
+
+def test_hpl_more_blocks_than_grid():
+    rt = make_rt(places=4)
+    result = run_hpl(rt, N=96, NB=8)  # 12x12 blocks over a 2x2 grid
+    assert result.verified
+
+
+def test_fft_minimum_rows_per_place():
+    rt = make_rt(places=4)
+    result = run_fft(rt, n1=4, n2=4)  # exactly one row per place per phase
+    assert result.verified
+
+
+def test_fft_single_element_rows():
+    rt = make_rt(places=1)
+    result = run_fft(rt, n1=2, n2=2)
+    assert result.verified
+
+
+def test_kmeans_single_cluster():
+    rt = make_rt(places=4)
+    result = run_kmeans(
+        rt, points_per_place=20, k=1, dim=2, iterations=2, actual_points=20, actual_k=1
+    )
+    assert result.verified
+    # the single centroid is the global mean after one step
+    assert result.extra["centroids"].shape == (1, 2)
+
+
+def test_kmeans_more_clusters_than_points():
+    rt = make_rt(places=2)
+    result = run_kmeans(
+        rt, points_per_place=3, k=32, dim=2, iterations=2, actual_points=3, actual_k=32
+    )
+    assert result.verified  # empty clusters keep their centroids
+
+
+def test_smith_waterman_single_character_query():
+    rt = make_rt(places=2)
+    result = run_smith_waterman(
+        rt, short_len=1, long_per_place=10, iterations=1, actual_short=1, actual_long=10
+    )
+    assert result.verified
+    assert result.extra["best_score"] in (0, 2)
+
+
+def test_stream_single_element():
+    rt = make_rt(places=1)
+    result = run_stream(rt, elements_per_place=1, iterations=1)
+    assert result.verified
+
+
+def test_randomaccess_minimal_table():
+    rt = make_rt(places=2)
+    result = run_randomaccess(rt, table_words_per_place=1, updates_per_place=8)
+    assert result.verified
+
+
+def test_uts_depth_one_tree():
+    params = UtsParams(b0=4.0, depth=1, seed=19)
+    expected = sequential_count(params)
+    rt = make_rt(places=4)
+    result = run_uts(rt, depth=1, glb_config=GlbConfig(chunk_items=4))
+    assert result.extra["nodes"] == expected
+
+
+def test_uts_deep_narrow_tree():
+    """The paper notes its interval refinements target shallow trees; deep
+    and narrow trees must still traverse correctly."""
+    params = UtsParams(b0=1.3, depth=30, seed=5)
+    expected = sequential_count(params)
+    rt = make_rt(places=8)
+    result = run_uts(
+        rt, depth=30, b0=1.3, seed=5, glb_config=GlbConfig(chunk_items=16)
+    )
+    assert result.extra["nodes"] == expected
+
+
+def test_more_places_than_work_items():
+    rt = make_rt(places=32)
+    result = run_uts(rt, depth=1, glb_config=GlbConfig(chunk_items=4))
+    assert result.extra["nodes"] >= 1

@@ -1,0 +1,65 @@
+"""Tests for the distributed six-step FFT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.fft import fft_six_step_reference, run_fft
+
+from tests.kernels.conftest import make_rt
+
+
+@pytest.mark.parametrize("n1,n2", [(4, 4), (8, 4), (4, 8), (16, 16), (8, 32)])
+def test_six_step_reference_equals_numpy(n1, n2):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=n1 * n2) + 1j * rng.normal(size=n1 * n2)
+    ours = fft_six_step_reference(x, n1, n2)
+    np.testing.assert_allclose(ours, np.fft.fft(x), atol=1e-9)
+
+
+def test_six_step_shape_mismatch_rejected():
+    with pytest.raises(KernelError):
+        fft_six_step_reference(np.zeros(8, dtype=complex), 4, 4)
+
+
+@pytest.mark.parametrize("places", [1, 2, 4, 8])
+def test_distributed_fft_correct(places):
+    rt = make_rt(places=places)
+    result = run_fft(rt, n1=16, n2=32, seed=2)
+    assert result.verified, f"max err {result.extra['max_err']}"
+
+
+def test_distributed_fft_rectangular():
+    rt = make_rt(places=4)
+    result = run_fft(rt, n1=64, n2=8)
+    assert result.verified
+
+
+def test_indivisible_dimensions_rejected():
+    rt = make_rt(places=8)
+    with pytest.raises(KernelError, match="divisible"):
+        run_fft(rt, n1=12, n2=8)
+
+
+def test_single_place_rate_matches_calibration():
+    from repro.harness.calibration import DEFAULT_CALIBRATION
+
+    rt = make_rt(places=1)
+    result = run_fft(rt, n1=64, n2=64, modeled_elements_per_place=1 << 24)
+    # with one place there is no communication: rate ~= the calibrated rate
+    assert result.per_core == pytest.approx(DEFAULT_CALIBRATION.fft_flops, rel=0.05)
+
+
+def test_alltoall_dominates_at_multi_octant_scale():
+    """Per-core FFT rate drops when the transposes cross the network."""
+    solo = run_fft(make_rt(places=1), n1=64, n2=64, modeled_elements_per_place=1 << 22)
+    multi = run_fft(make_rt(places=16), n1=64, n2=64, modeled_elements_per_place=1 << 22)
+    assert multi.per_core < solo.per_core
+
+
+def test_result_metadata():
+    rt = make_rt(places=2)
+    result = run_fft(rt, n1=8, n2=8)
+    assert result.kernel == "fft"
+    assert result.unit == "flop/s"
+    assert result.value > 0

@@ -1,0 +1,136 @@
+"""Tests for HPL: grids, the LU core, and the distributed driver."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+
+from repro.errors import KernelError
+from repro.kernels.hpl import (
+    ProcessGrid,
+    blocked_lu_inplace,
+    default_grid,
+    reconstruction_residual,
+    run_hpl,
+)
+
+from tests.kernels.conftest import make_rt
+
+
+# -- grids -------------------------------------------------------------------------
+
+
+def test_default_grid_nearly_square():
+    assert (default_grid(16).P, default_grid(16).Q) == (4, 4)
+    assert (default_grid(32).P, default_grid(32).Q) == (4, 8)
+    assert (default_grid(1).P, default_grid(1).Q) == (1, 1)
+    assert (default_grid(7).P, default_grid(7).Q) == (1, 7)
+
+
+def test_grid_block_cyclic_ownership():
+    g = ProcessGrid(2, 3)
+    assert g.owner_of_block(0, 0) == 0
+    assert g.owner_of_block(1, 0) == g.place_of(1, 0)
+    assert g.owner_of_block(2, 3) == 0  # wraps around
+    assert g.coords_of(5) == (1, 2)
+
+
+def test_grid_row_col_places():
+    g = ProcessGrid(2, 2)
+    assert g.row_places(0) == [0, 1]
+    assert g.col_places(1) == [1, 3]
+
+
+def test_invalid_grid():
+    with pytest.raises(KernelError):
+        ProcessGrid(0, 2)
+
+
+# -- the LU core --------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n,nb", [(16, 4), (32, 8), (64, 16), (24, 8)])
+def test_blocked_lu_reconstructs(n, nb):
+    rng = np.random.default_rng(0)
+    A0 = rng.uniform(-0.5, 0.5, size=(n, n))
+    A = A0.copy()
+    swaps = blocked_lu_inplace(A, nb)
+    assert reconstruction_residual(A0, A, swaps) < 1e-13
+
+
+def test_blocked_lu_matches_lapack_solution():
+    """Solving with our factors must match scipy.linalg.solve."""
+    rng = np.random.default_rng(3)
+    n, nb = 32, 8
+    A0 = rng.uniform(-0.5, 0.5, size=(n, n))
+    b = rng.uniform(size=n)
+    A = A0.copy()
+    swaps = blocked_lu_inplace(A, nb)
+    pb = b.copy()
+    for r1, r2 in swaps:
+        pb[[r1, r2]] = pb[[r2, r1]]
+    L = np.tril(A, -1) + np.eye(n)
+    U = np.triu(A)
+    x = scipy.linalg.solve_triangular(U, scipy.linalg.solve_triangular(L, pb, lower=True))
+    np.testing.assert_allclose(x, scipy.linalg.solve(A0, b), atol=1e-9)
+
+
+def test_blocked_lu_pivoting_controls_growth():
+    # a matrix that is catastrophically unstable without pivoting
+    A0 = np.array([[1e-15, 1.0], [1.0, 1.0]])
+    A = A0.copy()
+    swaps = blocked_lu_inplace(A, 1)
+    assert swaps == [(0, 1)]
+    assert reconstruction_residual(A0, A, swaps) < 1e-15
+
+
+def test_blocked_lu_validation():
+    with pytest.raises(KernelError, match="square"):
+        blocked_lu_inplace(np.zeros((4, 6)), 2)
+    with pytest.raises(KernelError, match="multiple"):
+        blocked_lu_inplace(np.zeros((10, 10)), 4)
+
+
+# -- the distributed kernel ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("places", [1, 2, 4, 8])
+def test_distributed_hpl_correct(places):
+    rt = make_rt(places=places)
+    result = run_hpl(rt, N=64, NB=8, seed=1)
+    assert result.verified, f"residual {result.extra['residual']}"
+
+
+def test_distributed_hpl_rectangular_grid():
+    rt = make_rt(places=8)
+    from repro.kernels.hpl import ProcessGrid
+
+    result = run_hpl(rt, N=64, NB=8, grid=ProcessGrid(2, 4))
+    assert result.verified
+
+
+def test_grid_place_mismatch_rejected():
+    rt = make_rt(places=4)
+    with pytest.raises(KernelError, match="does not match"):
+        run_hpl(rt, N=32, NB=8, grid=ProcessGrid(2, 4))
+
+
+def test_n_not_multiple_of_nb_rejected():
+    rt = make_rt(places=4)
+    with pytest.raises(KernelError, match="multiple"):
+        run_hpl(rt, N=30, NB=8)
+
+
+def test_single_place_rate_approaches_dgemm_rate():
+    from repro.harness.calibration import DEFAULT_CALIBRATION
+
+    rt = make_rt(places=1)
+    result = run_hpl(rt, N=256, NB=32)
+    solo = DEFAULT_CALIBRATION.dgemm_flops_solo
+    # panel and trsm overheads keep it below, but in the right neighborhood
+    assert 0.4 * solo < result.per_core < solo
+
+
+def test_per_core_rate_drops_with_scale_out():
+    solo = run_hpl(make_rt(places=1), N=128, NB=16).per_core
+    scaled = run_hpl(make_rt(places=16), N=256, NB=16).per_core
+    assert scaled < solo

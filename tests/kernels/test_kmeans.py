@@ -1,0 +1,83 @@
+"""Tests for distributed K-Means."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.kmeans import (
+    assign_and_accumulate,
+    generate_points,
+    initial_centroids,
+    kmeans_reference,
+    run_kmeans,
+)
+from repro.kernels.kmeans.kmeans import update_centroids
+
+from tests.kernels.conftest import make_rt
+
+
+def test_assign_and_accumulate_counts_points():
+    points = np.array([[0.0, 0.0], [1.0, 1.0], [0.1, 0.0]])
+    centroids = np.array([[0.0, 0.0], [1.0, 1.0]])
+    sums, counts = assign_and_accumulate(points, centroids)
+    np.testing.assert_array_equal(counts, [2, 1])
+    np.testing.assert_allclose(sums[0], [0.1, 0.0])
+    np.testing.assert_allclose(sums[1], [1.0, 1.0])
+
+
+def test_empty_cluster_keeps_centroid():
+    centroids = np.array([[0.0, 0.0], [5.0, 5.0]])
+    sums = np.array([[2.0, 2.0], [0.0, 0.0]])
+    counts = np.array([2.0, 0.0])
+    out = update_centroids(centroids, sums, counts)
+    np.testing.assert_allclose(out[0], [1.0, 1.0])
+    np.testing.assert_allclose(out[1], [5.0, 5.0])  # unchanged
+
+
+def test_reference_converges_on_separated_clusters():
+    rng = np.random.default_rng(0)
+    blob_a = rng.normal(0.0, 0.05, size=(100, 2))
+    blob_b = rng.normal(5.0, 0.05, size=(100, 2))
+    points = np.vstack([blob_a, blob_b])
+    start = np.array([[0.5, 0.5], [4.0, 4.0]])
+    final = kmeans_reference(points, start, iterations=10)
+    np.testing.assert_allclose(sorted(final[:, 0]), [0.0, 5.0], atol=0.05)
+
+
+def test_distributed_matches_reference_exactly():
+    """The distributed algorithm with All-Reduce must be bitwise-equivalent in
+    cluster assignment to single-node Lloyd's on the concatenated points."""
+    places, n, k, dim, iters, seed = 4, 50, 8, 3, 4, 7
+    rt = make_rt(places=places)
+    result = run_kmeans(
+        rt, points_per_place=n, k=k, dim=dim, iterations=iters, seed=seed,
+        actual_points=n, actual_k=k,
+    )
+    assert result.verified
+    all_points = np.vstack([generate_points(seed, p, n, dim) for p in range(places)])
+    expected = kmeans_reference(all_points, initial_centroids(seed, k, dim), iters)
+    np.testing.assert_allclose(result.extra["centroids"], expected, atol=1e-9)
+
+
+def test_all_places_agree_on_centroids():
+    rt = make_rt(places=8)
+    result = run_kmeans(rt, points_per_place=40, k=4, dim=2, iterations=3, actual_points=40, actual_k=4)
+    assert result.verified
+
+
+def test_weak_scaling_run_time_nearly_flat():
+    """Paper: 6.13 s at 1 place -> 6.27 s at 47,040 (>= 97% efficiency)."""
+
+    def run_at(places):
+        rt = make_rt(places=places)
+        return run_kmeans(rt, points_per_place=40_000, k=512, dim=12, iterations=3).value
+
+    t1 = run_at(1)
+    t64 = run_at(64)
+    assert t64 / t1 < 1.12  # allreduce overhead stays small
+
+
+def test_invalid_parameters_rejected():
+    rt = make_rt()
+    with pytest.raises(KernelError):
+        run_kmeans(rt, points_per_place=0)

@@ -1,0 +1,120 @@
+"""Tests for RandomAccess and the HPCC random stream."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.randomaccess import hpcc_advance, hpcc_starts, run_randomaccess
+from repro.kernels.randomaccess.hpcc_rng import _step, stream_slice, stream_slice_fast
+
+from tests.kernels.conftest import make_rt
+
+
+# -- the HPCC stream ------------------------------------------------------------
+
+
+def test_starts_zero_is_one():
+    assert hpcc_starts(0) == 1
+
+
+def test_starts_matches_brute_force():
+    a = np.uint64(1)
+    for n in range(1, 300):
+        a = _step(a)
+        assert hpcc_starts(n) == a, f"divergence at n={n}"
+
+
+def test_starts_large_jump_consistent():
+    # starts(n+1) == step(starts(n)) even for big n
+    n = 123_456_789
+    assert hpcc_starts(n + 1) == _step(hpcc_starts(n))
+
+
+def test_advance_vectorized_matches_scalar():
+    states = np.array([1, 2, 0x8000000000000000, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
+    advanced = hpcc_advance(states)
+    for s, out in zip(states, advanced):
+        assert out == _step(np.uint64(s))
+
+
+def test_stream_slice_fast_equals_slow():
+    slow = stream_slice(10, 200)
+    fast = stream_slice_fast(10, 200, batch=7)
+    np.testing.assert_array_equal(slow, fast)
+
+
+def test_stream_slices_are_contiguous():
+    a = stream_slice_fast(0, 100)
+    b = stream_slice_fast(100, 50)
+    combined = stream_slice_fast(0, 150)
+    np.testing.assert_array_equal(np.concatenate([a, b]), combined)
+
+
+# -- the kernel --------------------------------------------------------------------
+
+
+def test_double_run_returns_table_to_initial():
+    """HPCC verification: XOR-ing the same stream twice is the identity."""
+    rt = make_rt(places=4)
+    result = run_randomaccess(rt, table_words_per_place=256, updates_per_place=512)
+    assert result.verified
+    assert result.extra["errors"] == 0
+
+
+def test_updates_touch_remote_places():
+    rt = make_rt(places=8)
+    run_randomaccess(rt, table_words_per_place=128, updates_per_place=256, verify=False)
+    from repro.machine import TransferKind
+
+    assert rt.network.stats.messages[TransferKind.GUPS] > 0
+    # most updates target other octants (7/8 of the table is remote)
+    assert rt.network.stats.by_link_class is not None
+
+
+def test_non_power_of_two_table_rejected():
+    rt = make_rt()
+    with pytest.raises(KernelError, match="power of two"):
+        run_randomaccess(rt, table_words_per_place=100)
+
+
+def test_sockets_transport_rejected():
+    from repro.machine import MachineConfig
+    from repro.runtime import ApgasRuntime
+    from repro.xrt import SocketsTransport
+
+    rt = ApgasRuntime(places=4, config=MachineConfig.small(), transport_cls=SocketsTransport)
+    with pytest.raises(KernelError, match="RDMA"):
+        run_randomaccess(rt, table_words_per_place=64)
+
+
+def test_model_only_mode_skips_verification():
+    rt = make_rt(places=4)
+    result = run_randomaccess(
+        rt, table_words_per_place=1 << 20, updates_per_place=4096, materialize=False
+    )
+    assert result.verified is None
+    assert result.value > 0
+
+
+def test_small_pages_much_slower():
+    """Paper: large pages are essential for RandomAccess."""
+
+    def gups(large_pages):
+        rt = make_rt(places=16)  # four octants: most updates cross the network
+        r = run_randomaccess(
+            rt,
+            table_words_per_place=1 << 25,  # 256 MB: far more 64 KB pages than TLB entries
+            updates_per_place=4096,
+            materialize=False,
+            large_pages=large_pages,
+        )
+        return r.value
+
+    assert gups(True) > 3 * gups(False)
+
+
+def test_gups_per_host_reported():
+    rt = make_rt(places=8)  # two octants in the small machine
+    result = run_randomaccess(rt, table_words_per_place=128, updates_per_place=512, verify=False)
+    assert result.extra["hosts"] == 2
+    assert result.per_core == pytest.approx(result.value / 2)

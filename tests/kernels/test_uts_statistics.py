@@ -1,0 +1,63 @@
+"""Statistical equivalence of the SHA-1 and SplitMix UTS constructions.
+
+The SplitMix substitution (DESIGN.md) must preserve the tree *statistics* —
+geometric branching with mean b0, the long tail, and the expected tree size —
+even though individual trees differ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.uts import UtsParams, make_rng, sequential_count
+
+
+@pytest.mark.parametrize("mode", ["splitmix", "sha1"])
+def test_branching_distribution_is_geometric(mode):
+    """P(X >= k) = q^k: check the survival function at several k."""
+    rng = make_rng(mode)
+    b0 = 4.0
+    q = b0 / (b0 + 1.0)
+    root = rng.root_state(123)
+    n = 6000
+    counts = np.asarray(rng.num_children(rng.child_states(root, 0, n), q))
+    for k in (1, 2, 5, 10):
+        observed = float((counts >= k).mean())
+        expected = q**k
+        # binomial std at n=6000 is < 0.007; allow 4 sigma
+        assert abs(observed - expected) < 0.03, f"k={k} mode={mode}"
+
+
+def test_both_modes_agree_on_expected_tree_size():
+    """Average tree size over seeds should match between the constructions."""
+    params = dict(b0=2.0, depth=4)
+    sizes = {}
+    for mode in ("splitmix", "sha1"):
+        totals = [
+            sequential_count(UtsParams(rng_mode=mode, seed=s, **params))
+            for s in range(25)
+        ]
+        sizes[mode] = np.mean(totals)
+    # E[size] = sum b0^k for k=0..depth = 31 for b0=2, depth=4
+    for mode, mean_size in sizes.items():
+        assert 15 < mean_size < 60, f"{mode}: {mean_size}"
+    ratio = sizes["splitmix"] / sizes["sha1"]
+    assert 0.6 < ratio < 1.6
+
+
+@pytest.mark.parametrize("mode", ["splitmix", "sha1"])
+def test_long_tail_exists(mode):
+    """Some nodes have far more than b0 children — the source of imbalance."""
+    rng = make_rng(mode)
+    q = 4.0 / 5.0
+    root = rng.root_state(7)
+    counts = np.asarray(rng.num_children(rng.child_states(root, 0, 5000), q))
+    assert counts.max() >= 15  # P(X >= 15) ~ 3.5% -> ~175 expected in 5000
+
+
+def test_subtree_sizes_are_heavy_tailed():
+    """Sibling subtrees differ wildly in size — why static partitioning fails."""
+    sizes = [
+        sequential_count(UtsParams(b0=4.0, depth=5, seed=s)) for s in range(30)
+    ]
+    sizes = np.array(sizes, dtype=float)
+    assert sizes.max() > 3 * np.median(sizes)

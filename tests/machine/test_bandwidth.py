@@ -1,0 +1,98 @@
+"""Tests for the analytic cross-section and collective models."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.machine.bandwidth import (
+    alltoall_bw_per_octant,
+    alltoall_time,
+    allreduce_time,
+    barrier_time,
+    bisection_bandwidth,
+    broadcast_time,
+)
+
+
+@pytest.fixture
+def cfg():
+    return MachineConfig()
+
+
+def test_single_octant_injection_limited(cfg):
+    assert alltoall_bw_per_octant(cfg, 1) == cfg.octant_injection_bandwidth
+
+
+def test_one_full_supernode_injection_limited(cfg):
+    # 31 LR/LL partners x >=5 GB/s = 155 GB/s > 96 GB/s injection
+    assert alltoall_bw_per_octant(cfg, 32) == cfg.octant_injection_bandwidth
+
+
+def test_sharp_drop_at_two_supernodes(cfg):
+    """Paper Section 4: sharp drop in All-To-All bandwidth per octant going
+    from one supernode to two."""
+    one_sn = alltoall_bw_per_octant(cfg, 32)
+    two_sn = alltoall_bw_per_octant(cfg, 64)
+    assert two_sn < one_sn / 3
+
+
+def test_slow_recovery_then_plateau(cfg):
+    values = [alltoall_bw_per_octant(cfg, 32 * s) for s in (2, 4, 8, 16, 32, 56)]
+    # monotone recovery
+    assert all(b >= a for a, b in zip(values, values[1:]))
+    # plateau at injection limit by the full machine
+    assert values[-1] == cfg.octant_injection_bandwidth
+
+
+def test_drop_recovery_plateau_shape_matches_paper(cfg):
+    """The three performance modes of Section 4 in order."""
+    small = alltoall_bw_per_octant(cfg, 16)
+    valley = alltoall_bw_per_octant(cfg, 64)
+    full = alltoall_bw_per_octant(cfg, 32 * 56)
+    assert valley < small
+    assert valley < full
+
+
+def test_bisection_grows_with_machine(cfg):
+    assert bisection_bandwidth(cfg, 4) < bisection_bandwidth(cfg, 1024)
+
+
+def test_barrier_time_logarithmic(cfg):
+    t32 = barrier_time(cfg, 32)
+    t32k = barrier_time(cfg, 32768)
+    assert t32 < t32k < 100e-6  # grows, but stays "collective-fast"
+    # doubling places far less than doubles time
+    assert barrier_time(cfg, 65536) < 1.2 * t32k
+
+
+def test_broadcast_time_has_bandwidth_term(cfg):
+    small = broadcast_time(cfg, 1024, 1 << 10)
+    large = broadcast_time(cfg, 1024, 64 << 20)
+    assert large > small
+    assert large >= (64 << 20) / cfg.d_pair_bandwidth
+
+
+def test_allreduce_is_two_tree_phases(cfg):
+    n, b = 4096, 32 << 10
+    assert allreduce_time(cfg, n, b) == pytest.approx(2 * broadcast_time(cfg, n, b))
+
+
+def test_alltoall_time_reflects_crosssection_valley(cfg):
+    """Per-octant all-to-all *rate* dips at a few supernodes (Figure 1 RA/FFT)."""
+    per_pair = 4096
+
+    def per_octant_rate(places):
+        t = alltoall_time(cfg, places, per_pair)
+        sent_per_octant = per_pair * 32 * (places - 32)
+        return sent_per_octant / t
+
+    rate_1sn = per_octant_rate(32 * 32)  # full supernode? 1024 places = 32 octants
+    rate_2sn = per_octant_rate(64 * 32)
+    rate_full = per_octant_rate(1740 * 32)
+    assert rate_2sn < rate_1sn
+    assert rate_2sn < rate_full
+
+
+def test_degenerate_sizes(cfg):
+    assert barrier_time(cfg, 1) > 0
+    assert broadcast_time(cfg, 1, 100) > 0
+    assert alltoall_time(cfg, 1, 100) > 0

@@ -1,0 +1,52 @@
+"""Tests for MachineConfig derived quantities against the paper's Section 4."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.machine import MachineConfig
+
+
+def test_default_structure_matches_paper():
+    cfg = MachineConfig()
+    assert cfg.octants_per_supernode == 32
+    assert cfg.total_cores == 55_680  # 1,740 octants x 32 cores
+    assert cfg.usable_octants == 1740
+
+
+def test_octant_peak_is_982_gflops():
+    cfg = MachineConfig()
+    assert cfg.octant_peak_flops == pytest.approx(982e9, rel=0.02)
+
+
+def test_system_peak_is_1_7_pflops():
+    cfg = MachineConfig()
+    assert cfg.system_peak_flops == pytest.approx(1.7e15, rel=0.02)
+
+
+def test_d_pair_bandwidth_is_80_gbs():
+    assert MachineConfig().d_pair_bandwidth == pytest.approx(80e9)
+
+
+def test_small_factory_shape():
+    cfg = MachineConfig.small()
+    assert cfg.octants_per_supernode == 4
+    assert cfg.total_cores == 64
+
+
+def test_with_override_keeps_frozen_semantics():
+    cfg = MachineConfig()
+    cfg2 = cfg.with_(jitter_fraction=0.01)
+    assert cfg.jitter_fraction == 0.0
+    assert cfg2.jitter_fraction == 0.01
+
+
+def test_invalid_usable_octants_rejected():
+    with pytest.raises(ReproError):
+        MachineConfig(usable_octants=10_000)
+    with pytest.raises(ReproError):
+        MachineConfig(usable_octants=0)
+
+
+def test_invalid_cores_rejected():
+    with pytest.raises(ReproError):
+        MachineConfig(cores_per_octant=0)

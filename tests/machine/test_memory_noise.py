@@ -1,0 +1,48 @@
+"""Tests for the memory-contention curve and the jitter model."""
+
+import pytest
+
+from repro.machine import JitterModel, MachineConfig, host_stream_bw, stream_bw_per_place
+
+
+def test_stream_curve_matches_paper_endpoints():
+    cfg = MachineConfig()
+    assert stream_bw_per_place(cfg, 1) == pytest.approx(12.6e9)
+    assert stream_bw_per_place(cfg, 32) == pytest.approx(7.23e9, rel=0.01)
+
+
+def test_host_bandwidth_at_full_load_matches_paper():
+    cfg = MachineConfig()
+    assert host_stream_bw(cfg, 32) == pytest.approx(231.5e9, rel=0.01)
+
+
+def test_per_place_bandwidth_monotone_nonincreasing():
+    cfg = MachineConfig()
+    values = [stream_bw_per_place(cfg, p) for p in range(1, 33)]
+    assert all(b <= a for a, b in zip(values, values[1:]))
+
+
+def test_invalid_place_count():
+    with pytest.raises(ValueError):
+        stream_bw_per_place(MachineConfig(), 0)
+
+
+def test_jitter_disabled_by_default():
+    model = JitterModel(MachineConfig(), places=100)
+    assert model.factor(0) == 1.0
+    assert model.worst() == 1.0
+
+
+def test_jitter_deterministic_and_bounded_below():
+    cfg = MachineConfig(jitter_fraction=0.02, seed=5)
+    a = JitterModel(cfg, places=64)
+    b = JitterModel(cfg, places=64)
+    assert [a.factor(p) for p in range(64)] == [b.factor(p) for p in range(64)]
+    assert all(a.factor(p) >= 1.0 for p in range(64))
+    assert a.worst() > 1.0
+
+
+def test_jitter_varies_with_seed():
+    a = JitterModel(MachineConfig(jitter_fraction=0.02, seed=1), places=16)
+    b = JitterModel(MachineConfig(jitter_fraction=0.02, seed=2), places=16)
+    assert [a.factor(p) for p in range(16)] != [b.factor(p) for p in range(16)]

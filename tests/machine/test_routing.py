@@ -1,0 +1,82 @@
+"""Tests for hw_direct_striped routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import LinkClass, MachineConfig, Topology
+from repro.machine.routing import link_bandwidth, resolve
+
+
+@pytest.fixture
+def topo():
+    return Topology(MachineConfig.small(), places=64)  # all 16 octants
+
+
+def test_same_octant_is_shm(topo):
+    r = resolve(topo, 3, 3)
+    assert r.link_class is LinkClass.SHM
+    assert r.hops == 0
+
+
+def test_same_drawer_is_ll(topo):
+    r = resolve(topo, 0, 1)
+    assert r.link_class is LinkClass.LL
+    assert r.hops == 1
+
+
+def test_same_supernode_cross_drawer_is_lr(topo):
+    r = resolve(topo, 0, 2)
+    assert r.link_class is LinkClass.LR
+    assert r.hops == 1
+
+
+def test_cross_supernode_is_d_with_three_hops(topo):
+    r = resolve(topo, 0, 4)
+    assert r.link_class is LinkClass.D
+    assert r.hops == 3
+
+
+def test_link_key_is_symmetric(topo):
+    assert resolve(topo, 1, 6).link_key == resolve(topo, 6, 1).link_key
+
+
+def test_d_link_key_is_supernode_pair(topo):
+    # octants 0..3 are supernode 0; 4..7 supernode 1
+    assert resolve(topo, 0, 5).link_key == resolve(topo, 3, 6).link_key
+
+
+def test_link_bandwidths(topo):
+    cfg = topo.config
+    assert link_bandwidth(cfg, LinkClass.LL) == cfg.ll_bandwidth
+    assert link_bandwidth(cfg, LinkClass.LR) == cfg.lr_bandwidth
+    assert link_bandwidth(cfg, LinkClass.D) == cfg.d_pair_bandwidth
+    assert link_bandwidth(cfg, LinkClass.SHM) == cfg.shm_bandwidth
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+@settings(max_examples=100, deadline=None)
+def test_routes_have_at_most_three_hops(a, b):
+    topo = Topology(MachineConfig.small(), places=64)
+    r = resolve(topo, a, b)
+    assert 0 <= r.hops <= 3
+    if a == b:
+        assert r.link_class is LinkClass.SHM
+    else:
+        assert r.hops >= 1
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+@settings(max_examples=100, deadline=None)
+def test_route_classification_matches_hierarchy(a, b):
+    topo = Topology(MachineConfig.small(), places=64)
+    r = resolve(topo, a, b)
+    if a == b:
+        expected = LinkClass.SHM
+    elif topo.same_drawer_octants(a, b):
+        expected = LinkClass.LL
+    elif topo.same_supernode_octants(a, b):
+        expected = LinkClass.LR
+    else:
+        expected = LinkClass.D
+    assert r.link_class is expected

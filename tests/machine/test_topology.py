@@ -1,0 +1,88 @@
+"""Tests for place->octant->drawer->supernode mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlaceError, ReproError
+from repro.machine import MachineConfig, Topology
+
+
+@pytest.fixture
+def topo():
+    return Topology(MachineConfig.small(), places=40)  # 10 octants of 4 cores
+
+
+def test_octant_and_core_of_place(topo):
+    assert topo.octant_of(0) == 0
+    assert topo.core_of(0) == 0
+    assert topo.octant_of(5) == 1
+    assert topo.core_of(5) == 1
+    assert topo.octant_of(39) == 9
+    assert topo.core_of(39) == 3
+
+
+def test_n_octants_rounds_up():
+    topo = Topology(MachineConfig.small(), places=5)
+    assert topo.n_octants == 2
+
+
+def test_places_on_octant_contiguous(topo):
+    assert list(topo.places_on_octant(1)) == [4, 5, 6, 7]
+
+
+def test_last_octant_may_be_partial():
+    topo = Topology(MachineConfig.small(), places=6)
+    assert list(topo.places_on_octant(1)) == [4, 5]
+
+
+def test_master_place_formula_matches_paper(topo):
+    # paper: route via p - p % b where b = places per node
+    b = topo.config.cores_per_octant
+    for p in range(topo.places):
+        assert topo.master_place_of(p) == p - p % b
+
+
+def test_coords_hierarchy(topo):
+    # small(): 2 octants/drawer, 2 drawers/supernode -> 4 octants/supernode
+    c = topo.coord_of_octant(0)
+    assert (c.supernode, c.drawer) == (0, 0)
+    c = topo.coord_of_octant(3)
+    assert (c.supernode, c.drawer) == (0, 1)
+    c = topo.coord_of_octant(5)
+    assert (c.supernode, c.drawer) == (1, 0)
+
+
+def test_same_drawer_supernode_predicates(topo):
+    assert topo.same_drawer_octants(0, 1)
+    assert not topo.same_drawer_octants(0, 2)
+    assert topo.same_supernode_octants(0, 3)
+    assert not topo.same_supernode_octants(3, 4)
+
+
+def test_out_of_range_place_rejected(topo):
+    with pytest.raises(PlaceError):
+        topo.octant_of(40)
+    with pytest.raises(PlaceError):
+        topo.octant_of(-1)
+
+
+def test_too_many_places_rejected():
+    with pytest.raises(ReproError):
+        Topology(MachineConfig.small(), places=65)
+
+
+def test_full_machine_place_count():
+    topo = Topology(MachineConfig(), places=55_680)
+    assert topo.n_octants == 1740
+    assert topo.coord_of_octant(1739).supernode == 54  # 1739 // 32
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=25, deadline=None)
+def test_every_place_is_on_exactly_one_octant(places):
+    topo = Topology(MachineConfig.small(), places=places)
+    seen = []
+    for octant in range(topo.n_octants):
+        seen.extend(topo.places_on_octant(octant))
+    assert seen == list(range(places))

@@ -1,0 +1,21 @@
+"""Shared fixtures for runtime tests."""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.runtime import ApgasRuntime
+
+
+@pytest.fixture
+def small_config():
+    return MachineConfig.small()
+
+
+def make_runtime(places=16, **kwargs):
+    kwargs.setdefault("config", MachineConfig.small())
+    return ApgasRuntime(places=places, **kwargs)
+
+
+@pytest.fixture
+def rt():
+    return make_runtime()

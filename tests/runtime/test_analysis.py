@@ -1,0 +1,101 @@
+"""Tests for the prototype finish-selection compiler analysis."""
+
+from repro.runtime import Pragma, classify_function, suggest
+
+
+def test_single_remote_async_is_finish_async():
+    def body(ctx, p):
+        with ctx.finish() as f:
+            ctx.at_async(p, work)
+        yield f.wait()
+
+    assert suggest(body) is Pragma.FINISH_ASYNC
+
+
+def test_only_local_asyncs_is_finish_local():
+    def body(ctx, n):
+        with ctx.finish() as f:
+            for i in range(n):
+                ctx.async_(work, i)
+        yield f.wait()
+
+    assert suggest(body) is Pragma.FINISH_LOCAL
+
+
+def test_place_loop_is_finish_spmd():
+    def body(ctx):
+        with ctx.finish() as f:
+            for p in ctx.places():
+                ctx.at_async(p, work)
+        yield f.wait()
+
+    assert suggest(body) is Pragma.FINISH_SPMD
+
+
+def test_nested_place_loops_are_finish_dense():
+    def body(ctx):
+        with ctx.finish() as f:
+            for p in ctx.places():
+                for q in ctx.places():
+                    ctx.at_async(q, work, p)
+        yield f.wait()
+
+    assert suggest(body) is Pragma.FINISH_DENSE
+
+
+def test_unrecognized_pattern_stays_default():
+    def body(ctx, maybe):
+        with ctx.finish() as f:
+            ctx.at_async(1, work)
+            ctx.async_(work)  # mixed local + remote: not a known pattern
+        yield f.wait()
+
+    assert suggest(body) is Pragma.DEFAULT
+
+
+def test_multiple_sites_classified_independently():
+    def body(ctx):
+        with ctx.finish() as f1:
+            ctx.at_async(1, work)
+        yield f1.wait()
+        with ctx.finish() as f2:
+            for p in ctx.places():
+                ctx.at_async(p, work)
+        yield f2.wait()
+
+    sites = classify_function(body)
+    assert [s.suggestion for s in sites] == [Pragma.FINISH_ASYNC, Pragma.FINISH_SPMD]
+    assert sites[0].lineno < sites[1].lineno
+
+
+def test_nested_finish_sites_do_not_leak_into_outer():
+    def body(ctx):
+        with ctx.finish() as outer:
+            for p in ctx.places():
+                ctx.at_async(p, work)
+            with ctx.finish() as inner:
+                ctx.at_async(0, work)
+            yield inner.wait()
+        yield outer.wait()
+
+    sites = classify_function(body)
+    suggestions = {s.suggestion for s in sites}
+    # the outer site sees one loop (SPMD); the inner site is a single async
+    assert Pragma.FINISH_SPMD in suggestions
+    assert Pragma.FINISH_ASYNC in suggestions
+
+
+def test_source_unavailable_returns_empty():
+    assert classify_function(len) == []
+    assert suggest(len) is None
+
+
+def test_function_without_finish_sites():
+    def body(ctx):
+        yield ctx.compute(seconds=1.0)
+
+    assert classify_function(body) == []
+
+
+def work(ctx, *args):
+    yield ctx.compute(seconds=1e-6)

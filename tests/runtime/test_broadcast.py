@@ -1,0 +1,120 @@
+"""Tests for PlaceGroup and the spawning-tree broadcast (paper Section 3.2)."""
+
+import pytest
+
+from repro.errors import ApgasError
+from repro.runtime import PlaceGroup, broadcast_spawn, sequential_spawn
+
+from tests.runtime.conftest import make_runtime
+
+
+def test_place_group_world():
+    rt = make_runtime(places=10)
+    group = PlaceGroup.world(rt)
+    assert list(group) == list(range(10))
+    assert len(group) == 10
+    assert group[3] == 3
+    assert group.index_of(7) == 7
+
+
+def test_place_group_validation():
+    with pytest.raises(ApgasError, match="distinct"):
+        PlaceGroup([1, 1])
+    with pytest.raises(ApgasError, match="empty"):
+        PlaceGroup([])
+
+
+def test_broadcast_runs_body_once_everywhere():
+    rt = make_runtime(places=16)
+    visited = []
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+
+    def body(ctx):
+        visited.append(ctx.here)
+        yield ctx.compute(seconds=1e-6)
+
+    rt.run(main)
+    assert sorted(visited) == list(range(16))
+
+
+def test_broadcast_supports_plain_function_bodies():
+    rt = make_runtime(places=8)
+    visited = []
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), lambda c: visited.append(c.here))
+
+    rt.run(main)
+    assert sorted(visited) == list(range(8))
+
+
+def test_broadcast_passes_arguments():
+    rt = make_runtime(places=4)
+    got = {}
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body, 7, "x")
+
+    def body(ctx, a, b):
+        got[ctx.here] = (a, b)
+
+    rt.run(main)
+    assert got == {p: (7, "x") for p in range(4)}
+
+
+def test_broadcast_over_subgroup():
+    rt = make_runtime(places=16)
+    visited = []
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup([3, 6, 9, 12]), body)
+
+    def body(ctx):
+        visited.append(ctx.here)
+
+    rt.run(main)
+    assert sorted(visited) == [3, 6, 9, 12]
+
+
+def test_tree_beats_sequential_root_spawning():
+    """The spawning tree parallelizes task-creation overhead: the root place
+    of the sequential version serializes every spawn on its own NIC."""
+
+    def run(spawner, places):
+        rt = make_runtime(places=places)
+        group = None
+
+        def main(ctx):
+            yield from spawner(ctx, PlaceGroup.world(rt), body)
+
+        def body(ctx):
+            yield ctx.compute(seconds=1e-6)
+
+        rt.run(main)
+        return rt.now
+
+    places = 64
+    tree = run(broadcast_spawn, places)
+    seq = run(sequential_spawn, places)
+    assert tree < seq
+
+
+def test_sequential_floods_root_nic():
+    rt = make_runtime(places=64)
+
+    def main(ctx):
+        yield from sequential_spawn(ctx, PlaceGroup.world(rt), lambda c: None)
+
+    rt.run(main)
+    root_injections = rt.network.injection(0).reservations
+    assert root_injections >= 60  # every spawn leaves from octant 0
+
+    rt2 = make_runtime(places=64)
+
+    def main2(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(rt2), lambda c: None)
+
+    rt2.run(main2)
+    assert rt2.network.injection(0).reservations < root_injections / 3

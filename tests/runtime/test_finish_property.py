@@ -1,0 +1,129 @@
+"""Property-based tests: finish quiescence under randomized task trees.
+
+The fundamental soundness property of any finish implementation: the wait
+event fires exactly when every transitively spawned activity has terminated —
+never earlier (no lost tasks) and always eventually (no lost quiescence).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import MachineConfig
+from repro.runtime import ApgasRuntime, Pragma
+
+PLACES = 16
+
+# a task tree: each node spawns children at derived places with tiny computes
+tree_strategy = st.recursive(
+    st.integers(0, PLACES - 1),
+    lambda children: st.tuples(
+        st.integers(0, PLACES - 1), st.lists(children, min_size=0, max_size=3)
+    ),
+    max_leaves=12,
+)
+
+
+def normalize(tree):
+    """leaf int -> (place, []) so every node is (place, children)."""
+    if isinstance(tree, int):
+        return (tree, [])
+    place, children = tree
+    return (place, [normalize(c) for c in children])
+
+
+def spawn_tree(ctx, node, log):
+    place, children = node
+    for child in children:
+        ctx.at_async(child[0], spawn_tree, child, log)
+    yield ctx.compute(seconds=1e-6)
+    log.append(ctx.here)
+
+
+def count_nodes(node):
+    return 1 + sum(count_nodes(c) for c in node[1])
+
+
+@given(tree_strategy)
+@settings(max_examples=40, deadline=None)
+def test_default_finish_waits_for_whole_random_tree(tree):
+    tree = normalize(tree)
+    rt = ApgasRuntime(places=PLACES, config=MachineConfig.small())
+    log = []
+    after_wait = {}
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.at_async(tree[0], spawn_tree, tree, log)
+        yield f.wait()
+        after_wait["count"] = len(log)
+        after_wait["quiescent"] = f.quiescent
+
+    rt.run(main)
+    expected = count_nodes(tree)
+    # no early trigger: every node had terminated when wait() fired
+    assert after_wait["count"] == expected
+    assert after_wait["quiescent"]
+
+
+@given(tree_strategy)
+@settings(max_examples=25, deadline=None)
+def test_dense_finish_equivalent_to_default_on_random_trees(tree):
+    tree = normalize(tree)
+
+    def run(pragma):
+        rt = ApgasRuntime(places=PLACES, config=MachineConfig.small())
+        log = []
+        seen = {}
+
+        def main(ctx):
+            with ctx.finish(pragma) as f:
+                ctx.at_async(tree[0], spawn_tree, tree, log)
+            yield f.wait()
+            seen["count"] = len(log)
+
+        rt.run(main)
+        return seen["count"]
+
+    expected = count_nodes(tree)
+    assert run(Pragma.DEFAULT) == expected
+    assert run(Pragma.FINISH_DENSE) == expected
+
+
+@given(st.lists(st.integers(0, PLACES - 1), min_size=0, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_spmd_finish_counts_flat_fanout(places_to_spawn):
+    rt = ApgasRuntime(places=PLACES, config=MachineConfig.small())
+    log = []
+
+    def leaf(ctx):
+        log.append(ctx.here)
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_SPMD) as f:
+            for p in places_to_spawn:
+                ctx.at_async(p, leaf)
+        yield f.wait()
+        return len(log)
+
+    assert rt.run(main) == len(places_to_spawn)
+
+
+@given(st.integers(1, 40))
+@settings(max_examples=20, deadline=None)
+def test_local_finish_counts_local_fanout(n):
+    rt = ApgasRuntime(places=4, config=MachineConfig.small())
+    log = []
+
+    def leaf(ctx):
+        log.append(1)
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_LOCAL) as f:
+            for _ in range(n):
+                ctx.async_(leaf)
+        yield f.wait()
+        return len(log)
+
+    assert rt.run(main) == n

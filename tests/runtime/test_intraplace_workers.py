@@ -1,0 +1,94 @@
+"""Tests for intra-place concurrency (workers_per_place > 1).
+
+The paper runs every benchmark with one worker per place (X10_NTHREADS=1)
+and notes that "a more natural APGAS implementation would take advantage of
+intra-place concurrency, run with only one or a few places per host, and
+probably perform marginally better" — the multi-worker scheduler implements
+that future-work mode.
+"""
+
+import pytest
+
+from repro.errors import ApgasError
+from repro.machine import MachineConfig
+from repro.machine.resources import MultiLaneResource
+from repro.runtime import ApgasRuntime, Pragma
+
+
+def fan_out_compute(rt, tasks, seconds):
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_LOCAL) as f:
+            for _ in range(tasks):
+                ctx.async_(lambda c: (yield c.compute(seconds=seconds)))
+        yield f.wait()
+
+    rt.run(main)
+    return rt.now
+
+
+def test_single_worker_serializes_concurrent_activities():
+    rt = ApgasRuntime(places=1, config=MachineConfig.small())
+    elapsed = fan_out_compute(rt, tasks=4, seconds=0.25)
+    assert elapsed == pytest.approx(1.0, rel=0.01)
+
+
+def test_four_workers_overlap_four_activities():
+    rt = ApgasRuntime(places=1, config=MachineConfig.small(), workers_per_place=4)
+    elapsed = fan_out_compute(rt, tasks=4, seconds=0.25)
+    assert elapsed == pytest.approx(0.25, rel=0.01)
+
+
+def test_excess_tasks_queue_on_lanes():
+    rt = ApgasRuntime(places=1, config=MachineConfig.small(), workers_per_place=4)
+    elapsed = fan_out_compute(rt, tasks=10, seconds=0.1)
+    assert elapsed == pytest.approx(0.3, rel=0.01)  # ceil(10/4) waves
+
+
+def test_busy_time_accounts_all_lanes():
+    rt = ApgasRuntime(places=1, config=MachineConfig.small(), workers_per_place=4)
+    fan_out_compute(rt, tasks=8, seconds=0.5)
+    assert rt.place(0).busy_time() == pytest.approx(4.0)
+
+
+def test_fork_join_fib_speeds_up_with_workers():
+    def run(workers):
+        rt = ApgasRuntime(places=1, config=MachineConfig.small(), workers_per_place=workers)
+
+        def fib(ctx, n):
+            if n < 2:
+                yield ctx.compute(seconds=1e-3)
+                return n
+            box = {}
+
+            def left(c):
+                box["l"] = yield from fib(c, n - 1)
+
+            with ctx.finish(Pragma.FINISH_LOCAL) as f:
+                ctx.async_(left)
+                right = yield from fib(ctx, n - 2)
+            yield f.wait()
+            return box["l"] + right
+
+        assert rt.run(fib, 8) == 21
+        return rt.now
+
+    serial = run(1)
+    parallel = run(8)
+    assert parallel < serial / 3
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ApgasError, match="workers_per_place"):
+        ApgasRuntime(places=1, config=MachineConfig.small(), workers_per_place=0)
+    with pytest.raises(ValueError):
+        MultiLaneResource(0)
+
+
+def test_multilane_resource_picks_least_busy_lane():
+    res = MultiLaneResource(2)
+    assert res.reserve(0.0, 1.0) == 1.0
+    assert res.reserve(0.0, 1.0) == 1.0  # second lane
+    assert res.reserve(0.0, 1.0) == 2.0  # back on lane one
+    assert res.busy_until == 2.0
+    assert res.total_busy == 3.0
+    assert res.utilization(2.0) == pytest.approx(0.75)

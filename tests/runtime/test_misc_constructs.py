@@ -1,0 +1,190 @@
+"""Tests for GlobalRef, Cell, Clock, atomic/when, mailboxes, jitter."""
+
+import pytest
+
+from repro.errors import ApgasError
+from repro.machine import MachineConfig
+from repro.runtime import ApgasRuntime, Cell, Clock, GlobalRef, PlaceGroup, Pragma, broadcast_spawn
+
+from tests.runtime.conftest import make_runtime
+
+
+def test_global_ref_resolves_at_home():
+    rt = make_runtime()
+
+    def main(ctx):
+        ref = GlobalRef(ctx.here, {"data": 1})
+        value = ref.resolve(ctx)
+        yield ctx.compute(seconds=1e-6)
+        return value["data"]
+
+    assert rt.run(main) == 1
+
+
+def test_global_ref_rejects_remote_dereference():
+    rt = make_runtime()
+
+    def main(ctx):
+        ref = GlobalRef(ctx.here, "secret")
+        result = yield ctx.at(5, try_deref, ref)
+        return result
+
+    def try_deref(ctx, ref):
+        with pytest.raises(ApgasError, match="home"):
+            ref.resolve(ctx)
+        return "checked"
+
+    assert rt.run(main) == "checked"
+
+
+def test_average_load_idiom():
+    """The paper's Section 2 example: GlobalRef + atomic accumulation."""
+    rt = make_runtime(places=8)
+
+    def main(ctx):
+        acc = Cell(0.0)
+        ref = GlobalRef(ctx.here, acc)
+        with ctx.finish() as f:
+            for p in ctx.places():
+                ctx.at_async(p, report_load, ref)
+        yield f.wait()
+        return acc() / ctx.n_places
+
+    def report_load(ctx, ref):
+        load = float(ctx.here)  # stand-in for MyUtils.systemLoad()
+        ctx.at_async(ref.home, accumulate, ref, load)
+        yield ctx.compute(seconds=1e-6)
+
+    def accumulate(ctx, ref, load):
+        cell = ref.resolve(ctx)
+        ctx.atomic(lambda: setattr(cell, "value", cell.value + load))
+
+    assert rt.run(main) == pytest.approx(sum(range(8)) / 8)
+
+
+def test_clocked_loop_synchronizes_places():
+    """The paper's clocked-finish example: loop iterations synchronized."""
+    rt = make_runtime(places=4)
+    trace = []
+
+    def main(ctx):
+        clock = Clock(rt)
+        for _ in ctx.places():
+            clock.register(ctx)
+        with ctx.finish() as f:
+            for p in ctx.places():
+                ctx.at_async(p, loop_body, clock)
+        yield f.wait()
+
+    def loop_body(ctx, clock):
+        for i in range(3):
+            yield ctx.compute(seconds=1e-4 * (ctx.here + 1))
+            trace.append((i, ctx.here))
+            yield clock.advance(ctx)
+
+    rt.run(main)
+    # all places finish iteration i before any place starts iteration i+1
+    iterations = [i for i, _ in trace]
+    assert iterations == sorted(iterations)
+    assert len(trace) == 12
+
+
+def test_clock_drop_releases_barrier():
+    rt = make_runtime(places=2)
+
+    def main(ctx):
+        clock = Clock(rt)
+        clock.register(ctx)
+        clock.register(ctx)
+        with ctx.finish() as f:
+            ctx.at_async(0, stayer, clock)
+            ctx.at_async(1, dropper, clock)
+        yield f.wait()
+        return clock.phase
+
+    def stayer(ctx, clock):
+        yield clock.advance(ctx)
+
+    def dropper(ctx, clock):
+        yield ctx.compute(seconds=1e-3)
+        clock.drop(ctx)
+
+    assert rt.run(main) == 1
+
+
+def test_when_blocks_until_condition():
+    rt = make_runtime()
+    state = {"ready": False}
+    proceeded_at = []
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_LOCAL) as f:
+            ctx.async_(waiter)
+            ctx.async_(setter)
+        yield f.wait()
+
+    def waiter(ctx):
+        yield from ctx.when(lambda: state["ready"])
+        assert state["ready"]  # the condition holds when we proceed
+        proceeded_at.append(ctx.now)
+
+    def setter(ctx):
+        yield ctx.compute(seconds=1e-3)
+        ctx.atomic(lambda: state.update(ready=True))
+
+    rt.run(main)
+    assert proceeded_at == [pytest.approx(1e-3)]  # blocked until the atomic ran
+
+
+def test_mailbox_send_recv():
+    rt = make_runtime()
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.at_async(5, receiver)
+            ctx.at_async(3, sender)
+        yield f.wait()
+
+    got = []
+
+    def receiver(ctx):
+        item = yield ctx.recv("channel")
+        got.append((ctx.here, item))
+
+    def sender(ctx):
+        ctx.send(5, "channel", {"work": 42})
+        yield ctx.compute(seconds=1e-6)
+
+    rt.run(main)
+    assert got == [(5, {"work": 42})]
+
+
+def test_try_recv_nonblocking():
+    rt = make_runtime()
+
+    def main(ctx):
+        ok, _ = ctx.try_recv("empty")
+        assert not ok
+        ctx.send(0, "box", "hello")
+        yield ctx.sleep(1e-3)  # message needs delivery time
+        ok, item = ctx.try_recv("box")
+        return ok, item
+
+    assert rt.run(main) == (True, "hello")
+
+
+def test_jitter_slows_statically_scheduled_work():
+    def run(jitter):
+        cfg = MachineConfig.small(jitter_fraction=jitter, seed=3)
+        rt = ApgasRuntime(places=16, config=cfg)
+
+        def main(ctx):
+            yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+
+        def body(ctx):
+            yield ctx.compute(seconds=1.0)
+
+        rt.run(main)
+        return rt.now
+
+    assert run(0.05) > run(0.0)

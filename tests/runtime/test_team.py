@@ -1,0 +1,213 @@
+"""Tests for Team collectives (x10.util.Team)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ApgasError
+from repro.runtime import PlaceGroup, Pragma, Team, broadcast_spawn
+
+from tests.runtime.conftest import make_runtime
+
+
+def run_team_program(rt, members, body):
+    """Launch one activity per member running body(ctx, team); returns results by rank."""
+    team = Team(rt, members)
+    results = {}
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_SPMD) as f:
+            for rank, p in enumerate(members):
+                ctx.at_async(p, member, rank)
+        yield f.wait()
+
+    def member(ctx, rank):
+        results[rank] = yield from body(ctx, team)
+
+    rt.run(main)
+    return [results[r] for r in range(len(members))]
+
+
+def test_barrier_synchronizes_members():
+    rt = make_runtime()
+    members = [0, 3, 8, 12]
+    arrivals = []
+
+    def body(ctx, team):
+        yield ctx.compute(seconds=1e-3 * (ctx.here + 1))
+        yield team.barrier(ctx)
+        arrivals.append(ctx.now)
+        return ctx.now
+
+    times = run_team_program(rt, members, body)
+    # everyone leaves the barrier at (nearly) the same instant, after the slowest
+    assert max(times) - min(times) < 1e-9
+    assert min(times) >= 13e-3
+
+
+def test_allreduce_scalar_sum():
+    rt = make_runtime()
+    members = [0, 1, 2, 3]
+
+    def body(ctx, team):
+        total = yield team.allreduce(ctx, ctx.here + 1)
+        return total
+
+    assert run_team_program(rt, members, body) == [10, 10, 10, 10]
+
+
+def test_allreduce_numpy_elementwise():
+    rt = make_runtime()
+    members = [0, 4, 8]
+
+    def body(ctx, team):
+        vec = np.array([1.0, float(ctx.here)])
+        total = yield team.allreduce(ctx, vec)
+        return total
+
+    results = run_team_program(rt, members, body)
+    for r in results:
+        np.testing.assert_allclose(r, [3.0, 12.0])
+
+
+def test_allreduce_does_not_mutate_inputs():
+    rt = make_runtime()
+    members = [0, 1]
+    inputs = {}
+
+    def body(ctx, team):
+        vec = np.ones(3)
+        inputs[ctx.here] = vec
+        yield team.allreduce(ctx, vec)
+        return None
+
+    run_team_program(rt, members, body)
+    for vec in inputs.values():
+        np.testing.assert_allclose(vec, 1.0)
+
+
+def test_allreduce_max_operator():
+    rt = make_runtime()
+    members = [0, 1, 2]
+
+    def body(ctx, team):
+        return (yield team.allreduce(ctx, ctx.here * 10, op=np.maximum))
+
+    assert run_team_program(rt, members, body) == [20, 20, 20]
+
+
+def test_broadcast_from_root():
+    rt = make_runtime()
+    members = [2, 5, 7]
+
+    def body(ctx, team):
+        value = "payload" if ctx.here == 5 else None
+        return (yield team.broadcast(ctx, value, root=5))
+
+    assert run_team_program(rt, members, body) == ["payload"] * 3
+
+
+def test_reduce_only_root_receives():
+    rt = make_runtime()
+    members = [0, 1, 2, 3]
+
+    def body(ctx, team):
+        return (yield team.reduce(ctx, 1, root=2))
+
+    assert run_team_program(rt, members, body) == [None, None, 4, None]
+
+
+def test_allgather_in_rank_order():
+    rt = make_runtime()
+    members = [4, 0, 9]
+
+    def body(ctx, team):
+        return (yield team.allgather(ctx, ctx.here))
+
+    assert run_team_program(rt, members, body) == [[4, 0, 9]] * 3
+
+
+def test_scatter():
+    rt = make_runtime()
+    members = [0, 1, 2]
+
+    def body(ctx, team):
+        values = ["a", "b", "c"] if ctx.here == 0 else None
+        return (yield team.scatter(ctx, values, root=0))
+
+    assert run_team_program(rt, members, body) == ["a", "b", "c"]
+
+
+def test_alltoall_transpose_semantics():
+    rt = make_runtime()
+    members = [0, 1, 2]
+
+    def body(ctx, team):
+        rank = team.rank(ctx.here)
+        outgoing = [f"{rank}->{dst}" for dst in range(3)]
+        return (yield team.alltoall(ctx, outgoing))
+
+    results = run_team_program(rt, members, body)
+    assert results[0] == ["0->0", "1->0", "2->0"]
+    assert results[2] == ["0->2", "1->2", "2->2"]
+
+
+def test_successive_collectives_keep_order():
+    rt = make_runtime()
+    members = [0, 1]
+
+    def body(ctx, team):
+        a = yield team.allreduce(ctx, 1)
+        yield team.barrier(ctx)
+        b = yield team.allreduce(ctx, 10)
+        return (a, b)
+
+    assert run_team_program(rt, members, body) == [(2, 20), (2, 20)]
+
+
+def test_mismatched_ops_rejected():
+    rt = make_runtime()
+    team = Team(rt, [0, 1])
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.at_async(0, a)
+            ctx.at_async(1, b)
+        yield f.wait()
+
+    def a(ctx):
+        yield team.barrier(ctx)
+
+    def b(ctx):
+        yield team.allreduce(ctx, 1)
+
+    with pytest.raises(ApgasError, match="mismatch"):
+        rt.run(main)
+
+
+def test_non_member_rejected():
+    rt = make_runtime()
+    team = Team(rt, [1, 2])
+    with pytest.raises(ApgasError, match="not a member"):
+        team.rank(5)
+
+
+def test_duplicate_members_rejected():
+    rt = make_runtime()
+    with pytest.raises(ApgasError, match="distinct"):
+        Team(rt, [0, 0, 1])
+
+
+def test_hw_collectives_faster_than_emulated():
+    def run_with(emulated):
+        rt = make_runtime(places=16, collectives_emulated=emulated)
+        members = list(range(16))
+
+        def body(ctx, team):
+            for _ in range(5):
+                yield team.allreduce(ctx, np.ones(1024))
+            return None
+
+        run_team_program(rt, members, body)
+        return rt.now
+
+    assert run_with(False) < run_with(True)

@@ -1,0 +1,55 @@
+"""Tests for Team.split (sub-team construction by color)."""
+
+import pytest
+
+from repro.errors import ApgasError
+from repro.runtime import Pragma, Team
+
+from tests.runtime.conftest import make_runtime
+
+
+def test_split_partitions_by_color():
+    rt = make_runtime()
+    world = Team(rt, list(range(8)))
+    subs = world.split(lambda p: p % 2)
+    assert sorted(subs) == [0, 1]
+    assert subs[0].members == [0, 2, 4, 6]
+    assert subs[1].members == [1, 3, 5, 7]
+
+
+def test_split_preserves_rank_order():
+    rt = make_runtime()
+    team = Team(rt, [5, 3, 1, 7])
+    subs = team.split(lambda p: "odd")
+    assert subs["odd"].members == [5, 3, 1, 7]
+
+
+def test_split_teams_are_functional():
+    """HPL's idiom: row teams via split, concurrent row reductions."""
+    rt = make_runtime()
+    world = Team(rt, list(range(8)))
+    rows = world.split(lambda p: p // 4)
+    results = {}
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_SPMD) as f:
+            for p in range(8):
+                ctx.at_async(p, member)
+        yield f.wait()
+
+    def member(ctx):
+        row = rows[ctx.here // 4]
+        total = yield row.allreduce(ctx, ctx.here)
+        results[ctx.here] = total
+
+    rt.run(main)
+    assert all(results[p] == 0 + 1 + 2 + 3 for p in range(4))
+    assert all(results[p] == 4 + 5 + 6 + 7 for p in range(4, 8))
+
+
+def test_split_singleton_colors():
+    rt = make_runtime()
+    team = Team(rt, [0, 1, 2])
+    subs = team.split(lambda p: p)
+    assert len(subs) == 3
+    assert all(sub.size == 1 for sub in subs.values())

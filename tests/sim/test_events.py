@@ -1,0 +1,54 @@
+"""Unit tests for SimEvent."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimEvent
+
+
+def test_trigger_delivers_value():
+    ev = SimEvent("e")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    ev.trigger(42)
+    assert seen == [42]
+    assert ev.fired
+    assert ev.value == 42
+
+
+def test_callback_after_fire_runs_immediately():
+    ev = SimEvent()
+    ev.trigger("done")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["done"]
+
+
+def test_double_trigger_rejected():
+    ev = SimEvent()
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_value_before_fire_rejected():
+    with pytest.raises(SimulationError):
+        SimEvent("pending").value
+
+
+def test_fail_reraises_for_readers():
+    ev = SimEvent()
+    ev.fail(ValueError("bad"))
+    with pytest.raises(ValueError, match="bad"):
+        ev.value
+
+
+def test_callbacks_run_in_registration_order():
+    ev = SimEvent()
+    order = []
+    ev.add_callback(lambda e: order.append(1))
+    ev.add_callback(lambda e: order.append(2))
+    ev.trigger()
+    assert order == [1, 2]

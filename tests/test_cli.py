@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_kernels_lists_all_eight():
+    code, text = run_cli("kernels")
+    assert code == 0
+    assert len(text.split()) == 8
+    assert "uts" in text and "hpl" in text
+
+
+def test_run_kernel():
+    code, text = run_cli("run", "stream", "--places", "4")
+    assert code == 0
+    assert "aggregate" in text
+    assert "verified      : True" in text
+
+
+def test_run_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        run_cli("run", "linpack")
+
+
+def test_figure_model_only():
+    code, text = run_cli("figure", "uts", "--no-sim")
+    assert code == 0
+    assert "paper anchors" in text
+    assert "sim" not in text.split("source")[1].split("paper")[0]
+
+
+def test_tables():
+    code, text = run_cli("tables", )
+    assert code == 0
+    assert "Table 1" in text and "Table 2" in text
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        run_cli()

@@ -1,0 +1,104 @@
+"""Tests for RDMA, GUPS, and the TLB/large-page model."""
+
+import pytest
+
+from repro.errors import RegistrationError, TransportError
+from repro.machine import MachineConfig, Topology
+from repro.sim import Engine
+from repro.xrt import MemRegion, MemoryRegistry, PamiTransport, RdmaEngine, SocketsTransport
+from repro.xrt.rdma import tlb_factor
+
+
+def make_engine(places=16):
+    eng = Engine()
+    cfg = MachineConfig.small()
+    tr = PamiTransport(eng, cfg, Topology(cfg, places=places))
+    registry = MemoryRegistry()
+    return eng, cfg, RdmaEngine(tr, registry), registry
+
+
+def region(registry, place, nbytes, page_bytes, register=True):
+    r = MemRegion(place=place, nbytes=nbytes, page_bytes=page_bytes)
+    if register:
+        registry.register(r)
+    return r
+
+
+def test_put_between_registered_regions():
+    eng, cfg, rdma, reg = make_engine()
+    src = region(reg, 0, 1 << 20, cfg.large_page_bytes)
+    dst = region(reg, 8, 1 << 20, cfg.large_page_bytes)
+    ev = rdma.put(src, dst, 1 << 20)
+    eng.run()
+    assert ev.fired
+
+
+def test_unregistered_region_rejected():
+    _, cfg, rdma, reg = make_engine()
+    src = region(reg, 0, 1024, cfg.large_page_bytes)
+    dst = region(reg, 8, 1024, cfg.large_page_bytes, register=False)
+    with pytest.raises(RegistrationError, match="not registered"):
+        rdma.put(src, dst, 1024)
+
+
+def test_oversize_transfer_rejected():
+    _, cfg, rdma, reg = make_engine()
+    src = region(reg, 0, 1024, cfg.large_page_bytes)
+    dst = region(reg, 8, 512, cfg.large_page_bytes)
+    with pytest.raises(TransportError, match="exceeds region sizes"):
+        rdma.put(src, dst, 1024)
+
+
+def test_sockets_transport_has_no_rdma():
+    eng = Engine()
+    cfg = MachineConfig.small()
+    tr = SocketsTransport(eng, cfg, Topology(cfg, places=16))
+    with pytest.raises(TransportError, match="no RDMA support"):
+        RdmaEngine(tr, MemoryRegistry())
+
+
+def test_tlb_factor_streaming_is_one():
+    cfg = MachineConfig()
+    big = MemRegion(place=0, nbytes=2 << 30, page_bytes=cfg.small_page_bytes)
+    assert tlb_factor(cfg, big, random_access=False) == 1.0
+
+
+def test_tlb_factor_small_pages_random_access_collapses():
+    """Paper: large pages are *essential* for RandomAccess."""
+    cfg = MachineConfig()
+    nbytes = 2 << 30  # 2 GB table per place
+    small = MemRegion(place=0, nbytes=nbytes, page_bytes=cfg.small_page_bytes)
+    large = MemRegion(place=0, nbytes=nbytes, page_bytes=cfg.large_page_bytes)
+    assert tlb_factor(cfg, large, random_access=True) == 1.0
+    assert tlb_factor(cfg, small, random_access=True) > 10.0
+
+
+def test_gups_with_large_pages_much_faster():
+    eng1, cfg, rdma1, reg1 = make_engine()
+    t_small = region(reg1, 8, 2 << 30, cfg.small_page_bytes)
+    rdma1.gups(0, t_small, n_updates=100_000)
+    eng1.run()
+    slow = eng1.now
+
+    eng2, cfg2, rdma2, reg2 = make_engine()
+    t_large = region(reg2, 8, 2 << 30, cfg2.large_page_bytes)
+    rdma2.gups(0, t_large, n_updates=100_000)
+    eng2.run()
+    fast = eng2.now
+    assert slow > 5 * fast
+
+
+def test_gups_requires_positive_batch():
+    _, cfg, rdma, reg = make_engine()
+    dst = region(reg, 8, 1 << 20, cfg.large_page_bytes)
+    with pytest.raises(TransportError):
+        rdma.gups(0, dst, n_updates=0)
+
+
+def test_region_page_count():
+    r = MemRegion(place=0, nbytes=100, page_bytes=64)
+    assert r.pages == 2
+    r = MemRegion(place=0, nbytes=128, page_bytes=64)
+    assert r.pages == 2
+    r = MemRegion(place=0, nbytes=1, page_bytes=64)
+    assert r.pages == 1

@@ -1,0 +1,52 @@
+"""Tests for payload size estimation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xrt import estimate_nbytes
+from repro.xrt.serialization import _OVERHEAD_BYTES
+
+
+def test_none_costs_only_envelope():
+    assert estimate_nbytes(None) == _OVERHEAD_BYTES
+
+
+def test_numpy_array_counts_buffer():
+    arr = np.zeros(1000, dtype=np.float64)
+    assert estimate_nbytes(arr) == _OVERHEAD_BYTES + 8000
+
+
+def test_scalars_count_one_word():
+    assert estimate_nbytes(5) == _OVERHEAD_BYTES + 8
+    assert estimate_nbytes(2.5) == _OVERHEAD_BYTES + 8
+    assert estimate_nbytes(np.float32(1.0)) == _OVERHEAD_BYTES + 8
+
+
+def test_containers_recurse():
+    payload = [np.zeros(10, dtype=np.int64), 1, "abc"]
+    assert estimate_nbytes(payload) == _OVERHEAD_BYTES + 80 + 8 + 3
+
+
+def test_dict_counts_keys_and_values():
+    assert estimate_nbytes({"k": 1.0}) == _OVERHEAD_BYTES + 1 + 8
+
+
+def test_custom_serialized_nbytes_attribute():
+    class Work:
+        serialized_nbytes = 123
+
+    assert estimate_nbytes(Work()) == _OVERHEAD_BYTES + 123
+
+
+def test_unknown_objects_get_flat_cost():
+    class Opaque:
+        pass
+
+    assert estimate_nbytes(Opaque()) == _OVERHEAD_BYTES + 64
+
+
+@given(st.lists(st.integers(), max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_list_size_is_linear_in_length(xs):
+    assert estimate_nbytes(xs) == _OVERHEAD_BYTES + 8 * len(xs)
