@@ -4,6 +4,8 @@
 
     python -m repro.cli kernels                      # list kernels
     python -m repro.cli run uts --places 64          # one simulated run
+    python -m repro.cli run uts --places 64 --stats  # ... plus the metrics snapshot
+    python -m repro.cli trace uts --places 32        # traced run + protocol audit
     python -m repro.cli figure stream               # one Figure 1 panel
     python -m repro.cli tables                      # Tables 1 and 2
     python -m repro.cli report                      # the whole EXPERIMENTS body
@@ -18,6 +20,7 @@ from repro.harness.figures import figure1_panel, render_panel
 from repro.harness.reporting import si
 from repro.harness.runner import KERNELS, simulate
 from repro.harness.tables import render_table1, render_table2, table1, table2
+from repro.obs import audit_trace
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,6 +36,21 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate one kernel at one scale")
     run.add_argument("kernel", choices=KERNELS)
     run.add_argument("--places", type=int, default=32)
+    run.add_argument(
+        "--stats", action="store_true", help="print the metrics snapshot after the result"
+    )
+
+    trace = sub.add_parser("trace", help="run one kernel with event tracing and audit the trace")
+    trace.add_argument("kernel", choices=KERNELS)
+    trace.add_argument("--places", type=int, default=32)
+    trace.add_argument("--out", default=None, help="trace output path (default trace_<kernel>_<places>)")
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome trace_event JSON (default) or one event per line",
+    )
+    trace.add_argument("--no-audit", action="store_true", help="skip the protocol audit")
 
     fig = sub.add_parser("figure", help="regenerate one Figure 1 panel")
     fig.add_argument("kernel", choices=KERNELS)
@@ -62,7 +80,37 @@ def main(argv=None, out=sys.stdout) -> int:
         print(f"per core/host : {per}", file=out)
         if result.verified is not None:
             print(f"verified      : {result.verified}", file=out)
+        if args.stats:
+            snap = result.extra["metrics"]
+            print(file=out)
+            print("-- metrics --", file=out)
+            print(f"network msgs  : {int(snap.total('net.messages'))}", file=out)
+            print(f"network bytes : {int(snap.total('net.bytes'))}", file=out)
+            print(f"finish ctl    : {int(snap.total('finish.ctl_messages'))} msgs, "
+                  f"{int(snap.total('finish.ctl_bytes'))} bytes", file=out)
+            print(f"steals        : {int(snap.total('glb.steal_attempts'))} attempts, "
+                  f"{int(snap.total('glb.steals_ok'))} ok", file=out)
+            print(snap.render(), file=out)
         return 0 if result.verified is not False else 1
+
+    if args.command == "trace":
+        result = simulate(args.kernel, args.places, trace=True)
+        tracer = result.extra["trace"]
+        ext = "json" if args.format == "chrome" else "jsonl"
+        path = args.out or f"trace_{args.kernel}_{args.places}.{ext}"
+        if args.format == "chrome":
+            tracer.export_chrome(path)
+        else:
+            tracer.export_jsonl(path)
+        print(f"kernel        : {result.kernel}", file=out)
+        print(f"places        : {result.places}", file=out)
+        print(f"simulated time: {result.sim_time:.6f} s", file=out)
+        print(f"trace         : {len(tracer.events)} events -> {path}", file=out)
+        if args.no_audit:
+            return 0
+        report = audit_trace(tracer, places=args.places)
+        print(report.render(), file=out)
+        return 0 if report.passed else 1
 
     if args.command == "figure":
         panel = figure1_panel(args.kernel, include_sim=not args.no_sim)

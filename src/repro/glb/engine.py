@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import GlbError
@@ -14,8 +14,24 @@ from repro.runtime.runtime import ApgasRuntime
 from repro.sim.rng import RngStream
 
 
+#: the per-place counters GLB reports into the metrics registry
+_PLACE_METRICS = (
+    "processed",
+    "cost",
+    "steal_attempts",
+    "steals_ok",
+    "lifelines_sent",
+    "resuscitations",
+)
+
+
 class _PlaceState:
-    """GLB bookkeeping for one place."""
+    """GLB bookkeeping for one place.
+
+    The numeric counters live in the runtime's metrics registry
+    (``glb.<name>{place=p}``); this object holds the instrument references so
+    the work loop pays one method call per update.
+    """
 
     __slots__ = (
         "bag",
@@ -32,15 +48,11 @@ class _PlaceState:
         "rng",
     )
 
-    def __init__(self, bag: TaskBag, victims, lifelines, rng: RngStream) -> None:
+    def __init__(self, bag: TaskBag, victims, lifelines, rng: RngStream, metrics, place) -> None:
         self.bag = bag
         self.alive = False
-        self.processed = 0
-        self.cost = 0.0
-        self.steal_attempts = 0
-        self.steals_ok = 0
-        self.lifelines_sent = 0
-        self.resuscitations = 0
+        for name in _PLACE_METRICS:
+            setattr(self, name, metrics.counter(f"glb.{name}", place=place))
         self.lifeline_requests: list[int] = []
         self.victims = victims
         self.lifelines = lifelines
@@ -113,14 +125,23 @@ class Glb:
                 f"choose from {sorted(GRAPHS)}"
             ) from None
         n = rt.n_places
+        metrics = rt.obs.metrics
+        self._tracer = rt.obs.trace
         self.state = [
             _PlaceState(
                 bag=make_empty_bag(),
                 victims=victim_set(n, p, self.config.max_victims, self.config.seed),
                 lifelines=graph(n, p),
                 rng=RngStream(self.config.seed, f"glb/steal/{p}"),
+                metrics=metrics,
+                place=p,
             )
             for p in range(n)
+        ]
+        # counters are shared across Glb instances on the same runtime, so a
+        # snapshot at construction lets stats() report this run's deltas only
+        self._base = [
+            {name: getattr(st, name).value for name in _PLACE_METRICS} for st in self.state
         ]
         self._root_finish = None
 
@@ -132,19 +153,24 @@ class Glb:
         return self.stats()
 
     def stats(self) -> GlbStats:
-        """Aggregate statistics of the (completed) run."""
-        per_place = [st.processed for st in self.state]
+        """Aggregate statistics of the (completed) run, read from the registry."""
+
+        def delta(place: int, name: str):
+            return getattr(self.state[place], name).value - self._base[place][name]
+
+        n = self.rt.n_places
+        per_place = [int(delta(p, "processed")) for p in range(n)]
         return GlbStats(
-            places=self.rt.n_places,
+            places=n,
             total_processed=sum(per_place),
             makespan=self.rt.now,
             processed_per_place=per_place,
-            steal_attempts=sum(st.steal_attempts for st in self.state),
-            steals_ok=sum(st.steals_ok for st in self.state),
-            lifelines_sent=sum(st.lifelines_sent for st in self.state),
-            resuscitations=sum(st.resuscitations for st in self.state),
+            steal_attempts=int(sum(delta(p, "steal_attempts") for p in range(n))),
+            steals_ok=int(sum(delta(p, "steals_ok") for p in range(n))),
+            lifelines_sent=int(sum(delta(p, "lifelines_sent") for p in range(n))),
+            resuscitations=int(sum(delta(p, "resuscitations") for p in range(n))),
             ctl_messages=self._root_finish.ctl_messages if self._root_finish else 0,
-            total_cost=sum(st.cost for st in self.state),
+            total_cost=sum(delta(p, "cost") for p in range(n)),
         )
 
     # -- program structure ---------------------------------------------------------------
@@ -168,8 +194,8 @@ class Glb:
                 n = bag.process(self.config.prime_items)
                 cost = bag.last_process_cost()
                 cost = float(n) if cost is None else cost
-                st.processed += n
-                st.cost += cost
+                st.processed.inc(n)
+                st.cost.inc(cost)
                 if cost:
                     yield ctx.compute(seconds=cost / self.process_rate)
                 part = bag.split()
@@ -199,8 +225,8 @@ class Glb:
                 n = st.bag.process(cfg.chunk_items)
                 cost = st.bag.last_process_cost()
                 cost = float(n) if cost is None else cost
-                st.processed += n
-                st.cost += cost
+                st.processed.inc(n)
+                st.cost.inc(cost)
                 if cost:
                     yield ctx.compute(seconds=cost / self.process_rate)
                 self._serve_lifelines(ctx, st)
@@ -210,7 +236,12 @@ class Glb:
                 continue
             # ...then lifeline requests, and death
             for neighbor in st.lifelines:
-                st.lifelines_sent += 1
+                st.lifelines_sent.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "glb.lifeline", "glb", ctx.here, ctx.now,
+                        thief=ctx.here, neighbor=neighbor,
+                    )
                 ctx.at_async(neighbor, self._lifeline_request, ctx.here)
             if not st.bag.is_empty():
                 continue  # loot landed while we were out stealing
@@ -220,12 +251,22 @@ class Glb:
     def _random_steal(self, ctx, st: _PlaceState):
         if len(st.victims) == 0:
             return False
+        tracer = self._tracer
         for _ in range(self.config.random_attempts):
             victim = int(st.victims[int(st.rng.integers(0, len(st.victims)))])
-            st.steal_attempts += 1
+            st.steal_attempts.inc()
+            if tracer.enabled:
+                tracer.instant(
+                    "glb.steal", "glb", ctx.here, ctx.now, thief=ctx.here, victim=victim
+                )
             loot = yield ctx.at(victim, self._try_steal)
+            if tracer.enabled:
+                tracer.instant(
+                    "glb.steal_result", "glb", ctx.here, ctx.now,
+                    thief=ctx.here, victim=victim, ok=loot is not None,
+                )
             if loot is not None:
-                st.steals_ok += 1
+                st.steals_ok.inc()
                 st.bag.merge(loot)
                 return True
         return False
@@ -261,6 +302,11 @@ class Glb:
             self._ship(ctx, thief, loot)
 
     def _ship(self, ctx, thief: int, loot: TaskBag) -> None:
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "glb.loot", "glb", ctx.here, ctx.now,
+                src=ctx.here, thief=thief, nbytes=loot.serialized_nbytes,
+            )
         ctx.at_async(thief, self._receive_loot, loot, nbytes=loot.serialized_nbytes)
 
     def _receive_loot(self, tctx, loot: TaskBag):
@@ -269,6 +315,8 @@ class Glb:
             st.bag.merge(loot)
             return
         st.alive = True
-        st.resuscitations += 1
+        st.resuscitations.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("glb.resuscitation", "glb", tctx.here, tctx.now)
         st.bag.merge(loot)
         yield from self._work_loop(tctx, st)

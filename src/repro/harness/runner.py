@@ -14,26 +14,45 @@ from repro.errors import KernelError
 from repro.glb import GlbConfig
 from repro.harness.results import KernelResult
 from repro.machine.config import MachineConfig
+from repro.obs import Observability
 from repro.runtime.runtime import ApgasRuntime
 
 
-def make_runtime(places: int, config: Optional[MachineConfig] = None, **overrides) -> ApgasRuntime:
-    """A runtime on the full Power 775 constants (``overrides`` patch the config)."""
+def make_runtime(
+    places: int, config: Optional[MachineConfig] = None, trace: bool = False, **overrides
+) -> ApgasRuntime:
+    """A runtime on the full Power 775 constants (``overrides`` patch the config).
+
+    ``trace=True`` enables the event tracer (``rt.obs.trace``).
+    """
     cfg = config or MachineConfig()
     if overrides:
         cfg = cfg.with_(**overrides)
-    return ApgasRuntime(places=places, config=cfg)
+    return ApgasRuntime(places=places, config=cfg, obs=Observability(trace=trace))
 
 
 def simulate(
-    kernel: str, places: int, config: Optional[MachineConfig] = None, **kwargs
+    kernel: str,
+    places: int,
+    config: Optional[MachineConfig] = None,
+    trace: bool = False,
+    **kwargs,
 ) -> KernelResult:
-    """Run one kernel at one scale inside the simulator."""
+    """Run one kernel at one scale inside the simulator.
+
+    Every result carries a metrics snapshot in ``extra["metrics"]``; with
+    ``trace=True`` the populated tracer rides in ``extra["trace"]``.
+    """
     try:
         runner = _RUNNERS[kernel]
     except KeyError:
         raise KernelError(f"unknown kernel {kernel!r}; choose from {sorted(_RUNNERS)}") from None
-    return runner(make_runtime(places, config), **kwargs)
+    rt = make_runtime(places, config, trace=trace)
+    result = runner(rt, **kwargs)
+    result.extra["metrics"] = rt.obs.metrics.snapshot()
+    if trace:
+        result.extra["trace"] = rt.obs.trace
+    return result
 
 
 def _stream(rt, **kw):

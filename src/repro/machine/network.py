@@ -4,13 +4,14 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import TransportError
 from repro.machine.config import MachineConfig
 from repro.machine.resources import SerialResource
 from repro.machine.routing import LinkClass, link_bandwidth, resolve
 from repro.machine.topology import Topology
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.events import SimEvent
 
@@ -23,14 +24,35 @@ class TransferKind(enum.Enum):
     GUPS = "gups"  # batched remote atomic updates (Torrent GUPS engine)
 
 
-@dataclass
 class NetworkStats:
-    """Aggregate traffic counters, used by tests to assert message complexity."""
+    """Aggregate traffic counters, used by tests to assert message complexity.
 
-    messages: dict = field(default_factory=lambda: {k: 0 for k in TransferKind})
-    bytes: dict = field(default_factory=lambda: {k: 0 for k in TransferKind})
-    route_misses: int = 0
-    by_link_class: dict = field(default_factory=lambda: {c: 0 for c in LinkClass})
+    Folded into the :mod:`repro.obs` metrics registry: this class is now a
+    read-only view over the ``net.*`` series with the legacy accessor surface.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def messages(self) -> dict:
+        return {k: int(self._metrics.value("net.messages", kind=k.value)) for k in TransferKind}
+
+    @property
+    def bytes(self) -> dict:
+        return {k: int(self._metrics.value("net.bytes", kind=k.value)) for k in TransferKind}
+
+    @property
+    def route_misses(self) -> int:
+        return int(self._metrics.value("net.route_misses"))
+
+    @property
+    def by_link_class(self) -> dict:
+        return {
+            c: int(self._metrics.value("net.link_messages", link=c.value)) for c in LinkClass
+        }
 
     def total_messages(self) -> int:
         return sum(self.messages.values())
@@ -74,11 +96,24 @@ class Network:
     allocate O(n^2) link objects up front.
     """
 
-    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineConfig,
+        topology: Topology,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.engine = engine
         self.config = config
         self.topology = topology
-        self.stats = NetworkStats()
+        self.obs = obs if obs is not None else Observability()
+        metrics = self.obs.metrics
+        self._tracer = self.obs.trace
+        self._msg_count = {k: metrics.counter("net.messages", kind=k.value) for k in TransferKind}
+        self._msg_bytes = {k: metrics.counter("net.bytes", kind=k.value) for k in TransferKind}
+        self._link_count = {c: metrics.counter("net.link_messages", link=c.value) for c in LinkClass}
+        self._route_miss_count = metrics.counter("net.route_misses")
+        self.stats = NetworkStats(metrics)
         self._injection: dict[int, SerialResource] = {}
         self._ejection: dict[int, SerialResource] = {}
         self._shm: dict[int, SerialResource] = {}
@@ -136,9 +171,23 @@ class Network:
         route = resolve(self.topology, src_oct, dst_oct)
         now = self.engine.now
 
-        self.stats.messages[kind] += 1
-        self.stats.bytes[kind] += int(nbytes)
-        self.stats.by_link_class[route.link_class] += 1
+        self._msg_count[kind].inc()
+        self._msg_bytes[kind].inc(int(nbytes))
+        self._link_count[route.link_class].inc()
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "net.transfer",
+                "link",
+                src_place,
+                now,
+                src=src_place,
+                dst=dst_place,
+                kind=kind.value,
+                nbytes=int(nbytes),
+                link=route.link_class.value,
+                hops=route.hops,
+            )
 
         if route.link_class is LinkClass.SHM:
             occ = nbytes / cfg.shm_bandwidth
@@ -148,7 +197,7 @@ class Network:
         # route-setup penalty for destinations outside the hub's route cache
         start = now + self._software_overhead(kind)
         if not self.route_cache(src_oct).lookup(dst_oct):
-            self.stats.route_misses += 1
+            self._route_miss_count.inc()
             start += cfg.route_miss_penalty
 
         inj_occ, ej_occ = self._hub_occupancy(kind, nbytes, tlb_factor)

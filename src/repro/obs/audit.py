@@ -1,0 +1,210 @@
+"""The protocol auditor: check paper invariants against a recorded trace.
+
+The paper's central claims are quantitative protocol claims; this module
+post-processes an event trace (:mod:`repro.obs.trace`) and verifies them:
+
+* **Finish control-message counts** match the closed-form expectation of the
+  pragma (paper Section 3.1): one count-only message per remotely terminating
+  activity for FINISH_ASYNC / FINISH_HERE / FINISH_SPMD and the default
+  task-balancing algorithm, zero for FINISH_LOCAL, and between ``r`` and
+  ``3r`` software-routed hops for ``r`` remote joins under FINISH_DENSE
+  (p -> master(p) -> master(home) -> home, with coalescing at the masters).
+* **GLB victim out-degree** is bounded by 1,024 (Section 6.1): no place ever
+  directs random steal requests at more distinct victims.
+* **Broadcast tree depth** is at most ceil(log2 n) over an n-place group
+  (Section 3.2): the binomial spawning tree replaces the O(p) flood.
+* **Routing** never exceeds 3 physical hops (Section 4): direct-striped
+  L-D-L routes are the longest paths on the Power 775 fabric.
+
+Checks whose evidence is absent from the trace (e.g. no broadcast ran) are
+reported as skipped, not passed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.obs.trace import TraceEvent, Tracer
+
+#: the paper's bound on the GLB communication-graph out-degree
+VICTIM_OUT_DEGREE_BOUND = 1024
+
+#: longest physical route on the direct-striped fabric (L-D-L)
+MAX_ROUTE_HOPS = 3
+
+#: worst-case software-routing hops for one FINISH_DENSE termination report
+DENSE_MAX_HOPS = 3
+
+
+@dataclass
+class AuditCheck:
+    """Outcome of one invariant check."""
+
+    name: str
+    passed: Optional[bool]  # None = skipped (no evidence in the trace)
+    expected: str = ""
+    actual: str = ""
+    detail: str = ""
+
+    @property
+    def skipped(self) -> bool:
+        return self.passed is None
+
+
+@dataclass
+class AuditReport:
+    """All checks run against one trace."""
+
+    checks: list = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no executed check failed (skipped checks do not count)."""
+        return all(c.passed is not False for c in self.checks)
+
+    @property
+    def failures(self) -> list:
+        return [c for c in self.checks if c.passed is False]
+
+    def check(self, name: str) -> AuditCheck:
+        for c in self.checks:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    def render(self) -> str:
+        lines = [f"protocol audit: {'PASS' if self.passed else 'FAIL'}"]
+        for c in self.checks:
+            mark = "skip" if c.skipped else ("PASS" if c.passed else "FAIL")
+            line = f"  [{mark}] {c.name}"
+            if c.expected or c.actual:
+                line += f": expected {c.expected}, observed {c.actual}"
+            if c.detail:
+                line += f" ({c.detail})"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _events(trace: Union[Tracer, Iterable[TraceEvent]]) -> list:
+    return list(trace.events if isinstance(trace, Tracer) else trace)
+
+
+def audit_trace(trace: Union[Tracer, Iterable[TraceEvent]], places: int) -> AuditReport:
+    """Run every applicable invariant check against ``trace``."""
+    events = _events(trace)
+    report = AuditReport()
+    report.checks.append(
+        AuditCheck(
+            name="trace.nonempty",
+            passed=bool(events),
+            expected="> 0 events",
+            actual=f"{len(events)} events",
+        )
+    )
+    report.checks.append(_check_finish(events))
+    report.checks.append(_check_victim_out_degree(events, places))
+    report.checks.append(_check_broadcast_depth(events))
+    report.checks.append(_check_routing(events))
+    return report
+
+
+# -- finish control-message counts ------------------------------------------------
+
+
+def expected_ctl_bounds(pragma: str, remote_joins: int) -> tuple:
+    """Closed-form (min, max) control-message count for one finish."""
+    if pragma == "finish_local":
+        return (0, 0)
+    if pragma == "finish_dense":
+        if remote_joins == 0:
+            return (0, 0)
+        return (remote_joins, DENSE_MAX_HOPS * remote_joins)
+    # default / finish_async / finish_here / finish_spmd: exactly one
+    # count-only message per remotely terminating activity
+    return (remote_joins, remote_joins)
+
+
+def _check_finish(events: list) -> AuditCheck:
+    # the tracer emits a `finish.quiesce` summary on every quiescence
+    # transition; the last one per finish id carries the final counters
+    final: dict[int, TraceEvent] = {}
+    for e in events:
+        if e.name == "finish.quiesce":
+            final[e.id] = e
+    if not final:
+        return AuditCheck(name="finish.ctl_messages", passed=None, detail="no finish in trace")
+    violations = []
+    for fid, e in sorted(final.items()):
+        pragma = e.args["pragma"]
+        rj = e.args["remote_joins"]
+        ctl = e.args["ctl_messages"]
+        lo, hi = expected_ctl_bounds(pragma, rj)
+        if not (lo <= ctl <= hi):
+            violations.append(f"finish#{fid} {pragma}: {ctl} ctl msgs for {rj} remote joins")
+    return AuditCheck(
+        name="finish.ctl_messages",
+        passed=not violations,
+        expected="per-pragma closed form",
+        actual=f"{len(final) - len(violations)}/{len(final)} finishes conform",
+        detail="; ".join(violations[:3]),
+    )
+
+
+# -- GLB victim out-degree ---------------------------------------------------------
+
+
+def _check_victim_out_degree(events: list, places: int) -> AuditCheck:
+    victims_of: dict[int, set] = {}
+    for e in events:
+        if e.name == "glb.steal":
+            victims_of.setdefault(e.args["thief"], set()).add(e.args["victim"])
+    if not victims_of:
+        return AuditCheck(
+            name="glb.victim_out_degree", passed=None, detail="no steal requests in trace"
+        )
+    bound = min(VICTIM_OUT_DEGREE_BOUND, max(places - 1, 1))
+    worst = max(len(v) for v in victims_of.values())
+    return AuditCheck(
+        name="glb.victim_out_degree",
+        passed=worst <= bound,
+        expected=f"<= {bound}",
+        actual=f"max {worst} distinct victims over {len(victims_of)} thieves",
+    )
+
+
+# -- broadcast tree depth ----------------------------------------------------------
+
+
+def _check_broadcast_depth(events: list) -> AuditCheck:
+    nodes = [e for e in events if e.name == "broadcast.node"]
+    if not nodes:
+        return AuditCheck(
+            name="broadcast.tree_depth", passed=None, detail="no broadcast in trace"
+        )
+    n = max(e.args["hi"] for e in nodes)
+    depth = max(e.args["depth"] for e in nodes)
+    bound = math.ceil(math.log2(n)) if n > 1 else 0
+    return AuditCheck(
+        name="broadcast.tree_depth",
+        passed=depth <= bound,
+        expected=f"<= ceil(log2 {n}) = {bound}",
+        actual=f"max depth {depth} over {len(nodes)} tree nodes",
+    )
+
+
+# -- routing hop bound -------------------------------------------------------------
+
+
+def _check_routing(events: list) -> AuditCheck:
+    transfers = [e for e in events if e.name == "net.transfer"]
+    if not transfers:
+        return AuditCheck(name="net.route_hops", passed=None, detail="no transfers in trace")
+    worst = max(e.args["hops"] for e in transfers)
+    return AuditCheck(
+        name="net.route_hops",
+        passed=worst <= MAX_ROUTE_HOPS,
+        expected=f"<= {MAX_ROUTE_HOPS}",
+        actual=f"max {worst} hops over {len(transfers)} transfers",
+    )

@@ -1,0 +1,148 @@
+"""The event tracer: simulated-time spans and messages, exportable timelines.
+
+When enabled, the runtime records begin/end spans (activities, finish scopes,
+collective phases) and instant events (message sends, link transfers, steal
+requests, lifeline traffic, finish quiescence summaries) stamped with
+*simulated* time.  Two export formats:
+
+* **JSONL** — one JSON object per line, for ad-hoc analysis and the protocol
+  auditor (:mod:`repro.obs.audit`);
+* **Chrome ``trace_event``** — a JSON object loadable in ``chrome://tracing``
+  or Perfetto; places map to process rows, categories to thread rows, and
+  spans use async begin/end pairs so overlapping activities at one place
+  render correctly.
+
+Recording an event appends to a Python list and nothing else: the tracer
+never schedules simulation events, so enabling it cannot change simulated
+time, event order, or results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Union
+
+
+class TraceEvent:
+    """One recorded event.
+
+    ``ph`` follows the Chrome trace_event phase vocabulary: ``"b"``/``"e"``
+    async span begin/end, ``"i"`` instant.  ``id`` correlates begin/end pairs
+    and repeated events about the same object (an activity, a finish).
+    """
+
+    __slots__ = ("ts", "ph", "name", "cat", "place", "id", "args")
+
+    def __init__(
+        self,
+        ts: float,
+        ph: str,
+        name: str,
+        cat: str,
+        place: int,
+        id: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self.ts = ts
+        self.ph = ph
+        self.name = name
+        self.cat = cat
+        self.place = place
+        self.id = id
+        self.args = args or {}
+
+    def to_dict(self) -> dict:
+        d = {"ts": self.ts, "ph": self.ph, "name": self.name, "cat": self.cat, "place": self.place}
+        if self.id is not None:
+            d["id"] = self.id
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceEvent {self.ph} {self.cat}/{self.name} @{self.place} t={self.ts:.6g}>"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records when enabled; a no-op otherwise.
+
+    Hot paths guard with ``if tracer.enabled:`` so a disabled tracer costs one
+    attribute read per hook point.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- recording ------------------------------------------------------------
+
+    def instant(self, name: str, cat: str, place: int, ts: float, id=None, **args) -> None:
+        self.events.append(TraceEvent(ts, "i", name, cat, place, id, args))
+
+    def span_begin(self, name: str, cat: str, place: int, ts: float, id: int, **args) -> None:
+        self.events.append(TraceEvent(ts, "b", name, cat, place, id, args))
+
+    def span_end(self, name: str, cat: str, place: int, ts: float, id: int, **args) -> None:
+        self.events.append(TraceEvent(ts, "e", name, cat, place, id, args))
+
+    # -- querying (used by the auditor and tests) ------------------------------
+
+    def named(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def category(self, cat: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.cat == cat]
+
+    # -- export ----------------------------------------------------------------
+
+    def export_jsonl(self, dest: Union[str, IO[str]]) -> int:
+        """One JSON object per line; returns the number of events written."""
+        return _write(dest, self._jsonl_lines())
+
+    def _jsonl_lines(self) -> Iterable[str]:
+        for event in self.events:
+            yield json.dumps(event.to_dict(), default=str, sort_keys=True)
+
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` JSON object (timestamps in microseconds)."""
+        trace_events = []
+        for e in self.events:
+            rec = {
+                "name": e.name,
+                "cat": e.cat,
+                "ph": e.ph,
+                "ts": e.ts * 1e6,
+                "pid": e.place,
+                "tid": 0,
+            }
+            if e.ph in ("b", "e"):
+                rec["id"] = e.id if e.id is not None else 0
+            if e.ph == "i":
+                rec["s"] = "t"  # thread-scoped instant
+            if e.args:
+                rec["args"] = e.args
+            trace_events.append(rec)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, dest: Union[str, IO[str]]) -> int:
+        """Write the Chrome-loadable JSON; returns the number of events."""
+        payload = json.dumps(self.to_chrome(), default=str)
+        _write(dest, [payload])
+        return len(self.events)
+
+
+def _write(dest: Union[str, IO[str]], lines: Iterable[str]) -> int:
+    n = 0
+    if isinstance(dest, str):
+        with open(dest, "w") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+                n += 1
+    else:
+        for line in lines:
+            dest.write(line + "\n")
+            n += 1
+    return n

@@ -54,14 +54,28 @@ def broadcast_spawn(ctx, group: PlaceGroup, fn: Callable, *args, name: str = "bc
     yield f.wait()
 
 
-def _tree_node(ctx, group: PlaceGroup, lo: int, hi: int, fn: Callable, args: tuple, **_kw):
-    """Spawn the binomial subtrees of [lo, hi), then run the body locally."""
+def _tree_node(
+    ctx, group: PlaceGroup, lo: int, hi: int, fn: Callable, args: tuple, depth: int = 0, **_kw
+):
+    """Spawn the binomial subtrees of [lo, hi), then run the body locally.
+
+    ``depth`` is this node's distance from the tree root; the tracer records
+    it so the auditor can verify the ceil(log2 n) depth bound.
+    """
+    obs = ctx.rt.obs
+    obs.metrics.counter("broadcast.tree_nodes").inc()
+    if obs.trace.enabled:
+        obs.trace.instant(
+            "broadcast.node", "broadcast", ctx.here, ctx.now, lo=lo, hi=hi, depth=depth
+        )
     with ctx.finish(Pragma.FINISH_SPMD, name=f"bcast[{lo},{hi})") as f:
         step = 1
         while lo + step < hi:
             child_lo = lo + step
             child_hi = min(lo + 2 * step, hi)
-            ctx.at_async(group[child_lo], _tree_node, group, child_lo, child_hi, fn, args)
+            ctx.at_async(
+                group[child_lo], _tree_node, group, child_lo, child_hi, fn, args, depth + 1
+            )
             step *= 2
         result = fn(ctx, *args)
         if inspect.isgenerator(result):

@@ -48,6 +48,9 @@ class BaseFinish:
         #: forks minus joins (exact oracle)
         self.pending = 0
         self.total_forks = 0
+        #: joins of activities at places other than home (the terminations
+        #: whose reports must cross the network; drives the audit closed forms)
+        self.remote_joins = 0
         #: joins whose termination report has not yet reached the home place
         self._unreported = 0
         self._waiters: list[SimEvent] = []
@@ -56,6 +59,17 @@ class BaseFinish:
         self.ctl_bytes = 0
         #: bytes of protocol state held at the home place (diagnostics)
         self.home_space_bytes = 0
+        metrics = rt.obs.metrics
+        metrics.counter("finish.opened", pragma=self.pragma.value).inc()
+        self._c_ctl_messages = metrics.counter("finish.ctl_messages", pragma=self.pragma.value)
+        self._c_ctl_bytes = metrics.counter("finish.ctl_bytes", pragma=self.pragma.value)
+        self._tracer = rt.obs.trace
+        self._trace_closed = False
+        if self._tracer.enabled:
+            self._tracer.span_begin(
+                self.name, "finish", home, rt.engine.now,
+                id=self.finish_id, pragma=self.pragma.value, home=home,
+            )
         rt.register_finish(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -78,6 +92,8 @@ class BaseFinish:
         if self.pending <= 0:
             raise FinishError(f"{self.name}: join without a matching fork")
         self.pending -= 1
+        if place != self.home:
+            self.remote_joins += 1
         self.on_join(place)
         self._check()
 
@@ -110,7 +126,26 @@ class BaseFinish:
     # -- shared plumbing ------------------------------------------------------------
 
     def _check(self) -> None:
-        if self.quiescent and self._waiters:
+        if not self.quiescent:
+            return
+        tracer = self._tracer
+        if tracer.enabled:
+            now = self.rt.engine.now
+            # a summary per quiescence transition; the auditor uses the last
+            tracer.instant(
+                "finish.quiesce", "finish", self.home, now,
+                id=self.finish_id,
+                pragma=self.pragma.value,
+                home=self.home,
+                total_forks=self.total_forks,
+                remote_joins=self.remote_joins,
+                ctl_messages=self.ctl_messages,
+                ctl_bytes=self.ctl_bytes,
+            )
+            if not self._trace_closed:
+                self._trace_closed = True
+                tracer.span_end(self.name, "finish", self.home, now, id=self.finish_id)
+        if self._waiters:
             waiters, self._waiters = self._waiters, []
             for event in waiters:
                 event.trigger()
@@ -129,4 +164,12 @@ class BaseFinish:
         """Route one protocol control message through the simulated network."""
         self.ctl_messages += 1
         self.ctl_bytes += nbytes
+        self._c_ctl_messages.inc()
+        self._c_ctl_bytes.inc(nbytes)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "finish.ctl", "finish", src, self.rt.engine.now,
+                id=self.finish_id, src=src, dst=dst, nbytes=nbytes, pragma=self.pragma.value,
+            )
         self.rt.send_finish_ctl(self, src, dst, nbytes, on_arrival)

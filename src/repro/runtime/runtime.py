@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import inspect
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import ApgasError, PlaceError
 from repro.machine.config import MachineConfig
 from repro.machine.noise import JitterModel
 from repro.machine.topology import Topology
+from repro.obs import Observability
 from repro.runtime.activity import Activity, ActivityContext
 from repro.runtime.finish import BaseFinish, Pragma, make_finish
 from repro.runtime.place import PlaceRuntime
@@ -29,13 +29,29 @@ from repro.xrt import (
 _reply_ids = itertools.count(1)
 
 
-@dataclass
 class RuntimeStats:
-    """Counters a completed run exposes for analysis and tests."""
+    """Counters a completed run exposes for analysis and tests.
 
-    activities_spawned: int = 0
-    remote_spawns: int = 0
-    remote_evals: int = 0
+    Folded into the :mod:`repro.obs` metrics registry: a read-only view over
+    the ``runtime.*`` series with the legacy attribute surface.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+
+    @property
+    def activities_spawned(self) -> int:
+        return int(self._metrics.value("runtime.activities_spawned"))
+
+    @property
+    def remote_spawns(self) -> int:
+        return int(self._metrics.value("runtime.remote_spawns"))
+
+    @property
+    def remote_evals(self) -> int:
+        return int(self._metrics.value("runtime.remote_evals"))
 
 
 class ApgasRuntime:
@@ -70,18 +86,23 @@ class ApgasRuntime:
         transport_cls: type = PamiTransport,
         collectives_emulated: Optional[bool] = None,
         workers_per_place: int = 1,
+        obs: Optional[Observability] = None,
     ) -> None:
         """``workers_per_place`` models ``X10_NTHREADS``: the paper runs one
         worker per place (the default); larger values let concurrent
         activities' compute overlap within a place (the intra-place
-        scheduling the paper defers to future work)."""
+        scheduling the paper defers to future work).  ``obs`` is the
+        observability bundle (metrics + tracer) shared by every layer; one
+        with tracing disabled is created when omitted."""
         if workers_per_place < 1:
             raise ApgasError("workers_per_place must be >= 1")
         self.workers_per_place = workers_per_place
         self.config = config if config is not None else MachineConfig()
+        self.obs = obs if obs is not None else Observability()
         self.engine = Engine()
+        self.obs.observe_engine(self.engine)
         self.topology = Topology(self.config, places)
-        self.transport = transport_cls(self.engine, self.config, self.topology)
+        self.transport = transport_cls(self.engine, self.config, self.topology, obs=self.obs)
         self.network = self.transport.network
         self.collectives = Collectives(self.transport, emulated=collectives_emulated)
         self.registry = MemoryRegistry()
@@ -92,7 +113,11 @@ class ApgasRuntime:
         self._places = [PlaceRuntime(i, workers=workers_per_place) for i in range(places)]
         self._finishes: dict[int, BaseFinish] = {}
         self._replies: dict[int, SimEvent] = {}
-        self.stats = RuntimeStats()
+        metrics = self.obs.metrics
+        self._c_activities = metrics.counter("runtime.activities_spawned")
+        self._c_remote_spawns = metrics.counter("runtime.remote_spawns")
+        self._c_remote_evals = metrics.counter("runtime.remote_evals")
+        self.stats = RuntimeStats(metrics)
 
         self.transport.register_handler("apgas-spawn", self._on_spawn)
         self.transport.register_handler("apgas-eval", self._on_eval)
@@ -153,7 +178,7 @@ class ApgasRuntime:
     ) -> None:
         self.place(dst)
         finish.fork(src, dst)
-        self.stats.remote_spawns += 1
+        self._c_remote_spawns.inc()
         size = nbytes if nbytes is not None else estimate_nbytes(args)
         self.transport.send(
             Message(src=src, dst=dst, handler="apgas-spawn", body=(fn, args, finish, name), nbytes=size)
@@ -167,17 +192,27 @@ class ApgasRuntime:
         self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str
     ) -> Activity:
         activity = Activity(place, fn, args, finish, name)
-        self.stats.activities_spawned += 1
+        self._c_activities.inc()
         self.place(place).activities_run += 1
+        tracer = self.obs.trace
 
         def runner():
             ctx = ActivityContext(self, activity)
+            if tracer.enabled:
+                tracer.span_begin(
+                    activity.name, "activity", place, self.engine.now,
+                    id=activity.id, finish=finish.name,
+                )
             try:
                 result = fn(ctx, *args)
                 if inspect.isgenerator(result):
                     result = yield from result
                 return result
             finally:
+                if tracer.enabled:
+                    tracer.span_end(
+                        activity.name, "activity", place, self.engine.now, id=activity.id
+                    )
                 if len(activity.finish_stack) != 1:
                     raise ApgasError(
                         f"activity {activity.name} terminated inside an open finish scope"
@@ -194,7 +229,7 @@ class ApgasRuntime:
     ) -> SimEvent:
         """The activity shifts to ``dst``, evaluates, and the result ships back."""
         self.place(dst)
-        self.stats.remote_evals += 1
+        self._c_remote_evals.inc()
         result_event = SimEvent(name=f"at({dst})")
         if src == dst:
             # `at (here)` degenerates to a direct call

@@ -206,6 +206,7 @@ class Team:
         return event
 
     def _complete(self, index: int, slot: _Slot, finalize, nbytes: Optional[int]) -> None:
+        self.rt.obs.metrics.counter("team.collectives", op=slot.op.value).inc()
         results = finalize(slot) if finalize is not None else [None] * self.size
         size = nbytes
         if size is None:

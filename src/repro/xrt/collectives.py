@@ -48,6 +48,8 @@ class Collectives:
         self.emulated = (not transport.supports_hw_collectives) if emulated is None else emulated
         #: number of collectives executed, by op (for tests/diagnostics)
         self.ops_run: dict[CollectiveOp, int] = {op: 0 for op in CollectiveOp}
+        self._tracer = transport.obs.trace
+        self._seq = 0
 
     def run(
         self,
@@ -61,9 +63,28 @@ class Collectives:
         if root is not None and root not in members:
             raise TransportError(f"root {root} is not a member of the collective")
         self.ops_run[op] += 1
-        if len(members) == 1 or not self.emulated:
-            return self._hw(op, members, nbytes)
-        return self._emulated(op, list(members), nbytes, root if root is not None else members[0])
+        path = "hw" if (len(members) == 1 or not self.emulated) else "emulated"
+        self.transport.obs.metrics.counter("collectives.ops", op=op.value, path=path).inc()
+        if path == "hw":
+            done = self._hw(op, members, nbytes)
+        else:
+            done = self._emulated(
+                op, list(members), nbytes, root if root is not None else members[0]
+            )
+        tracer = self._tracer
+        if tracer.enabled:
+            self._seq += 1
+            seq = self._seq
+            engine = self.transport.engine
+            span = f"coll:{op.value}"
+            tracer.span_begin(
+                span, "collective", members[0], engine.now, id=seq,
+                op=op.value, members=len(members), nbytes=nbytes, path=path,
+            )
+            done.add_callback(
+                lambda _e: tracer.span_end(span, "collective", members[0], engine.now, id=seq)
+            )
+        return done
 
     # -- hardware path ----------------------------------------------------------
 

@@ -9,8 +9,11 @@ thicker per-message software stack than PAMI.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.machine.config import MachineConfig
 from repro.machine.topology import Topology
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.xrt.transport import Transport
 
@@ -24,9 +27,15 @@ class MpiTransport(Transport):
     #: extra per-message MPI matching/progress cost on top of the fabric
     MPI_SOFTWARE_LATENCY = 2.5e-6
 
-    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineConfig,
+        topology: Topology,
+        obs: Optional[Observability] = None,
+    ) -> None:
         mpi_cost = config.with_(
             software_latency=config.software_latency + self.MPI_SOFTWARE_LATENCY,
             msg_injection_overhead=config.msg_injection_overhead * 1.5,
         )
-        super().__init__(engine, mpi_cost, topology)
+        super().__init__(engine, mpi_cost, topology, obs=obs)

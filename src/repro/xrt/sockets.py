@@ -8,8 +8,11 @@ expensive per message than PAMI.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.machine.config import MachineConfig
 from repro.machine.topology import Topology
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.xrt.transport import Transport
 
@@ -23,9 +26,15 @@ class SocketsTransport(Transport):
     #: extra per-message kernel/TCP time on top of the fabric costs
     SOCKET_SOFTWARE_LATENCY = 15e-6
 
-    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineConfig,
+        topology: Topology,
+        obs: Optional[Observability] = None,
+    ) -> None:
         kernel_cost = config.with_(
             software_latency=config.software_latency + self.SOCKET_SOFTWARE_LATENCY,
             msg_injection_overhead=config.msg_injection_overhead * 4,
         )
-        super().__init__(engine, kernel_cost, topology)
+        super().__init__(engine, kernel_cost, topology, obs=obs)

@@ -9,6 +9,7 @@ from repro.errors import TransportError
 from repro.machine.config import MachineConfig
 from repro.machine.network import Network, TransferKind
 from repro.machine.topology import Topology
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.events import SimEvent
 
@@ -41,13 +42,21 @@ class Transport:
     #: multiplier on per-message software cost relative to PAMI
     software_overhead_factor = 1.0
 
-    def __init__(self, engine: Engine, config: MachineConfig, topology: Topology) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineConfig,
+        topology: Topology,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.engine = engine
         self.config = config
         self.topology = topology
-        self.network = Network(engine, config, topology)
+        self.obs = obs if obs is not None else Observability()
+        self.network = Network(engine, config, topology, obs=self.obs)
         self._handlers: dict[str, Callable[[int, Any], None]] = {}
         self.messages_sent = 0
+        self._send_counters: dict[str, Any] = {}
 
     # -- handler registry ---------------------------------------------------------
 
@@ -68,6 +77,24 @@ class Transport:
         """Send an active message; the returned event fires after the handler ran."""
         fn = self.handler(msg.handler)  # fail fast on unknown handlers
         self.messages_sent += 1
+        counter = self._send_counters.get(msg.handler)
+        if counter is None:
+            counter = self._send_counters[msg.handler] = self.obs.metrics.counter(
+                "xrt.messages", handler=msg.handler
+            )
+        counter.inc()
+        tracer = self.obs.trace
+        if tracer.enabled:
+            tracer.instant(
+                "xrt.send",
+                "message",
+                msg.src,
+                self.engine.now,
+                src=msg.src,
+                dst=msg.dst,
+                handler=msg.handler,
+                nbytes=msg.nbytes,
+            )
         delivered = self.network.transfer(
             msg.src, msg.dst, self._wire_bytes(msg), kind=TransferKind.MSG
         )

@@ -1,0 +1,102 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsError
+
+
+def test_counter_get_or_create_identity():
+    m = MetricsRegistry()
+    a = m.counter("x.messages", kind="msg")
+    b = m.counter("x.messages", kind="msg")
+    assert a is b
+    a.inc()
+    b.inc(4)
+    assert m.value("x.messages", kind="msg") == 5
+
+
+def test_labels_distinguish_instruments():
+    m = MetricsRegistry()
+    m.counter("n.msgs", kind="msg").inc(3)
+    m.counter("n.msgs", kind="rdma").inc(2)
+    assert m.value("n.msgs", kind="msg") == 3
+    assert m.value("n.msgs", kind="rdma") == 2
+    assert m.total("n.msgs") == 5
+    assert m.by_label("n.msgs", "kind") == {"msg": 3, "rdma": 2}
+
+
+def test_counter_rejects_decrease():
+    m = MetricsRegistry()
+    with pytest.raises(ObsError):
+        m.counter("c").inc(-1)
+
+
+def test_type_clash_rejected():
+    m = MetricsRegistry()
+    m.counter("thing")
+    with pytest.raises(ObsError):
+        m.gauge("thing")
+
+
+def test_gauge_set_and_bind():
+    m = MetricsRegistry()
+    g = m.gauge("g")
+    g.set(7.5)
+    assert m.value("g") == 7.5
+    state = {"v": 1}
+    m.gauge("g2", fn=lambda: state["v"])
+    state["v"] = 42
+    assert m.value("g2") == 42
+
+
+def test_histogram_summary():
+    m = MetricsRegistry()
+    h = m.histogram("lat")
+    for x in (1.0, 3.0, 2.0):
+        h.observe(x)
+    assert h.count == 3
+    assert h.min == 1.0 and h.max == 3.0
+    assert h.mean == pytest.approx(2.0)
+    assert m.value("lat")["count"] == 3
+
+
+def test_value_default_when_absent():
+    m = MetricsRegistry()
+    assert m.value("never.registered") == 0
+    assert m.value("never.registered", default=None) is None
+    assert m.total("never.registered") == 0
+
+
+def test_disabled_registry_is_noop():
+    m = MetricsRegistry(enabled=False)
+    c = m.counter("x")
+    c.inc(100)
+    m.gauge("y").set(5)
+    m.histogram("z").observe(1)
+    assert m.value("x") == 0
+    assert m.snapshot().samples == []
+
+
+def test_snapshot_is_plain_data_and_queryable():
+    m = MetricsRegistry()
+    m.counter("a.msgs", place=0).inc(2)
+    m.counter("a.msgs", place=1).inc(3)
+    m.gauge("b").set(1.5)
+    snap = m.snapshot()
+    # snapshot decouples from later increments
+    m.counter("a.msgs", place=0).inc(10)
+    assert snap.get("a.msgs", place=0) == 2
+    assert snap.total("a.msgs") == 5
+    assert snap.by("a.msgs", "place") == {0: 2, 1: 3}
+    assert "a.msgs" in snap.series() and "b" in snap.series()
+    text = snap.render()
+    assert "a.msgs{place=0}" in text and "b" in text
+
+
+def test_render_prefix_filter():
+    m = MetricsRegistry()
+    m.counter("net.messages").inc()
+    m.counter("glb.steals").inc()
+    text = m.snapshot().render(prefix="net.")
+    assert "net.messages" in text
+    assert "glb.steals" not in text

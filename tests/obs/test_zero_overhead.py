@@ -1,0 +1,73 @@
+"""The zero-overhead invariant: observing a run must not change it.
+
+Metrics and tracing never touch the simulation engine, so a traced run must
+be bit-for-bit identical to an untraced one — same simulated time, same
+event count, same event order (witnessed by identical schedules and
+results), same answers.
+"""
+
+from repro.glb import GlbConfig
+from repro.harness.runner import simulate
+from repro.machine import MachineConfig
+from repro.obs import Observability
+from repro.runtime import ApgasRuntime
+
+
+def test_uts_bitwise_identical_with_tracing():
+    from repro.kernels.uts import run_uts
+
+    def run(trace):
+        rt = ApgasRuntime(
+            places=16, config=MachineConfig.small(), obs=Observability(trace=trace)
+        )
+        r = run_uts(rt, depth=7, glb_config=GlbConfig(chunk_items=128, seed=3))
+        return (
+            r.sim_time,
+            r.value,
+            r.extra["glb"].processed_per_place,
+            r.extra["glb"].steal_attempts,
+            rt.engine.events_executed,
+        )
+
+    plain = run(trace=False)
+    traced = run(trace=True)
+    assert plain == traced
+
+
+def test_kmeans_bitwise_identical_with_tracing():
+    def run(trace):
+        r = simulate("kmeans", 8, trace=trace)
+        return r.sim_time, r.value, r.verified
+
+    assert run(False) == run(True)
+
+
+def test_traced_run_actually_traced():
+    r = simulate("kmeans", 4, trace=True)
+    assert len(r.extra["trace"].events) > 0
+
+
+def test_metrics_snapshot_rides_every_result():
+    r = simulate("stream", 4)
+    snap = r.extra["metrics"]
+    assert snap.total("net.messages") > 0
+    assert snap.total("runtime.activities_spawned") > 0
+    assert "trace" not in r.extra  # tracing is opt-in
+
+
+def test_legacy_stats_views_track_registry():
+    from repro.kernels.uts import run_uts
+
+    rt = ApgasRuntime(places=8, config=MachineConfig.small())
+    r = run_uts(rt, depth=6, glb_config=GlbConfig(chunk_items=64))
+    m = rt.obs.metrics
+    # RuntimeStats view
+    assert rt.stats.activities_spawned == m.value("runtime.activities_spawned")
+    assert rt.stats.remote_spawns == m.value("runtime.remote_spawns")
+    # NetworkStats view
+    assert rt.network.stats.total_messages() == m.total("net.messages")
+    assert rt.network.stats.total_bytes() == m.total("net.bytes")
+    # GlbStats snapshot agrees with the per-place registry series
+    glb = r.extra["glb"]
+    assert glb.total_processed == sum(m.by_label("glb.processed", "place").values())
+    assert glb.steal_attempts == sum(m.by_label("glb.steal_attempts", "place").values())

@@ -27,6 +27,41 @@ def test_run_kernel():
     assert "verified      : True" in text
 
 
+def test_run_stats_prints_metrics_snapshot():
+    code, text = run_cli("run", "stream", "--places", "4", "--stats")
+    assert code == 0
+    assert "-- metrics --" in text
+    assert "net.messages" in text
+    assert "finish ctl" in text
+
+
+def test_trace_writes_chrome_trace_and_audits(tmp_path):
+    import json
+
+    path = str(tmp_path / "uts.json")
+    code, text = run_cli("trace", "uts", "--places", "8", "--out", path)
+    assert code == 0
+    assert "protocol audit: PASS" in text
+    assert "[PASS] finish.ctl_messages" in text
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert len(doc["traceEvents"]) > 0
+
+
+def test_trace_jsonl_without_audit(tmp_path):
+    import json
+
+    path = str(tmp_path / "uts.jsonl")
+    code, text = run_cli(
+        "trace", "uts", "--places", "4", "--out", path, "--format", "jsonl", "--no-audit"
+    )
+    assert code == 0
+    assert "protocol audit" not in text
+    with open(path) as fh:
+        events = [json.loads(line) for line in fh if line.strip()]
+    assert events and all("ph" in e for e in events)
+
+
 def test_run_rejects_unknown_kernel():
     with pytest.raises(SystemExit):
         run_cli("run", "linpack")
