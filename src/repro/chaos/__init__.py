@@ -1,0 +1,16 @@
+"""``repro.chaos`` — seeded, deterministic fault injection.
+
+The layer the ROADMAP's resilience work hangs off: a :class:`ChaosSpec`
+describes a replayable fault scenario (message drop / duplication / delay /
+reorder, link degradation, whole-place failure at a simulated time) and a
+:class:`ChaosInjector` executes it against the network model.  The runtime
+reacts through the resilient transport (acks + retries + idempotent
+delivery), dead-participant detection in every finish protocol
+(:class:`~repro.errors.DeadPlaceError`), broadcast re-rooting, and GLB
+lifeline re-wiring.  See DESIGN.md section "Chaos engineering".
+"""
+
+from repro.chaos.injector import ChaosInjector, Fate
+from repro.chaos.spec import ChaosSpec
+
+__all__ = ["ChaosInjector", "ChaosSpec", "Fate"]

@@ -1,0 +1,153 @@
+"""The fault injector: deterministic per-transfer fate draws and place kills.
+
+One :class:`ChaosInjector` is owned by a runtime and consulted by the network
+model on every transfer.  All randomness comes from a dedicated
+:class:`~repro.sim.rng.RngStream` keyed by the spec's seed, and draws happen
+in simulated-event order — which the engine already makes deterministic — so
+a (program, spec) pair replays the same fault schedule every run.
+
+Every injected fault reports into :mod:`repro.obs` (``chaos.*`` counters and
+``chaos.*`` trace instants), so the protocol auditor can verify recovery
+invariants: a dropped control message must be retried and delivered exactly
+once, a killed place must surface as a structured failure, never a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.chaos.spec import ChaosSpec
+from repro.obs import Observability
+from repro.sim.rng import RngStream
+
+
+class Fate:
+    """The injector's verdict on one transfer."""
+
+    __slots__ = ("drop", "extra_delay", "dup_delay")
+
+    def __init__(self, drop: bool = False, extra_delay: float = 0.0,
+                 dup_delay: Optional[float] = None) -> None:
+        self.drop = drop
+        #: latency added to the delivery time (delay and reorder faults)
+        self.extra_delay = extra_delay
+        #: when not None, a duplicate delivery lands this long after the first
+        self.dup_delay = dup_delay
+
+
+_CLEAN = Fate()
+
+
+class ChaosInjector:
+    """Draws fault fates, tracks dead places, and notifies death listeners."""
+
+    def __init__(self, spec: ChaosSpec, engine, obs: Optional[Observability] = None) -> None:
+        self.spec = spec
+        self.engine = engine
+        self.obs = obs if obs is not None else Observability()
+        self.rng = RngStream(spec.seed, "chaos/fate")
+        self._dead: set[int] = set()
+        self._death_listeners: list[Callable[[int], None]] = []
+        metrics = self.obs.metrics
+        self._c_drops = metrics.counter("chaos.drops")
+        self._c_dups = metrics.counter("chaos.duplicates")
+        self._c_delays = metrics.counter("chaos.delays")
+        self._c_reorders = metrics.counter("chaos.reorders")
+        self._c_degraded = metrics.counter("chaos.degraded")
+        self._c_blackholed = metrics.counter("chaos.blackholed")
+        self._c_kills = metrics.counter("chaos.place_failures")
+        self._tracer = self.obs.trace
+        for place, time in spec.kills:
+            engine.schedule(time, lambda p=place: self.kill(p))
+
+    # -- place failure ----------------------------------------------------------
+
+    def is_dead(self, place: int) -> bool:
+        return place in self._dead
+
+    @property
+    def dead_places(self) -> frozenset:
+        return frozenset(self._dead)
+
+    def subscribe_death(self, listener: Callable[[int], None]) -> None:
+        """``listener(place)`` runs at kill time, after the place is marked dead."""
+        self._death_listeners.append(listener)
+
+    def kill(self, place: int, reason: str = "scheduled") -> None:
+        """Fail ``place`` now: mark dead, record, notify listeners in order."""
+        if place in self._dead:
+            return
+        self._dead.add(place)
+        self._c_kills.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "chaos.kill", "chaos", place, self.engine.now, reason=reason
+            )
+        for listener in list(self._death_listeners):
+            listener(place)
+
+    def declare_dead(self, place: int, reason: str) -> None:
+        """A failure detector (e.g. retry exhaustion) concluded ``place`` died."""
+        self.kill(place, reason=reason)
+
+    # -- per-transfer fates -------------------------------------------------------
+
+    def blackholed(self, src: int, dst: int, now: float, tag: Optional[int]) -> None:
+        """Record a transfer swallowed because an endpoint is dead."""
+        self._c_blackholed.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "chaos.blackhole", "chaos", src, now, src=src, dst=dst, tag=tag
+            )
+
+    def degrade_factor(self, now: float) -> float:
+        """Payload inflation applied to link transfers at time ``now``."""
+        spec = self.spec
+        if spec.degrade_factor > 1.0 and now >= spec.degrade_after:
+            self._c_degraded.inc()
+            return spec.degrade_factor
+        return 1.0
+
+    def fate(self, src: int, dst: int, now: float, tag: Optional[int] = None) -> Fate:
+        """Decide the fate of one inter-octant message transfer.
+
+        Draw order is fixed (drop, then duplicate, then delay, then reorder)
+        so the consumed stream prefix — and therefore every later draw — is a
+        pure function of the seed and the transfer sequence.
+        """
+        spec = self.spec
+        rng = self.rng
+        tracer = self._tracer
+        if spec.drop and rng.uniform() < spec.drop:
+            self._c_drops.inc()
+            if tracer.enabled:
+                tracer.instant("chaos.drop", "chaos", src, now, src=src, dst=dst, tag=tag)
+            return Fate(drop=True)
+        dup_delay = None
+        if spec.dup and rng.uniform() < spec.dup:
+            self._c_dups.inc()
+            dup_delay = float(rng.exponential(max(spec.delay_mean, 1e-9)))
+            if tracer.enabled:
+                tracer.instant(
+                    "chaos.dup", "chaos", src, now, src=src, dst=dst, tag=tag,
+                    dup_delay=dup_delay,
+                )
+        extra = 0.0
+        if spec.delay_p and rng.uniform() < spec.delay_p:
+            self._c_delays.inc()
+            extra += float(rng.exponential(spec.delay_mean))
+            if tracer.enabled:
+                tracer.instant(
+                    "chaos.delay", "chaos", src, now, src=src, dst=dst, tag=tag, extra=extra
+                )
+        if spec.reorder_p and rng.uniform() < spec.reorder_p:
+            self._c_reorders.inc()
+            hold = float(rng.uniform(0.0, spec.reorder_window))
+            extra += hold
+            if tracer.enabled:
+                tracer.instant(
+                    "chaos.reorder", "chaos", src, now, src=src, dst=dst, tag=tag, hold=hold
+                )
+        if dup_delay is None and extra == 0.0:
+            return _CLEAN
+        return Fate(extra_delay=extra, dup_delay=dup_delay)

@@ -1,0 +1,165 @@
+"""Chaos scenarios: a seeded, declarative description of the faults to inject.
+
+A :class:`ChaosSpec` fully determines a fault schedule: the seed keys the
+chaos RNG streams, the probabilities drive per-transfer fate draws, and place
+failures happen at fixed simulated times.  The same spec on the same program
+therefore replays the same faults event-for-event, which is what makes chaos
+runs debuggable and the determinism regression tests possible.
+
+The CLI accepts a compact text form (``run --chaos <spec>``)::
+
+    seed=7,drop=0.1,dup=0.05,delay=0.2:2e-5,reorder=0.1:5e-5,
+    degrade=4@0.001,kill=5@0.01+9@0.02,rto=2e-4,retries=10
+
+Every field is optional; an empty spec (``seed=0``) enables the resilient
+transport (acks, retries, idempotent delivery) without injecting any fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.errors import ChaosError
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One replayable fault scenario.
+
+    Probabilities apply per inter-octant active-message transfer (the PAMI
+    software path); shared-memory deliveries inside an octant and RDMA/GUPS
+    streams are never dropped or duplicated — but a dead place blackholes
+    *all* of its traffic.
+    """
+
+    #: keys every chaos RNG stream; same seed => same fault schedule
+    seed: int = 0
+    #: probability a message transfer is lost in the fabric
+    drop: float = 0.0
+    #: probability a transfer is delivered twice (the duplicate arrives later)
+    dup: float = 0.0
+    #: probability a transfer is delayed, and the mean of the exponential
+    #: extra latency applied when it is
+    delay_p: float = 0.0
+    delay_mean: float = 10e-6
+    #: probability a transfer is held back (letting later sends overtake it),
+    #: and the maximum hold time drawn uniformly
+    reorder_p: float = 0.0
+    reorder_window: float = 50e-6
+    #: from ``degrade_after`` seconds on, link transfers behave as if every
+    #: payload were ``degrade_factor`` times larger (bandwidth cut)
+    degrade_factor: float = 1.0
+    degrade_after: float = 0.0
+    #: whole-place failures: ((place, simulated_time), ...)
+    kills: Tuple[Tuple[int, float], ...] = field(default_factory=tuple)
+
+    # -- resilient-transport knobs ----------------------------------------------
+    #: initial retransmission timeout; doubles on every retry
+    rto: float = 200e-6
+    #: retries before a destination is declared unreachable (dead)
+    max_retries: int = 12
+    #: wire size of one transport-level acknowledgement
+    ack_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "delay_p", "reorder_p"):
+            p = getattr(self, name)
+            if not (0.0 <= p <= 1.0):
+                raise ChaosError(f"{name}={p!r} is not a probability")
+        if self.degrade_factor < 1.0:
+            raise ChaosError(f"degrade_factor={self.degrade_factor!r} must be >= 1")
+        if self.rto <= 0 or self.max_retries < 0:
+            raise ChaosError("rto must be positive and max_retries >= 0")
+        for kill in self.kills:
+            place, time = kill
+            if place < 0 or time < 0:
+                raise ChaosError(f"invalid kill {kill!r}: want (place >= 0, time >= 0)")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """Build a spec from the CLI's compact ``key=value,...`` form."""
+        kwargs: dict = {}
+        kills: list = []
+        for token in filter(None, (t.strip() for t in text.split(","))):
+            if "=" not in token:
+                raise ChaosError(f"chaos spec token {token!r} is not key=value")
+            key, _, value = token.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key in ("drop", "dup"):
+                    kwargs[key] = float(value)
+                elif key == "delay":
+                    p, _, mean = value.partition(":")
+                    kwargs["delay_p"] = float(p)
+                    if mean:
+                        kwargs["delay_mean"] = float(mean)
+                elif key == "reorder":
+                    p, _, window = value.partition(":")
+                    kwargs["reorder_p"] = float(p)
+                    if window:
+                        kwargs["reorder_window"] = float(window)
+                elif key == "degrade":
+                    factor, _, start = value.partition("@")
+                    kwargs["degrade_factor"] = float(factor)
+                    if start:
+                        kwargs["degrade_after"] = float(start)
+                elif key == "kill":
+                    for item in filter(None, value.split("+")):
+                        place, sep, time = item.partition("@")
+                        if not sep:
+                            raise ChaosError(
+                                f"kill {item!r} must be place@time (e.g. kill=3@0.001)"
+                            )
+                        kills.append((int(place), float(time)))
+                elif key == "rto":
+                    kwargs["rto"] = float(value)
+                elif key == "retries":
+                    kwargs["max_retries"] = int(value)
+                else:
+                    raise ChaosError(f"unknown chaos spec key {key!r}")
+            except ValueError as exc:
+                raise ChaosError(f"bad value in chaos spec token {token!r}: {exc}") from None
+        if kills:
+            kwargs["kills"] = tuple(kills)
+        return cls(**kwargs)
+
+    def with_(self, **overrides) -> "ChaosSpec":
+        """A modified copy (specs are frozen)."""
+        return replace(self, **overrides)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def injects_faults(self) -> bool:
+        """True when the spec can actually perturb a run."""
+        return bool(
+            self.drop
+            or self.dup
+            or self.delay_p
+            or self.reorder_p
+            or self.degrade_factor > 1.0
+            or self.kills
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (CLI header, trace metadata)."""
+        parts = [f"seed={self.seed}"]
+        if self.drop:
+            parts.append(f"drop={self.drop:g}")
+        if self.dup:
+            parts.append(f"dup={self.dup:g}")
+        if self.delay_p:
+            parts.append(f"delay={self.delay_p:g}:{self.delay_mean:g}")
+        if self.reorder_p:
+            parts.append(f"reorder={self.reorder_p:g}:{self.reorder_window:g}")
+        if self.degrade_factor > 1.0:
+            parts.append(f"degrade={self.degrade_factor:g}@{self.degrade_after:g}")
+        for place, time in self.kills:
+            parts.append(f"kill={place}@{time:g}")
+        return ",".join(parts)

@@ -5,6 +5,7 @@
     python -m repro.cli kernels                      # list kernels
     python -m repro.cli run uts --places 64          # one simulated run
     python -m repro.cli run uts --places 64 --stats  # ... plus the metrics snapshot
+    python -m repro.cli run uts --places 32 --chaos "seed=7,drop=0.05"   # fault injection
     python -m repro.cli trace uts --places 32        # traced run + protocol audit
     python -m repro.cli figure stream               # one Figure 1 panel
     python -m repro.cli tables                      # Tables 1 and 2
@@ -16,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import DeadPlaceError
 from repro.harness.figures import figure1_panel, render_panel
 from repro.harness.reporting import si
 from repro.harness.runner import KERNELS, simulate
@@ -33,16 +35,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("kernels", help="list the eight kernels")
 
+    chaos_help = (
+        "fault-injection spec, e.g. 'seed=7,drop=0.05,dup=0.02,delay=0.1:2e-5,kill=5@1e-3'; "
+        "switches the transport into resilient (ack/retry) mode"
+    )
+
     run = sub.add_parser("run", help="simulate one kernel at one scale")
     run.add_argument("kernel", choices=KERNELS)
     run.add_argument("--places", type=int, default=32)
     run.add_argument(
         "--stats", action="store_true", help="print the metrics snapshot after the result"
     )
+    run.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
 
     trace = sub.add_parser("trace", help="run one kernel with event tracing and audit the trace")
     trace.add_argument("kernel", choices=KERNELS)
     trace.add_argument("--places", type=int, default=32)
+    trace.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
     trace.add_argument("--out", default=None, help="trace output path (default trace_<kernel>_<places>)")
     trace.add_argument(
         "--format",
@@ -71,7 +80,13 @@ def main(argv=None, out=sys.stdout) -> int:
         return 0
 
     if args.command == "run":
-        result = simulate(args.kernel, args.places)
+        try:
+            result = simulate(args.kernel, args.places, chaos=args.chaos)
+        except DeadPlaceError as exc:
+            print(f"kernel        : {args.kernel}", file=out)
+            print(f"places        : {args.places}", file=out)
+            print(f"failed        : {exc}", file=out)
+            return 1
         print(f"kernel        : {result.kernel}", file=out)
         print(f"places        : {result.places}", file=out)
         print(f"simulated time: {result.sim_time:.6f} s", file=out)
@@ -80,6 +95,18 @@ def main(argv=None, out=sys.stdout) -> int:
         print(f"per core/host : {per}", file=out)
         if result.verified is not None:
             print(f"verified      : {result.verified}", file=out)
+        chaos = result.extra.get("chaos")
+        if chaos is not None:
+            snap = result.extra["metrics"]
+            dead = sorted(chaos.dead_places)
+            print(
+                f"chaos         : {int(snap.total('chaos.drops'))} drops, "
+                f"{int(snap.total('chaos.duplicates'))} dups, "
+                f"{int(snap.total('chaos.delays'))} delays, "
+                f"{int(snap.total('transport.retry.count'))} retries; "
+                f"dead places {dead if dead else 'none'}",
+                file=out,
+            )
         if args.stats:
             snap = result.extra["metrics"]
             print(file=out)
@@ -94,7 +121,13 @@ def main(argv=None, out=sys.stdout) -> int:
         return 0 if result.verified is not False else 1
 
     if args.command == "trace":
-        result = simulate(args.kernel, args.places, trace=True)
+        try:
+            result = simulate(args.kernel, args.places, trace=True, chaos=args.chaos)
+        except DeadPlaceError as exc:
+            print(f"kernel        : {args.kernel}", file=out)
+            print(f"places        : {args.places}", file=out)
+            print(f"failed        : {exc}", file=out)
+            return 1
         tracer = result.extra["trace"]
         ext = "json" if args.format == "chrome" else "jsonl"
         path = args.out or f"trace_{args.kernel}_{args.places}.{ext}"

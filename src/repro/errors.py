@@ -25,6 +25,22 @@ class DeadlockError(SimulationError):
         )
 
 
+class StepLimitError(SimulationError):
+    """The event loop exceeded its configured step cap.
+
+    Chaos and property tests run with a cap so a protocol that stops making
+    progress fails loudly instead of spinning the event loop forever.
+    """
+
+    def __init__(self, max_events: int, now: float):
+        self.max_events = max_events
+        self.now = now
+        super().__init__(
+            f"simulation exceeded the step cap of {max_events} events "
+            f"(virtual time {now:.6g} s): suspected livelock"
+        )
+
+
 class RoutingError(ReproError):
     """No valid route exists between two octants."""
 
@@ -51,6 +67,32 @@ class FinishError(ApgasError):
 
 class PragmaError(ApgasError):
     """A finish pragma was applied to a concurrency pattern it cannot govern."""
+
+
+class DeadPlaceError(ApgasError):
+    """A distributed operation involved a place that failed.
+
+    Raised (never hung) by finish protocols whose participants died, by
+    spawns and remote evaluations targeting a dead place, and by the
+    transport when retries to an unreachable place are exhausted.  Carries
+    the dead place and the protocol object that detected the failure so
+    chaos tests and the auditor can attribute recovery actions.
+    """
+
+    def __init__(self, place: int, detected_by: str = "", detail: str = ""):
+        self.place = place
+        self.detected_by = detected_by
+        self.detail = detail
+        msg = f"place {place} is dead"
+        if detected_by:
+            msg += f" (detected by {detected_by})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class ChaosError(ReproError):
+    """Misuse of the fault-injection layer (bad spec, unknown fault kind)."""
 
 
 class GlbError(ReproError):

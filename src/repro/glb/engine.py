@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.errors import GlbError
+from repro.errors import DeadPlaceError, GlbError
 from repro.glb.bag import TaskBag
 from repro.glb.config import GlbConfig
 from repro.glb.lifelines import GRAPHS
@@ -144,6 +144,11 @@ class Glb:
             {name: getattr(st, name).value for name in _PLACE_METRICS} for st in self.state
         ]
         self._root_finish = None
+        self._c_lifelines_rewired = metrics.counter("glb.lifelines_rewired")
+        self._c_victims_repaired = metrics.counter("glb.victims_repaired")
+        self._c_distribute_rerouted = metrics.counter("glb.distribute_rerouted")
+        if rt.chaos is not None:
+            rt.chaos.subscribe_death(self._on_place_death)
 
     # -- public API ------------------------------------------------------------------
 
@@ -177,6 +182,9 @@ class Glb:
 
     def _main(self, ctx):
         with ctx.finish(self.config.root_finish, name="glb-root") as f:
+            # survive place deaths: a dead worker's tasks are lost, the
+            # survivors drain what remains (resilient-finish adoption)
+            f.tolerate_death = True
             self._root_finish = f
             ctx.async_(self._distribute, 0, self.rt.n_places, self.root_bag)
         yield f.wait()
@@ -199,7 +207,22 @@ class Glb:
                 if cost:
                     yield ctx.compute(seconds=cost / self.process_rate)
                 part = bag.split()
-            if part is not None:
+            if self.rt.is_dead(child_lo):
+                # re-root the wave around the dead child: its share goes to
+                # the subtree's first survivor as loot (the rest of the
+                # subtree is reached through steals and lifelines)
+                target = next(
+                    (p for p in range(child_lo, child_hi) if not self.rt.is_dead(p)), None
+                )
+                if part is not None:
+                    if target is None:
+                        bag.merge(part)  # whole subtree dead: keep the work here
+                    else:
+                        self._c_distribute_rerouted.inc()
+                        ctx.at_async(
+                            target, self._receive_loot, part, nbytes=part.serialized_nbytes
+                        )
+            elif part is not None:
                 ctx.at_async(
                     child_lo, self._distribute, child_lo, child_hi, part,
                     nbytes=part.serialized_nbytes,
@@ -235,7 +258,9 @@ class Glb:
             if stole:
                 continue
             # ...then lifeline requests, and death
-            for neighbor in st.lifelines:
+            for neighbor in list(st.lifelines):
+                if self.rt.is_dead(neighbor):
+                    continue
                 st.lifelines_sent.inc()
                 if self._tracer.enabled:
                     self._tracer.instant(
@@ -253,13 +278,21 @@ class Glb:
             return False
         tracer = self._tracer
         for _ in range(self.config.random_attempts):
+            if len(st.victims) == 0:
+                return False  # repairs can exhaust the set
             victim = int(st.victims[int(st.rng.integers(0, len(st.victims)))])
+            if self.rt.is_dead(victim):
+                continue  # not yet repaired out of the set
             st.steal_attempts.inc()
             if tracer.enabled:
                 tracer.instant(
                     "glb.steal", "glb", ctx.here, ctx.now, thief=ctx.here, victim=victim
                 )
-            loot = yield ctx.at(victim, self._try_steal)
+            try:
+                loot = yield ctx.at(victim, self._try_steal)
+            except DeadPlaceError:
+                continue  # the victim died mid-steal; move on
+
             if tracer.enabled:
                 tracer.instant(
                     "glb.steal_result", "glb", ctx.here, ctx.now,
@@ -288,7 +321,7 @@ class Glb:
             if loot is not None:
                 self._ship(vctx, thief, loot)
                 return
-        if thief not in st.lifeline_requests:
+        if thief not in st.lifeline_requests and not self.rt.is_dead(thief):
             st.lifeline_requests.append(thief)
 
     def _serve_lifelines(self, ctx, st: _PlaceState) -> None:
@@ -302,12 +335,62 @@ class Glb:
             self._ship(ctx, thief, loot)
 
     def _ship(self, ctx, thief: int, loot: TaskBag) -> None:
+        if self.rt.is_dead(thief):
+            self.state[ctx.here].bag.merge(loot)  # the thief is gone; keep the work
+            return
         if self._tracer.enabled:
             self._tracer.instant(
                 "glb.loot", "glb", ctx.here, ctx.now,
                 src=ctx.here, thief=thief, nbytes=loot.serialized_nbytes,
             )
         ctx.at_async(thief, self._receive_loot, loot, nbytes=loot.serialized_nbytes)
+
+    # -- place failure ------------------------------------------------------------------------
+
+    def _on_place_death(self, place: int) -> None:
+        """Repair the balancing topology around a failed place.
+
+        Lifelines pointing at the dead place are re-wired to the dead place's
+        own lifelines (splicing it out of the graph keeps the survivors
+        connected without raising anyone's degree by more than one); victim
+        sets swap the dead entry for the smallest live place outside the set,
+        so the out-degree bound is preserved exactly.
+        """
+        dead = self.rt.chaos.dead_places
+        st = self.state[place]
+        st.alive = False
+        st.lifeline_requests.clear()
+        inherited = [p for p in st.lifelines if p not in dead]
+        n = self.rt.n_places
+        for p, other in enumerate(self.state):
+            if p == place or p in dead:
+                continue
+            if place in other.lifelines:
+                other.lifelines.remove(place)
+                for candidate in inherited:
+                    if candidate != p and candidate not in other.lifelines:
+                        other.lifelines.append(candidate)
+                        break
+                self._c_lifelines_rewired.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "glb.rewire", "glb", p, self.rt.now,
+                        place=p, dead=place, lifelines=list(other.lifelines),
+                    )
+            mask = other.victims == place
+            if mask.any():
+                in_set = {int(v) for v in other.victims}
+                repl = next(
+                    (q for q in range(n) if q != p and q not in dead and q not in in_set),
+                    None,
+                )
+                if repl is None:
+                    other.victims = other.victims[~mask]
+                else:
+                    other.victims[mask] = repl
+                self._c_victims_repaired.inc()
+            if place in other.lifeline_requests:
+                other.lifeline_requests.remove(place)
 
     def _receive_loot(self, tctx, loot: TaskBag):
         st = self.state[tctx.here]

@@ -19,16 +19,22 @@ from repro.runtime.runtime import ApgasRuntime
 
 
 def make_runtime(
-    places: int, config: Optional[MachineConfig] = None, trace: bool = False, **overrides
+    places: int,
+    config: Optional[MachineConfig] = None,
+    trace: bool = False,
+    chaos: Optional[str] = None,
+    **overrides,
 ) -> ApgasRuntime:
     """A runtime on the full Power 775 constants (``overrides`` patch the config).
 
-    ``trace=True`` enables the event tracer (``rt.obs.trace``).
+    ``trace=True`` enables the event tracer (``rt.obs.trace``); ``chaos``
+    takes a fault-injection spec string (see :class:`repro.chaos.ChaosSpec`)
+    and switches the transport into resilient mode.
     """
     cfg = config or MachineConfig()
     if overrides:
         cfg = cfg.with_(**overrides)
-    return ApgasRuntime(places=places, config=cfg, obs=Observability(trace=trace))
+    return ApgasRuntime(places=places, config=cfg, obs=Observability(trace=trace), chaos=chaos)
 
 
 def simulate(
@@ -36,22 +42,27 @@ def simulate(
     places: int,
     config: Optional[MachineConfig] = None,
     trace: bool = False,
+    chaos: Optional[str] = None,
     **kwargs,
 ) -> KernelResult:
     """Run one kernel at one scale inside the simulator.
 
     Every result carries a metrics snapshot in ``extra["metrics"]``; with
-    ``trace=True`` the populated tracer rides in ``extra["trace"]``.
+    ``trace=True`` the populated tracer rides in ``extra["trace"]``.  With a
+    ``chaos`` spec the run executes under deterministic fault injection; the
+    injector rides in ``extra["chaos"]`` so callers can inspect dead places.
     """
     try:
         runner = _RUNNERS[kernel]
     except KeyError:
         raise KernelError(f"unknown kernel {kernel!r}; choose from {sorted(_RUNNERS)}") from None
-    rt = make_runtime(places, config, trace=trace)
+    rt = make_runtime(places, config, trace=trace, chaos=chaos)
     result = runner(rt, **kwargs)
     result.extra["metrics"] = rt.obs.metrics.snapshot()
     if trace:
         result.extra["trace"] = rt.obs.trace
+    if rt.chaos is not None:
+        result.extra["chaos"] = rt.chaos
     return result
 
 

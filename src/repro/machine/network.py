@@ -61,6 +61,30 @@ class NetworkStats:
         return sum(self.bytes.values())
 
 
+class _DeliveryEvent(SimEvent):
+    """A delivery that may fire more than once under chaos duplication.
+
+    Normal :class:`SimEvent` semantics for the first delivery; a duplicated
+    transfer re-invokes every registered callback through :meth:`redeliver`.
+    Only the transport sees these events, and its idempotent-delivery table
+    is what keeps a duplicate from reaching the application handler twice.
+    """
+
+    __slots__ = ("_sticky",)
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__(name)
+        self._sticky: list = []
+
+    def add_callback(self, callback) -> None:
+        self._sticky.append(callback)
+        super().add_callback(callback)
+
+    def redeliver(self) -> None:
+        for callback in list(self._sticky):
+            callback(self)
+
+
 class _RouteCache:
     """Per-octant LRU of recently used destination octants.
 
@@ -102,11 +126,14 @@ class Network:
         config: MachineConfig,
         topology: Topology,
         obs: Optional[Observability] = None,
+        chaos=None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.topology = topology
         self.obs = obs if obs is not None else Observability()
+        #: optional :class:`~repro.chaos.ChaosInjector`; None = reliable fabric
+        self.chaos = chaos
         metrics = self.obs.metrics
         self._tracer = self.obs.trace
         self._msg_count = {k: metrics.counter("net.messages", kind=k.value) for k in TransferKind}
@@ -161,15 +188,29 @@ class Network:
         nbytes: float,
         kind: TransferKind = TransferKind.MSG,
         tlb_factor: float = 1.0,
+        tag: Optional[int] = None,
     ) -> SimEvent:
-        """Start a transfer now; the returned event fires at delivery time."""
+        """Start a transfer now; the returned event fires at delivery time.
+
+        ``tag`` is an opaque correlation id (the resilient transport's
+        sequence number) echoed into trace events so the auditor can pair a
+        dropped message with its eventual redelivery.  Under chaos a transfer
+        may be dropped (the event never fires), delayed, or duplicated (the
+        event fires twice — see :class:`_DeliveryEvent`); a dead endpoint
+        blackholes the transfer entirely.
+        """
         if nbytes < 0:
             raise TransportError(f"negative transfer size {nbytes!r}")
         cfg = self.config
+        chaos = self.chaos
         src_oct = self.topology.octant_of(src_place)
         dst_oct = self.topology.octant_of(dst_place)
         route = resolve(self.topology, src_oct, dst_oct)
         now = self.engine.now
+
+        if chaos is not None and (chaos.is_dead(src_place) or chaos.is_dead(dst_place)):
+            chaos.blackholed(src_place, dst_place, now, tag)
+            return SimEvent(name="chaos-blackhole")
 
         self._msg_count[kind].inc()
         self._msg_bytes[kind].inc(int(nbytes))
@@ -192,7 +233,18 @@ class Network:
         if route.link_class is LinkClass.SHM:
             occ = nbytes / cfg.shm_bandwidth
             done = self._shm_resource(src_oct).reserve(now + cfg.shm_latency, occ)
-            return self._deliver_at(done, kind)
+            return self._deliver_at(done, kind, dst_place)
+
+        # drop / duplicate / delay / reorder apply to the inter-octant
+        # software message path only; the wire and hub costs are paid either
+        # way (the loss happens inside the fabric, not at the sender)
+        fate = None
+        if chaos is not None and kind is TransferKind.MSG:
+            fate = chaos.fate(src_place, dst_place, now, tag)
+
+        wire_nbytes = nbytes
+        if chaos is not None:
+            wire_nbytes = nbytes * chaos.degrade_factor(now)
 
         # route-setup penalty for destinations outside the hub's route cache
         start = now + self._software_overhead(kind)
@@ -200,13 +252,24 @@ class Network:
             self._route_miss_count.inc()
             start += cfg.route_miss_penalty
 
-        inj_occ, ej_occ = self._hub_occupancy(kind, nbytes, tlb_factor)
+        inj_occ, ej_occ = self._hub_occupancy(kind, wire_nbytes, tlb_factor)
         bw = link_bandwidth(cfg, route.link_class)
         t = self.injection(src_oct).reserve(start, inj_occ)
-        t = self.link(route.link_key).reserve(t, nbytes / bw)
+        t = self.link(route.link_key).reserve(t, wire_nbytes / bw)
         t = self.ejection(dst_oct).reserve(t, ej_occ)
         t += cfg.hop_latency * route.hops
-        return self._deliver_at(t, kind)
+
+        if fate is not None:
+            if fate.drop:
+                return SimEvent(name="chaos-dropped")
+            t += fate.extra_delay
+            if fate.dup_delay is not None:
+                # the duplicate consumed the wire too
+                self._msg_count[kind].inc()
+                self._msg_bytes[kind].inc(int(nbytes))
+                self._link_count[route.link_class].inc()
+                return self._deliver_at(t, kind, dst_place, dup_time=t + fate.dup_delay)
+        return self._deliver_at(t, kind, dst_place)
 
     def _software_overhead(self, kind: TransferKind) -> float:
         if kind is TransferKind.MSG:
@@ -229,9 +292,35 @@ class Network:
         inj = max(cfg.rdma_injection_overhead, stream_occ)
         return inj, ej
 
-    def _deliver_at(self, time: float, kind: TransferKind) -> SimEvent:
-        event = SimEvent(name=f"{kind.value}-delivery")
-        self.engine.schedule(max(0.0, time - self.engine.now), lambda: event.trigger())
+    def _deliver_at(
+        self,
+        time: float,
+        kind: TransferKind,
+        dst_place: int,
+        dup_time: Optional[float] = None,
+    ) -> SimEvent:
+        chaos = self.chaos
+        if chaos is None:
+            event = SimEvent(name=f"{kind.value}-delivery")
+            self.engine.schedule(max(0.0, time - self.engine.now), lambda: event.trigger())
+            return event
+        # under chaos a delivery can race a place failure, and a duplicated
+        # transfer fires the same event a second time
+        event = _DeliveryEvent(name=f"{kind.value}-delivery")
+
+        def land(deliver):
+            if chaos.is_dead(dst_place):
+                chaos.blackholed(dst_place, dst_place, self.engine.now, None)
+                return
+            deliver()
+
+        self.engine.schedule(
+            max(0.0, time - self.engine.now), lambda: land(event.trigger)
+        )
+        if dup_time is not None:
+            self.engine.schedule(
+                max(0.0, dup_time - self.engine.now), lambda: land(event.redeliver)
+            )
         return event
 
     # -- diagnostics ----------------------------------------------------------

@@ -15,6 +15,11 @@ post-processes an event trace (:mod:`repro.obs.trace`) and verifies them:
   (Section 3.2): the binomial spawning tree replaces the O(p) flood.
 * **Routing** never exceeds 3 physical hops (Section 4): direct-striped
   L-D-L routes are the longest paths on the Power 775 fabric.
+* **Chaos recovery** (fault-injection runs): the resilient transport delivers
+  each logical transfer to the application *exactly once* however many
+  duplicates the fabric produced, and every dropped data message is either
+  retried until delivered or written off against a recorded place death —
+  dropped messages never vanish silently.
 
 Checks whose evidence is absent from the trace (e.g. no broadcast ran) are
 reported as skipped, not passed.
@@ -107,6 +112,8 @@ def audit_trace(trace: Union[Tracer, Iterable[TraceEvent]], places: int) -> Audi
     report.checks.append(_check_victim_out_degree(events, places))
     report.checks.append(_check_broadcast_depth(events))
     report.checks.append(_check_routing(events))
+    report.checks.append(_check_exactly_once(events))
+    report.checks.append(_check_retry_recovery(events))
     return report
 
 
@@ -207,4 +214,85 @@ def _check_routing(events: list) -> AuditCheck:
         passed=worst <= MAX_ROUTE_HOPS,
         expected=f"<= {MAX_ROUTE_HOPS}",
         actual=f"max {worst} hops over {len(transfers)} transfers",
+    )
+
+
+# -- chaos recovery invariants -----------------------------------------------------
+
+
+def _check_exactly_once(events: list) -> AuditCheck:
+    """Each reliable-transfer sequence number reaches the application once.
+
+    The resilient transport emits ``transport.deliver`` on first delivery and
+    ``transport.dup`` for every suppressed duplicate; exactly-once means no
+    sequence number appears in two ``transport.deliver`` instants.
+    """
+    delivered: dict[int, int] = {}
+    dups = 0
+    for e in events:
+        if e.name == "transport.deliver":
+            delivered[e.args["seq"]] = delivered.get(e.args["seq"], 0) + 1
+        elif e.name == "transport.dup":
+            dups += 1
+    if not delivered and not dups:
+        return AuditCheck(
+            name="chaos.exactly_once", passed=None, detail="no resilient transfers in trace"
+        )
+    twice = [seq for seq, n in delivered.items() if n > 1]
+    return AuditCheck(
+        name="chaos.exactly_once",
+        passed=not twice,
+        expected="one application delivery per sequence number",
+        actual=(
+            f"{len(delivered)} transfers delivered once, {dups} duplicates suppressed"
+            if not twice
+            else f"{len(twice)} sequence numbers delivered more than once"
+        ),
+        detail=", ".join(f"seq {s}" for s in sorted(twice)[:5]),
+    )
+
+
+def _check_retry_recovery(events: list) -> AuditCheck:
+    """Every dropped data message is recovered or written off against a death.
+
+    A ``chaos.drop`` with a positive tag removed the data leg of a reliable
+    transfer (acks are tagged with the negative sequence number; a dropped ack
+    is repaired by the retransmit/re-ack cycle of the data leg and needs no
+    check of its own).  The sequence must later appear in a
+    ``transport.deliver`` instant — or one of its endpoints must be recorded
+    dead (``chaos.kill``) or declared unreachable, which settles the message
+    through the finish write-off path instead.
+    """
+    dropped: dict[int, TraceEvent] = {}
+    delivered: set[int] = set()
+    dead_places: set[int] = set()
+    unreachable: set[int] = set()
+    for e in events:
+        if e.name == "chaos.drop" and (e.args.get("tag") or 0) > 0:
+            dropped.setdefault(e.args["tag"], e)
+        elif e.name == "transport.deliver":
+            delivered.add(e.args["seq"])
+        elif e.name == "chaos.kill":
+            dead_places.add(e.place)
+        elif e.name == "transport.unreachable":
+            unreachable.add(e.args["seq"])
+    if not dropped:
+        return AuditCheck(
+            name="chaos.retry_recovery", passed=None, detail="no dropped data messages in trace"
+        )
+    lost = [
+        seq
+        for seq, e in dropped.items()
+        if seq not in delivered
+        and seq not in unreachable
+        and e.args["src"] not in dead_places
+        and e.args["dst"] not in dead_places
+    ]
+    recovered = sum(1 for seq in dropped if seq in delivered)
+    return AuditCheck(
+        name="chaos.retry_recovery",
+        passed=not lost,
+        expected="every dropped data message delivered or written off",
+        actual=f"{recovered}/{len(dropped)} dropped transfers recovered by retry",
+        detail=", ".join(f"seq {s} lost" for s in sorted(lost)[:5]),
     )

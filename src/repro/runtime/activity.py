@@ -22,8 +22,6 @@ X10                    here
 
 from __future__ import annotations
 
-import inspect
-import itertools
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import ApgasError
@@ -35,14 +33,12 @@ from repro.sim.process import Timeout
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.runtime import ApgasRuntime
 
-_activity_ids = itertools.count(1)
-
-
 class Activity:
     """One asynchronous task, governed by a finish, running at a place."""
 
     def __init__(self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str = ""):
-        self.id = next(_activity_ids)
+        # ids are per-runtime so two identical runs export identical traces
+        self.id = next(finish.rt._activity_ids)
         self.place = place
         self.fn = fn
         self.args = args

@@ -42,15 +42,38 @@ class PlaceGroup:
         return self.places.index(place)
 
 
+def _first_live(ctx, group: PlaceGroup, lo: int, hi: int):
+    """Leftmost index in [lo, hi) whose place is alive, or None.
+
+    Fault tolerance for the spawning tree: when a subtree's designated root
+    died, the subtree is re-rooted at its next live member; the (dead) places
+    before it are skipped legitimately — nothing can run there.
+    """
+    for index in range(lo, hi):
+        if not ctx.rt.is_dead(group[index]):
+            return index
+    return None
+
+
 def broadcast_spawn(ctx, group: PlaceGroup, fn: Callable, *args, name: str = "bcast"):
-    """Run ``fn(ctx, *args)`` once at every place of ``group``; generator —
-    use as ``yield from broadcast_spawn(ctx, group, fn, ...)``.
+    """Run ``fn(ctx, *args)`` once at every live place of ``group``;
+    generator — use as ``yield from broadcast_spawn(ctx, group, fn, ...)``.
 
     Task creation is parallelized over a binomial spawning tree; each tree
-    node detects its subtree's completion with a nested FINISH_SPMD.
+    node detects its subtree's completion with a nested FINISH_SPMD.  Under
+    fault injection the tree re-roots around members that already failed; a
+    member failing *mid-broadcast* fails the governing finish with a
+    structured :class:`~repro.errors.DeadPlaceError` instead of hanging.
     """
+    root = _first_live(ctx, group, 0, len(group))
+    if root is None:
+        from repro.errors import DeadPlaceError
+
+        raise DeadPlaceError(group[0], detected_by=name, detail="every group member is dead")
+    if root != 0:
+        ctx.rt.obs.metrics.counter("broadcast.rerooted").inc()
     with ctx.finish(Pragma.FINISH_SPMD, name=f"{name}.root") as f:
-        ctx.at_async(group[0], _tree_node, group, 0, len(group), fn, args, name=name)
+        ctx.at_async(group[root], _tree_node, group, root, len(group), fn, args, name=name)
     yield f.wait()
 
 
@@ -73,9 +96,22 @@ def _tree_node(
         while lo + step < hi:
             child_lo = lo + step
             child_hi = min(lo + 2 * step, hi)
-            ctx.at_async(
-                group[child_lo], _tree_node, group, child_lo, child_hi, fn, args, depth + 1
-            )
+            child = child_lo
+            if ctx.rt.is_dead(group[child]):
+                # re-root the subtree at its first surviving member
+                child = _first_live(ctx, group, child_lo + 1, child_hi)
+                if child is not None:
+                    obs.metrics.counter("broadcast.rerooted").inc()
+                    if obs.trace.enabled:
+                        obs.trace.instant(
+                            "broadcast.reroot", "broadcast", ctx.here, ctx.now,
+                            dead=group[child_lo], new_root=group[child],
+                            lo=child_lo, hi=child_hi,
+                        )
+            if child is not None:
+                ctx.at_async(
+                    group[child], _tree_node, group, child, child_hi, fn, args, depth + 1
+                )
             step *= 2
         result = fn(ctx, *args)
         if inspect.isgenerator(result):

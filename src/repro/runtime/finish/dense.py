@@ -36,19 +36,32 @@ class FinishDense(BaseFinish):
         self._routers: dict[int, _Router] = {}
         topo = rt.topology
         self._home_master = topo.master_place_of(home)
+        self._c_rerouted = rt.obs.metrics.counter("finish.dense.rerouted")
 
     # -- routing --------------------------------------------------------------
 
     def _next_hop(self, place: int) -> int:
-        """Next place on the p -> master(p) -> master(home) -> home route."""
+        """Next place on the p -> master(p) -> master(home) -> home route.
+
+        A dead octant master is routed *around*: reports skip straight to the
+        next hop toward home, trading coalescing for progress.  Reports the
+        dead master already held in custody cannot be recovered this way —
+        :meth:`holds_state_at` surfaces those to the failure handling.
+        """
         topo = self.rt.topology
         if place == self.home:
             raise AssertionError("no hop needed from home")
         if place == self._home_master or topo.octant_of(place) == topo.octant_of(self.home):
             return self.home
-        if place == topo.master_place_of(place):
-            return self._home_master
-        return topo.master_place_of(place)
+        dead = self.rt.is_dead
+        toward_home = self.home if dead(self._home_master) else self._home_master
+        master = topo.master_place_of(place)
+        if place == master:
+            return toward_home
+        if dead(master):
+            self._c_rerouted.inc()
+            return toward_home
+        return master
 
     def on_join(self, place: int) -> None:
         if place == self.home:
@@ -67,7 +80,7 @@ class FinishDense(BaseFinish):
             else:
                 self._buffer(nxt, count)
 
-        self.send_ctl(place, nxt, nbytes, on_arrival)
+        self.send_ctl(place, nxt, nbytes, on_arrival, reports=count)
 
     def _buffer(self, router_place: int, count: int) -> None:
         """Coalesce reports at a routing place; flush after a short window."""
@@ -82,5 +95,16 @@ class FinishDense(BaseFinish):
     def _flush(self, router: _Router) -> None:
         router.flush_scheduled = False
         count, router.buffered = router.buffered, 0
-        if count:
+        if count and self.failed is None:
             self._forward(router.place, count)
+
+    # -- place failure ---------------------------------------------------------
+
+    def holds_state_at(self, place: int) -> int:
+        """Reports sitting in a routing place's coalescing buffer are lost
+        with the place; hand them to the base class and zero the buffer."""
+        router = self._routers.get(place)
+        if router is None:
+            return 0
+        count, router.buffered = router.buffered, 0
+        return count

@@ -6,7 +6,8 @@ import inspect
 import itertools
 from typing import Any, Callable, Optional
 
-from repro.errors import ApgasError, PlaceError
+from repro.chaos import ChaosInjector, ChaosSpec
+from repro.errors import ApgasError, DeadPlaceError, PlaceError
 from repro.machine.config import MachineConfig
 from repro.machine.noise import JitterModel
 from repro.machine.topology import Topology
@@ -87,13 +88,18 @@ class ApgasRuntime:
         collectives_emulated: Optional[bool] = None,
         workers_per_place: int = 1,
         obs: Optional[Observability] = None,
+        chaos: Optional[object] = None,
     ) -> None:
         """``workers_per_place`` models ``X10_NTHREADS``: the paper runs one
         worker per place (the default); larger values let concurrent
         activities' compute overlap within a place (the intra-place
         scheduling the paper defers to future work).  ``obs`` is the
         observability bundle (metrics + tracer) shared by every layer; one
-        with tracing disabled is created when omitted."""
+        with tracing disabled is created when omitted.  ``chaos`` is a
+        :class:`~repro.chaos.ChaosSpec` (or its ``parse`` text form) enabling
+        deterministic fault injection; the transport then runs in resilient
+        mode and the runtime survives — or fails structurally on — place
+        deaths."""
         if workers_per_place < 1:
             raise ApgasError("workers_per_place must be >= 1")
         self.workers_per_place = workers_per_place
@@ -102,7 +108,16 @@ class ApgasRuntime:
         self.engine = Engine()
         self.obs.observe_engine(self.engine)
         self.topology = Topology(self.config, places)
-        self.transport = transport_cls(self.engine, self.config, self.topology, obs=self.obs)
+        if chaos is None:
+            self.chaos: Optional[ChaosInjector] = None
+            self.transport = transport_cls(self.engine, self.config, self.topology, obs=self.obs)
+        else:
+            spec = ChaosSpec.parse(chaos) if isinstance(chaos, str) else chaos
+            self.chaos = ChaosInjector(spec, self.engine, self.obs)
+            self.chaos.subscribe_death(self._on_place_death)
+            self.transport = transport_cls(
+                self.engine, self.config, self.topology, obs=self.obs, chaos=self.chaos
+            )
         self.network = self.transport.network
         self.collectives = Collectives(self.transport, emulated=collectives_emulated)
         self.registry = MemoryRegistry()
@@ -112,7 +127,16 @@ class ApgasRuntime:
         self.jitter = JitterModel(self.config, places)
         self._places = [PlaceRuntime(i, workers=workers_per_place) for i in range(places)]
         self._finishes: dict[int, BaseFinish] = {}
-        self._replies: dict[int, SimEvent] = {}
+        #: per-runtime id stream (module-global ids would leak across runs and
+        #: make otherwise-identical runs export different traces)
+        self._finish_ids = itertools.count(1)
+        self._activity_ids = itertools.count(1)
+        self._ungoverned = _UngovernedFinish(self)
+        #: reply_id -> (event, evaluating place); the place lets a place death
+        #: fail the outstanding evaluations it can never answer
+        self._replies: dict[int, tuple[SimEvent, int]] = {}
+        #: live processes by hosting place, killed wholesale on place failure
+        self._procs_at: dict[int, set[Process]] = {}
         metrics = self.obs.metrics
         self._c_activities = metrics.counter("runtime.activities_spawned")
         self._c_remote_spawns = metrics.counter("runtime.remote_spawns")
@@ -141,19 +165,32 @@ class ApgasRuntime:
     def now(self) -> float:
         return self.engine.now
 
+    def is_dead(self, place: int) -> bool:
+        """True once fault injection failed ``place`` (always False without)."""
+        return self.chaos is not None and self.chaos.is_dead(place)
+
     # -- running a program ------------------------------------------------------------
 
-    def run(self, main: Callable, *args: Any, until: Optional[float] = None) -> Any:
+    def run(
+        self,
+        main: Callable,
+        *args: Any,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
         """Execute ``main(ctx, *args)`` at place 0 and drain the simulation.
 
         Returns ``main``'s return value.  The root finish governs ``main`` and
         everything it transitively spawns, exactly as X10 wraps the main
-        method.
+        method.  ``max_events`` is the chaos tests' hang guard: the engine
+        raises :class:`~repro.errors.StepLimitError` past that many callbacks.
         """
         root = make_finish(self, 0, Pragma.DEFAULT, name="root")
         activity = self.spawn_local(0, main, args, root, name="main")
-        self.engine.run(until=until)
+        self.engine.run(until=until, max_events=max_events)
         if activity.process is None or not activity.process.done.fired:
+            if self.is_dead(0):
+                raise DeadPlaceError(0, detected_by="run", detail="the root place failed")
             raise ApgasError("main activity did not complete")
         return activity.process.done.value
 
@@ -177,15 +214,23 @@ class ApgasRuntime:
         name: str = "",
     ) -> None:
         self.place(dst)
+        if self.is_dead(dst):
+            raise DeadPlaceError(dst, detected_by=f"spawn@{src}", detail="async to a dead place")
         finish.fork(src, dst)
         self._c_remote_spawns.inc()
         size = nbytes if nbytes is not None else estimate_nbytes(args)
+        token = finish.spawn_departed(src, dst)
         self.transport.send(
-            Message(src=src, dst=dst, handler="apgas-spawn", body=(fn, args, finish, name), nbytes=size)
+            Message(
+                src=src, dst=dst, handler="apgas-spawn",
+                body=(fn, args, finish, name, token), nbytes=size,
+            )
         )
 
     def _on_spawn(self, dst: int, body) -> None:
-        fn, args, finish, name = body
+        fn, args, finish, name, token = body
+        if not finish.spawn_landed(token):
+            return  # written off by a place death; its fork is already settled
         self._start_activity(dst, fn, args, finish, name)
 
     def _start_activity(
@@ -203,24 +248,43 @@ class ApgasRuntime:
                     activity.name, "activity", place, self.engine.now,
                     id=activity.id, finish=finish.name,
                 )
+            vanished = False
             try:
                 result = fn(ctx, *args)
                 if inspect.isgenerator(result):
                     result = yield from result
                 return result
+            except GeneratorExit:
+                # the hosting place failed mid-activity: it vanishes without
+                # joining — exactly the silence the finish layer must detect
+                vanished = True
+                raise
             finally:
-                if tracer.enabled:
-                    tracer.span_end(
-                        activity.name, "activity", place, self.engine.now, id=activity.id
-                    )
-                if len(activity.finish_stack) != 1:
-                    raise ApgasError(
-                        f"activity {activity.name} terminated inside an open finish scope"
-                    )
-                finish.join(place)
+                if not vanished:
+                    if tracer.enabled:
+                        tracer.span_end(
+                            activity.name, "activity", place, self.engine.now, id=activity.id
+                        )
+                    if len(activity.finish_stack) != 1:
+                        raise ApgasError(
+                            f"activity {activity.name} terminated inside an open finish scope"
+                        )
+                    finish.join(place)
 
         activity.process = Process(self.engine, runner(), name=activity.name)
+        self._track_process(place, activity.process)
         return activity
+
+    def _track_process(self, place: int, process: Process) -> None:
+        """Remember which place hosts the process (chaos only: a place death
+        must kill its processes mid-instruction, or the engine would report
+        their permanently-blocked effects as a deadlock)."""
+        if self.chaos is None:
+            return
+        procs = self._procs_at.setdefault(place, set())
+        procs.add(process)
+        process.done.add_callback(lambda _e: procs.discard(process))
+        process.bookkeeping_callbacks += 1
 
     # -- remote evaluation (`at (p) e`) --------------------------------------------------
 
@@ -231,12 +295,17 @@ class ApgasRuntime:
         self.place(dst)
         self._c_remote_evals.inc()
         result_event = SimEvent(name=f"at({dst})")
+        if self.is_dead(dst):
+            result_event.fail(
+                DeadPlaceError(dst, detected_by=f"at@{src}", detail="evaluation at a dead place")
+            )
+            return result_event
         if src == dst:
             # `at (here)` degenerates to a direct call
             self._eval_here(dst, fn, args, src, result_event)
             return result_event
         reply_id = next(_reply_ids)
-        self._replies[reply_id] = result_event
+        self._replies[reply_id] = (result_event, dst)
         size = nbytes if nbytes is not None else estimate_nbytes(args)
         self.transport.send(
             Message(src=src, dst=dst, handler="apgas-eval", body=(fn, args, src, reply_id), nbytes=size)
@@ -248,33 +317,37 @@ class ApgasRuntime:
 
         def runner():
             # the shifted activity evaluates at dst, then the value travels home
-            shifted = Activity(dst, fn, args, _UNGOVERNED, name=f"at-eval@{dst}")
+            shifted = Activity(dst, fn, args, self._ungoverned, name=f"at-eval@{dst}")
             ctx = ActivityContext(self, shifted)
             try:
                 result = fn(ctx, *args)
                 if inspect.isgenerator(result):
                     result = yield from result
+            except GeneratorExit:
+                raise  # killed place: no reply; the caller learns through _replies
             except BaseException as exc:  # ship the exception home
                 self._send_reply(dst, reply_to, reply_id, exc, is_error=True)
                 return
             self._send_reply(dst, reply_to, reply_id, result, is_error=False)
 
-        Process(self.engine, runner(), name=f"at-eval@{dst}")
+        self._track_process(dst, Process(self.engine, runner(), name=f"at-eval@{dst}"))
 
     def _eval_here(self, place: int, fn: Callable, args: tuple, src: int, event: SimEvent) -> None:
         def runner():
-            shifted = Activity(place, fn, args, _UNGOVERNED, name=f"at-eval@{place}")
+            shifted = Activity(place, fn, args, self._ungoverned, name=f"at-eval@{place}")
             ctx = ActivityContext(self, shifted)
             try:
                 result = fn(ctx, *args)
                 if inspect.isgenerator(result):
                     result = yield from result
+            except GeneratorExit:
+                raise  # killed place: the event stays unfired, like its host
             except BaseException as exc:
                 event.fail(exc)
                 return
             event.trigger(result)
 
-        Process(self.engine, runner(), name=f"at-eval@{place}")
+        self._track_process(place, Process(self.engine, runner(), name=f"at-eval@{place}"))
 
     def _send_reply(self, src: int, dst: int, reply_id: int, payload, is_error: bool) -> None:
         self.transport.send(
@@ -289,7 +362,10 @@ class ApgasRuntime:
 
     def _on_reply(self, dst: int, body) -> None:
         reply_id, payload, is_error = body
-        event = self._replies.pop(reply_id)
+        entry = self._replies.pop(reply_id, None)
+        if entry is None:
+            return  # already failed by a place death; the late reply is moot
+        event, _eval_place = entry
         if is_error:
             event.fail(payload)
         else:
@@ -323,6 +399,24 @@ class ApgasRuntime:
             done.add_callback(land)
         else:
             done.add_callback(lambda _event: finish.join(dst.place))
+
+    # -- place failure ----------------------------------------------------------------------
+
+    def _on_place_death(self, place: int) -> None:
+        """Chaos killed ``place``: its processes stop mid-instruction, the
+        finishes it participated in fail (or forgive), and remote evaluations
+        it was computing fail with a structured :class:`DeadPlaceError`."""
+        for process in list(self._procs_at.get(place, ())):
+            process.kill()
+        self._procs_at.pop(place, None)
+        for finish in list(self._finishes.values()):
+            finish.notify_place_death(place)
+        for reply_id, (event, eval_place) in list(self._replies.items()):
+            if eval_place == place and not event.fired:
+                del self._replies[reply_id]
+                event.fail(DeadPlaceError(
+                    place, detected_by=f"at({place})", detail="evaluating place failed"
+                ))
 
     # -- finish control traffic -------------------------------------------------------------
 
@@ -364,6 +458,9 @@ class _UngovernedFinish:
 
     home = -1
 
+    def __init__(self, rt: "ApgasRuntime") -> None:
+        self.rt = rt
+
     def fork(self, src: int, dst: int) -> None:
         raise ApgasError(
             "cannot spawn an async inside an `at` body without opening a finish "
@@ -372,6 +469,3 @@ class _UngovernedFinish:
 
     def join(self, place: int) -> None:  # pragma: no cover - defensive
         raise ApgasError("ungoverned finish cannot join")
-
-
-_UNGOVERNED = _UngovernedFinish()

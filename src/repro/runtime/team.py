@@ -24,7 +24,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ApgasError
+from repro.errors import ApgasError, DeadPlaceError
 from repro.sim.events import SimEvent
 from repro.xrt import estimate_nbytes
 from repro.xrt.collectives import CollectiveOp
@@ -56,6 +56,10 @@ class Team:
         self._rank = {p: i for i, p in enumerate(self.members)}
         self._call_index = {p: 0 for p in self.members}
         self._slots: dict[int, _Slot] = {}
+        #: a member died: every current and future collective fails with this
+        self._failed: Optional[DeadPlaceError] = None
+        if getattr(rt, "chaos", None) is not None:
+            rt.chaos.subscribe_death(self._on_place_death)
 
     @property
     def size(self) -> int:
@@ -185,6 +189,11 @@ class Team:
         nbytes: Optional[int] = None,
     ) -> SimEvent:
         rank = self.rank(ctx.here)
+        if self._failed is not None:
+            # a member is dead: the rendezvous can never complete
+            event = SimEvent(name=f"team.{op.value}")
+            event.fail(self._failed)
+            return event
         index = self._call_index[ctx.here]
         self._call_index[ctx.here] += 1
 
@@ -218,12 +227,39 @@ class Team:
             root=self.members[self._root_rank(slot)] if "root_rank" in slot.meta else None,
         )
 
-        def on_done(_event):
-            del self._slots[index]
-            for rank, event in enumerate(slot.events):
-                event.trigger(results[rank])
+        def on_done(event):
+            self._slots.pop(index, None)
+            try:
+                event.value
+            except BaseException as exc:  # a member died mid-collective
+                for ev in slot.events:
+                    if not ev.fired:
+                        ev.fail(exc)
+                return
+            for rank, ev in enumerate(slot.events):
+                if not ev.fired:
+                    ev.trigger(results[rank])
 
         timing.add_callback(on_done)
+
+    # -- place failure ----------------------------------------------------------------
+
+    def _on_place_death(self, place: int) -> None:
+        """A team member died: fail the survivors' outstanding rendezvous.
+
+        Members already parked in a slot would otherwise wait forever for an
+        arrival that can never happen; they are woken with the structured
+        error, and later calls fail immediately."""
+        if self._failed is not None or place not in self._rank:
+            return
+        self._failed = DeadPlaceError(
+            place, detected_by="team", detail=f"team member {place} failed mid-collective"
+        )
+        slots, self._slots = self._slots, {}
+        for slot in slots.values():
+            for event in slot.events:
+                if not event.fired:
+                    event.fail(self._failed)
 
 
 def _reduce_values(values: list, op: Callable):

@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, SimulationError, StepLimitError
 
 
 class Handle:
@@ -65,14 +65,18 @@ class Engine:
 
     # -- main loop ------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run until the heap drains (or virtual time passes ``until``).
 
         Raises :class:`~repro.errors.DeadlockError` if the heap drains while
-        processes are still blocked on effects that can no longer fire.
+        processes are still blocked on effects that can no longer fire, and
+        :class:`~repro.errors.StepLimitError` once more than ``max_events``
+        callbacks have executed in total — the hang guard for chaos tests.
         Returns the final virtual time.
         """
         while self._heap:
+            if max_events is not None and self.events_executed >= max_events:
+                raise StepLimitError(max_events, self._now)
             time, _seq, handle, callback = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue

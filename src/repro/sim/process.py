@@ -51,6 +51,9 @@ class Process:
         self.engine = engine
         self.name = name or getattr(body, "__name__", "process")
         self._body = body
+        self._killed = False
+        #: done-callbacks that only observe (tracking); they don't consume crashes
+        self.bookkeeping_callbacks = 0
         #: fires with the body's return value when the process terminates
         self.done = SimEvent(name=f"{self.name}.done")
         engine.call_soon(lambda: self._step(None))
@@ -59,9 +62,31 @@ class Process:
         state = "done" if self.done.fired else "running"
         return f"<Process {self.name} {state}>"
 
+    def kill(self) -> None:
+        """Terminate the process abruptly (a simulated place failure).
+
+        The place hosting the process is gone mid-instruction: the body is
+        closed *now* (``GeneratorExit`` at the suspension point), so any
+        cleanup runs at the deterministic kill time, never at a garbage
+        collector's whim.  :attr:`done` never fires; waiters are expected to
+        be killed too or to learn of the failure through other channels
+        (e.g. a failed finish).
+        """
+        if self._killed or self.done.fired:
+            return
+        self._killed = True
+        self.engine._note_unblocked(self)
+        self._body.close()
+
+    @property
+    def killed(self) -> bool:
+        return self._killed
+
     # -- driving the generator -------------------------------------------------
 
     def _step(self, send_value: Any) -> None:
+        if self._killed:
+            return
         self.engine._note_unblocked(self)
         try:
             effect = self._body.send(send_value)
@@ -74,6 +99,8 @@ class Process:
         self._dispatch(effect)
 
     def _throw(self, exc: BaseException) -> None:
+        if self._killed:
+            return
         self.engine._note_unblocked(self)
         try:
             effect = self._body.throw(exc)
@@ -88,7 +115,8 @@ class Process:
     def _crash(self, exc: BaseException) -> None:
         # If someone is waiting on .done the exception is delivered there
         # (remote-eval semantics); an orphan crash aborts the whole run.
-        had_waiters = bool(self.done._callbacks)
+        # Pure bookkeeping callbacks (process tracking) don't count as waiters.
+        had_waiters = len(self.done._callbacks) > self.bookkeeping_callbacks
         self.done.fail(exc)
         if not had_waiters:
             raise exc

@@ -21,7 +21,6 @@ from typing import Optional, Sequence
 
 from repro.errors import TransportError
 from repro.machine import bandwidth
-from repro.machine.network import TransferKind
 from repro.sim.events import SimEvent
 from repro.xrt.transport import Transport
 
@@ -108,9 +107,10 @@ class Collectives:
     def _emulated(self, op: CollectiveOp, members: list[int], nbytes: float, root: int) -> SimEvent:
         rounds = self._rounds(op, members, nbytes, members.index(root))
         done = SimEvent(name=f"em-{op.value}")
-        network = self.transport.network
 
         def run_round(index: int) -> None:
+            if done.fired:
+                return  # a member death already failed the collective
             if index == len(rounds):
                 done.trigger()
                 return
@@ -120,13 +120,21 @@ class Collectives:
                 return
             remaining = [len(transfers)]
 
-            def on_delivered(_event):
+            def on_delivered(event):
+                try:
+                    event.value
+                except BaseException as exc:
+                    # a member died: the collective cannot complete; fail every
+                    # waiter with the structured error instead of hanging
+                    if not done.fired:
+                        done.fail(exc)
+                    return
                 remaining[0] -= 1
-                if remaining[0] == 0:
+                if remaining[0] == 0 and not done.fired:
                     run_round(index + 1)
 
             for src, dst, size in transfers:
-                network.transfer(src, dst, size, TransferKind.MSG).add_callback(on_delivered)
+                self.transport.reliable_transfer(src, dst, size).add_callback(on_delivered)
 
         run_round(0)
         return done

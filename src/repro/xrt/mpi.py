@@ -33,9 +33,11 @@ class MpiTransport(Transport):
         config: MachineConfig,
         topology: Topology,
         obs: Optional[Observability] = None,
+        chaos=None,
+        reliable: Optional[bool] = None,
     ) -> None:
         mpi_cost = config.with_(
             software_latency=config.software_latency + self.MPI_SOFTWARE_LATENCY,
             msg_injection_overhead=config.msg_injection_overhead * 1.5,
         )
-        super().__init__(engine, mpi_cost, topology, obs=obs)
+        super().__init__(engine, mpi_cost, topology, obs=obs, chaos=chaos, reliable=reliable)

@@ -32,9 +32,11 @@ class SocketsTransport(Transport):
         config: MachineConfig,
         topology: Topology,
         obs: Optional[Observability] = None,
+        chaos=None,
+        reliable: Optional[bool] = None,
     ) -> None:
         kernel_cost = config.with_(
             software_latency=config.software_latency + self.SOCKET_SOFTWARE_LATENCY,
             msg_injection_overhead=config.msg_injection_overhead * 4,
         )
-        super().__init__(engine, kernel_cost, topology, obs=obs)
+        super().__init__(engine, kernel_cost, topology, obs=obs, chaos=chaos, reliable=reliable)

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from repro.errors import TransportError
+from repro.errors import DeadPlaceError, TransportError
 from repro.machine.config import MachineConfig
 from repro.machine.network import Network, TransferKind
 from repro.machine.topology import Topology
@@ -25,6 +26,145 @@ class Message:
     nbytes: int = 16
 
 
+class _Reliability:
+    """Acks, timeout/exponential-backoff retries, and idempotent delivery.
+
+    Active under chaos: every logical transfer gets a sequence number, the
+    receiver acknowledges each arrival, the sender retransmits unacked
+    transfers on an exponential-backoff timer, and a delivery table keyed by
+    sequence number suppresses duplicates — so the application-visible
+    delivery is exactly-once even over a fabric that drops and duplicates.
+    A destination that stays silent through ``max_retries`` retransmissions
+    is declared dead through the chaos injector (failure-detector semantics),
+    which fails the finishes involving it instead of hanging the run.
+    """
+
+    def __init__(self, transport: "Transport", chaos) -> None:
+        self.transport = transport
+        self.chaos = chaos
+        spec = chaos.spec
+        self.rto = spec.rto
+        self.max_retries = spec.max_retries
+        self.ack_bytes = spec.ack_bytes
+        self._seq = itertools.count(1)
+        #: sequence numbers whose payload already reached the application
+        self._delivered: set[int] = set()
+        #: per-seq sender state for unacked transfers
+        self._pending: dict[int, dict] = {}
+        metrics = transport.obs.metrics
+        self._c_retries = metrics.counter("transport.retry.count")
+        self._c_exhausted = metrics.counter("transport.retry.exhausted")
+        self._c_acks = metrics.counter("transport.acks")
+        self._c_dup_suppressed = metrics.counter("transport.dup_suppressed")
+        self._c_delivered = metrics.counter("transport.delivered")
+        self._tracer = transport.obs.trace
+
+    def transfer(self, src: int, dst: int, nbytes: float) -> SimEvent:
+        """Ship ``nbytes`` src -> dst; the event fires on the first delivery
+        (exactly once), however many attempts and duplicates it takes — or
+        fails with :class:`~repro.errors.DeadPlaceError` when the destination
+        is (or becomes) dead, so senders never hang on a dead peer."""
+        seq = next(self._seq)
+        done = SimEvent(name=f"rel:{seq}")
+        if self.chaos.is_dead(dst):
+            done.fail(DeadPlaceError(dst, detected_by=f"transfer@{src}",
+                                     detail="destination already dead at send time"))
+            return done
+        self._pending[seq] = {"acked": False, "attempt": 0, "rto": self.rto}
+        self._attempt(src, dst, nbytes, seq, done)
+        return done
+
+    # -- sender side -------------------------------------------------------------
+
+    def _attempt(self, src: int, dst: int, nbytes: float, seq: int, done: SimEvent) -> None:
+        if self.chaos.is_dead(src):
+            self._pending.pop(seq, None)  # a dead sender stops retrying
+            return
+        event = self.transport.network.transfer(src, dst, nbytes, TransferKind.MSG, tag=seq)
+        event.add_callback(lambda _e: self._on_data(src, dst, seq, done))
+        state = self._pending.get(seq)
+        if state is None:
+            return
+        state["handle"] = self.transport.engine.schedule(
+            state["rto"], lambda: self._on_timeout(src, dst, nbytes, seq, done)
+        )
+
+    def _on_timeout(self, src: int, dst: int, nbytes: float, seq: int, done: SimEvent) -> None:
+        state = self._pending.get(seq)
+        if state is None or state["acked"]:
+            return
+        if self.chaos.is_dead(src):
+            self._pending.pop(seq, None)  # the sender itself died; nobody is waiting
+            return
+        if self.chaos.is_dead(dst):
+            # the peer died mid-flight: surface the failure at the next timer
+            # tick instead of retrying into a black hole (or hanging forever)
+            self._pending.pop(seq, None)
+            if not done.fired:
+                done.fail(DeadPlaceError(dst, detected_by=f"transfer@{src}",
+                                         detail="destination died before acknowledging"))
+            return
+        if state["attempt"] >= self.max_retries:
+            self._pending.pop(seq, None)
+            self._c_exhausted.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "transport.unreachable", "transport", src, self.transport.engine.now,
+                    seq=seq, src=src, dst=dst, attempts=state["attempt"],
+                )
+            self.chaos.declare_dead(dst, reason=f"unreachable after {state['attempt']} retries")
+            if not done.fired:
+                done.fail(DeadPlaceError(dst, detected_by=f"transfer@{src}",
+                                         detail=f"unreachable after {state['attempt']} retries"))
+            return
+        state["attempt"] += 1
+        state["rto"] *= 2
+        self._c_retries.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "transport.retry", "transport", src, self.transport.engine.now,
+                seq=seq, src=src, dst=dst, attempt=state["attempt"],
+            )
+        self._attempt(src, dst, nbytes, seq, done)
+
+    # -- receiver side -----------------------------------------------------------
+
+    def _on_data(self, src: int, dst: int, seq: int, done: SimEvent) -> None:
+        if self.chaos.is_dead(dst):
+            return
+        if seq in self._delivered:
+            self._c_dup_suppressed.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "transport.dup", "transport", dst, self.transport.engine.now,
+                    seq=seq, src=src, dst=dst,
+                )
+        else:
+            self._delivered.add(seq)
+            self._c_delivered.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "transport.deliver", "transport", dst, self.transport.engine.now,
+                    seq=seq, src=src, dst=dst,
+                )
+            done.trigger()
+        # (re-)acknowledge; acks are tagged -seq so traces can tell the legs apart
+        ack = self.transport.network.transfer(
+            dst, src, self.ack_bytes, TransferKind.MSG, tag=-seq
+        )
+        ack.add_callback(lambda _e: self._on_ack(seq))
+
+    def _on_ack(self, seq: int) -> None:
+        state = self._pending.pop(seq, None)
+        if state is None:
+            return  # duplicate ack, or the transfer was already resolved
+        state["acked"] = True
+        self._c_acks.inc()
+        handle = state.get("handle")
+        if handle is not None:
+            handle.cancel()
+
+
 class Transport:
     """Base X10RT transport: point-to-point active messages.
 
@@ -32,6 +172,10 @@ class Transport:
     types).  Delivery order between a fixed (src, dst) pair follows simulated
     delivery times; the engine's deterministic tie-breaking makes runs
     reproducible.
+
+    With a chaos injector attached the transport runs in *resilient* mode
+    (see :class:`_Reliability`); without one the send path is exactly the
+    seed's fire-and-forget path, bit-for-bit.
     """
 
     #: capability flags, overridden by concrete transports
@@ -48,15 +192,37 @@ class Transport:
         config: MachineConfig,
         topology: Topology,
         obs: Optional[Observability] = None,
+        chaos=None,
+        reliable: Optional[bool] = None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.topology = topology
         self.obs = obs if obs is not None else Observability()
-        self.network = Network(engine, config, topology, obs=self.obs)
+        self.chaos = chaos
+        self.network = Network(engine, config, topology, obs=self.obs, chaos=chaos)
         self._handlers: dict[str, Callable[[int, Any], None]] = {}
-        self.messages_sent = 0
         self._send_counters: dict[str, Any] = {}
+        if reliable is None:
+            reliable = chaos is not None
+        if reliable and chaos is None:
+            raise TransportError("reliable transport needs a chaos injector (rto/retry spec)")
+        self._reliability = _Reliability(self, chaos) if reliable else None
+
+    @property
+    def reliable(self) -> bool:
+        return self._reliability is not None
+
+    @property
+    def messages_sent(self) -> int:
+        """Logical active messages sent (one per :meth:`send` call).
+
+        A read of the ``xrt.messages`` registry series — the single source of
+        truth.  Wire-level retransmissions and chaos duplicates count only at
+        the network layer (``net.messages``), so the two views measure
+        different layers and neither can drift from the registry.
+        """
+        return int(self.obs.metrics.total("xrt.messages"))
 
     # -- handler registry ---------------------------------------------------------
 
@@ -74,9 +240,13 @@ class Transport:
     # -- sending --------------------------------------------------------------------
 
     def send(self, msg: Message) -> SimEvent:
-        """Send an active message; the returned event fires after the handler ran."""
+        """Send an active message; the returned event fires after the handler ran.
+
+        In resilient mode the handler runs exactly once per logical send, no
+        matter what the fabric drops or duplicates; the event still fires
+        after that (first) handler execution.
+        """
         fn = self.handler(msg.handler)  # fail fast on unknown handlers
-        self.messages_sent += 1
         counter = self._send_counters.get(msg.handler)
         if counter is None:
             counter = self._send_counters[msg.handler] = self.obs.metrics.counter(
@@ -95,17 +265,28 @@ class Transport:
                 handler=msg.handler,
                 nbytes=msg.nbytes,
             )
-        delivered = self.network.transfer(
-            msg.src, msg.dst, self._wire_bytes(msg), kind=TransferKind.MSG
-        )
+        delivered = self.reliable_transfer(msg.src, msg.dst, self._wire_bytes(msg))
         done = SimEvent(name=f"am:{msg.handler}")
 
-        def on_delivery(_event):
+        def on_delivery(event):
+            try:
+                event.value
+            except BaseException as exc:
+                done.fail(exc)  # dead destination: the handler never runs
+                return
             fn(msg.dst, msg.body)
             done.trigger()
 
         delivered.add_callback(on_delivery)
         return done
+
+    def reliable_transfer(self, src: int, dst: int, nbytes: float) -> SimEvent:
+        """An exactly-once message transfer: retried/deduplicated in resilient
+        mode, a plain network transfer otherwise.  The emulated collectives
+        build their rounds on this so they too survive lossy fabrics."""
+        if self._reliability is not None:
+            return self._reliability.transfer(src, dst, nbytes)
+        return self.network.transfer(src, dst, nbytes, kind=TransferKind.MSG)
 
     def _wire_bytes(self, msg: Message) -> float:
         # software-heavy transports behave as if each message were bigger

@@ -1,0 +1,59 @@
+"""Shared machinery for the chaos suite.
+
+Every chaos test runs with a hard simulation-step cap: a protocol that stops
+making progress under fault injection must surface as a structured error
+(``StepLimitError`` / ``DeadlockError`` / ``DeadPlaceError``), never as a
+wall-clock hang of the test runner.
+"""
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.obs import Observability
+from repro.runtime import ApgasRuntime
+from repro.runtime.finish.pragmas import Pragma
+
+#: generous ceiling on engine events for the small programs in this suite
+STEP_CAP = 2_000_000
+
+
+@pytest.fixture
+def small_config():
+    return MachineConfig.small()
+
+
+def make_chaos_runtime(places, chaos, trace=False):
+    """A small-machine runtime (4 places per octant, so faults actually fire)."""
+    return ApgasRuntime(
+        places=places,
+        config=MachineConfig.small(),
+        obs=Observability(trace=trace),
+        chaos=chaos,
+    )
+
+
+def run_fanout(rt, pragma=Pragma.DEFAULT, work_seconds=1e-5, repeats=1):
+    """Spawn one activity per remote place under ``pragma``; returns arrival
+    counts per place (exactly-once delivery means every count is 1 per
+    repeat).  The run is step-capped so a hang becomes a loud failure."""
+    arrivals = {}
+
+    def worker(ctx):
+        arrivals[ctx.here] = arrivals.get(ctx.here, 0) + 1
+        yield ctx.compute(seconds=work_seconds)
+
+    def main(ctx):
+        for _ in range(repeats):
+            with ctx.finish(pragma) as f:
+                for p in ctx.places():
+                    if p != ctx.here:
+                        ctx.at_async(p, worker)
+            yield f.wait()
+
+    rt.run(main, max_events=STEP_CAP)
+    return arrivals
+
+
+def counter_total(rt, name):
+    """Sum of a counter series over all label sets."""
+    return sum(s.value for s in rt.obs.metrics.snapshot().samples if s.name == name)

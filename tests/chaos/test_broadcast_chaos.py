@@ -1,0 +1,68 @@
+"""Spawning-tree broadcast under place failures: re-rooting and fail-fast."""
+
+import pytest
+
+from repro.errors import DeadPlaceError
+from repro.runtime import PlaceGroup, broadcast_spawn
+
+from tests.chaos.conftest import STEP_CAP, counter_total, make_chaos_runtime
+
+
+def _broadcast_program(rt, group_places, work_seconds=1e-6):
+    ran = []
+
+    def body(ctx):
+        ran.append(ctx.here)
+        yield ctx.compute(seconds=work_seconds)
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup(group_places), body)
+
+    return main, ran
+
+
+def test_tree_reroots_around_predead_member():
+    rt = make_chaos_runtime(8, chaos="seed=0")
+    rt.chaos.kill(2)  # dead before the broadcast starts
+    main, ran = _broadcast_program(rt, list(range(8)))
+    rt.run(main, max_events=STEP_CAP)
+    # place 2 roots the subtree [2,4); the subtree must re-root at 3
+    assert sorted(ran) == [0, 1, 3, 4, 5, 6, 7]
+    assert counter_total(rt, "broadcast.rerooted") >= 1
+
+
+def test_dead_group_root_reroots_whole_broadcast():
+    rt = make_chaos_runtime(8, chaos="seed=0")
+    rt.chaos.kill(2)
+    main, ran = _broadcast_program(rt, [2, 3, 4, 5])
+    rt.run(main, max_events=STEP_CAP)
+    assert sorted(ran) == [3, 4, 5]
+    assert counter_total(rt, "broadcast.rerooted") >= 1
+
+
+def test_all_members_dead_raises():
+    rt = make_chaos_runtime(8, chaos="seed=0")
+    rt.chaos.kill(5)
+    rt.chaos.kill(6)
+    main, ran = _broadcast_program(rt, [5, 6])
+
+    with pytest.raises(DeadPlaceError):
+        rt.run(main, max_events=STEP_CAP)
+    assert ran == []
+
+
+def test_midbroadcast_kill_fails_with_structured_error():
+    rt = make_chaos_runtime(16, chaos="seed=0,kill=5@1e-4")
+    main, ran = _broadcast_program(rt, list(range(16)), work_seconds=5e-4)
+    with pytest.raises(DeadPlaceError) as excinfo:
+        rt.run(main, max_events=STEP_CAP)
+    assert excinfo.value.place == 5
+
+
+def test_broadcast_survives_drops_with_exact_coverage():
+    rt = make_chaos_runtime(16, chaos="seed=13,drop=0.25,dup=0.1,rto=1e-4")
+    main, ran = _broadcast_program(rt, list(range(16)))
+    rt.run(main, max_events=STEP_CAP)
+    assert sorted(ran) == list(range(16))
+    assert len(ran) == 16  # exactly once each, no duplicate bodies
+    assert counter_total(rt, "chaos.drops") > 0

@@ -1,0 +1,91 @@
+"""Chaos determinism regression: the fault schedule is a pure function of
+(program, spec).  Same seed and spec => bit-identical traces; different seeds
+=> different fault schedules."""
+
+import io
+
+from repro.glb import CountingBag, Glb, GlbConfig
+
+from tests.chaos.conftest import STEP_CAP, make_chaos_runtime, run_fanout
+
+SPEC = "seed=7,drop=0.25,dup=0.15,delay=0.2:2e-5,rto=1e-4"
+
+
+def _traced_fanout(chaos):
+    rt = make_chaos_runtime(16, chaos=chaos, trace=True)
+    run_fanout(rt, repeats=3)
+    buf = io.StringIO()
+    rt.obs.trace.export_jsonl(buf)
+    return rt, buf.getvalue()
+
+
+def _chaos_schedule(rt):
+    """The injected faults, in order, as comparable tuples."""
+    return [
+        (e.name, e.ts, e.args.get("src"), e.args.get("dst"), e.args.get("tag"))
+        for e in rt.obs.trace.events
+        if e.name.startswith("chaos.")
+    ]
+
+
+def test_same_seed_and_spec_identical_trace_jsonl():
+    rt1, jsonl1 = _traced_fanout(SPEC)
+    rt2, jsonl2 = _traced_fanout(SPEC)
+    assert jsonl1 == jsonl2
+    assert _chaos_schedule(rt1) == _chaos_schedule(rt2)
+    assert rt1.engine.now == rt2.engine.now
+    assert rt1.engine.events_executed == rt2.engine.events_executed
+
+
+def test_different_seed_different_fault_schedule():
+    rt1, _ = _traced_fanout("seed=1,drop=0.25,dup=0.15,rto=1e-4")
+    rt2, _ = _traced_fanout("seed=2,drop=0.25,dup=0.15,rto=1e-4")
+    s1, s2 = _chaos_schedule(rt1), _chaos_schedule(rt2)
+    assert s1, "seed 1 must inject at least one fault for this test to mean anything"
+    assert s1 != s2
+
+
+def test_glb_chaos_run_deterministic_including_kill_recovery():
+    def run():
+        rt = make_chaos_runtime(16, chaos="seed=11,kill=7@8e-4,drop=0.1,rto=1e-4")
+        glb = Glb(
+            rt,
+            root_bag=CountingBag(20_000),
+            make_empty_bag=CountingBag,
+            process_rate=1e6,
+            config=GlbConfig(seed=5),
+        )
+        result = glb.run()
+        return result.total_processed, tuple(result.processed_per_place), rt.engine.now
+
+    assert run() == run()
+
+
+def test_kill_time_is_exact_simulated_time():
+    import pytest
+
+    from repro.errors import DeadPlaceError
+
+    rt = make_chaos_runtime(8, chaos="seed=0,kill=3@1.5e-4", trace=True)
+    with pytest.raises(DeadPlaceError):
+        run_fanout(rt, work_seconds=1e-3)  # long enough that 3's worker is live
+    kills = [e for e in rt.obs.trace.events if e.name == "chaos.kill"]
+    # the fan-out fails, but the kill itself lands at exactly the spec'd time
+    assert [(e.place, e.ts) for e in kills] == [(3, 1.5e-4)]
+
+
+def test_step_cap_guards_against_hangs():
+    """The suite's safety net itself: a capped run raises StepLimitError
+    instead of spinning forever."""
+    import pytest
+
+    from repro.errors import StepLimitError
+
+    rt = make_chaos_runtime(4, chaos="seed=0")
+
+    def forever(ctx):
+        while True:
+            yield ctx.compute(seconds=1e-9)
+
+    with pytest.raises(StepLimitError):
+        rt.run(forever, max_events=10_000)

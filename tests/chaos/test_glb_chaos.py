@@ -1,0 +1,72 @@
+"""GLB under chaos: lifeline re-wiring, victim-set repair, tolerant finish.
+
+The GLB root finish runs with ``tolerate_death``: a killed place loses the
+tasks it held (forgiven by the finish), but the survivors re-wire their
+lifeline graph and victim sets around the hole and drain the remaining work
+to completion — the paper's resilient work-stealing story.
+"""
+
+from repro.glb import CountingBag, Glb, GlbConfig
+
+from tests.chaos.conftest import counter_total, make_chaos_runtime
+
+TASKS = 20_000
+
+
+def _run_glb(rt, tasks=TASKS, seed=5):
+    glb = Glb(
+        rt,
+        root_bag=CountingBag(tasks),
+        make_empty_bag=CountingBag,
+        process_rate=1e6,
+        config=GlbConfig(seed=seed),
+    )
+    return glb, glb.run()
+
+
+def test_glb_survives_place_kill():
+    rt = make_chaos_runtime(16, chaos="seed=11,kill=7@8e-4")
+    _, result = _run_glb(rt)
+    # the run terminates; work the dead place held is lost, everything the
+    # survivors could reach is processed
+    assert 0 < result.total_processed <= TASKS
+    assert rt.chaos.dead_places == frozenset({7})
+    assert counter_total(rt, "glb.lifelines_rewired") > 0
+    assert counter_total(rt, "glb.victims_repaired") > 0
+    assert counter_total(rt, "finish.forgiven") >= 1
+    assert counter_total(rt, "finish.failed") == 0
+
+
+def test_glb_kill_before_distribution_loses_nothing():
+    rt = make_chaos_runtime(16, chaos="seed=11,kill=7@2e-4")
+    _, result = _run_glb(rt)
+    assert result.total_processed == TASKS
+    assert rt.chaos.dead_places == frozenset({7})
+
+
+def test_glb_survives_two_kills():
+    rt = make_chaos_runtime(16, chaos="seed=3,kill=5@6e-4+11@9e-4")
+    _, result = _run_glb(rt)
+    assert 0 < result.total_processed <= TASKS
+    assert rt.chaos.dead_places == frozenset({5, 11})
+
+
+def test_glb_drop_chaos_processes_every_task():
+    """Message faults without kills lose no work: the transport recovers
+    every steal, loot shipment, and termination report."""
+    rt = make_chaos_runtime(16, chaos="seed=17,drop=0.2,dup=0.1,rto=1e-4")
+    _, result = _run_glb(rt)
+    assert result.total_processed == TASKS
+    assert counter_total(rt, "chaos.drops") > 0
+    assert counter_total(rt, "transport.retry.exhausted") == 0
+
+
+def test_glb_dead_place_excluded_from_lifelines_and_victims():
+    rt = make_chaos_runtime(16, chaos="seed=11,kill=7@8e-4")
+    glb, _ = _run_glb(rt)
+    for place in range(rt.n_places):
+        if place == 7:
+            continue
+        st = glb.state[place]
+        assert 7 not in st.lifelines, f"place {place} kept a lifeline to the dead place"
+        assert 7 not in set(st.victims), f"place {place} kept the dead place as a victim"

@@ -1,0 +1,50 @@
+"""ChaosSpec: parsing, validation, and the fault schedule's determinism hooks."""
+
+import pytest
+
+from repro.chaos import ChaosSpec
+from repro.errors import ChaosError
+
+
+def test_parse_full_spec():
+    spec = ChaosSpec.parse(
+        "seed=7,drop=0.1,dup=0.05,delay=0.2:2e-5,reorder=0.1:5e-5,"
+        "degrade=4@0.001,kill=5@0.01+9@0.02,rto=2e-4,retries=10"
+    )
+    assert spec.seed == 7
+    assert spec.drop == 0.1
+    assert spec.dup == 0.05
+    assert spec.delay_p == 0.2 and spec.delay_mean == 2e-5
+    assert spec.reorder_p == 0.1 and spec.reorder_window == 5e-5
+    assert spec.degrade_factor == 4.0 and spec.degrade_after == 0.001
+    assert spec.kills == ((5, 0.01), (9, 0.02))
+    assert spec.rto == 2e-4 and spec.max_retries == 10
+    assert spec.injects_faults
+
+
+def test_empty_spec_enables_resilience_without_faults():
+    spec = ChaosSpec.parse("seed=0")
+    assert not spec.injects_faults
+
+
+def test_describe_round_trips_through_parse():
+    spec = ChaosSpec.parse("seed=3,drop=0.25,dup=0.1,kill=2@0.005")
+    assert ChaosSpec.parse(spec.describe()) == spec
+
+
+@pytest.mark.parametrize("bad", [
+    "frobnicate=1",          # unknown key
+    "drop",                  # not key=value
+    "drop=1.5",              # not a probability
+    "kill=3",                # missing @time
+    "retries=x",             # not an int
+])
+def test_bad_specs_rejected(bad):
+    with pytest.raises(ChaosError):
+        ChaosSpec.parse(bad)
+
+
+def test_spec_is_frozen_with_functional_update():
+    spec = ChaosSpec.parse("seed=1,drop=0.1")
+    assert spec.with_(drop=0.5).drop == 0.5
+    assert spec.drop == 0.1

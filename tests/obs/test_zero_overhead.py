@@ -55,6 +55,46 @@ def test_metrics_snapshot_rides_every_result():
     assert "trace" not in r.extra  # tracing is opt-in
 
 
+def test_chaos_disabled_runs_bitwise_identical():
+    """The chaos hook must be zero-cost when unused: a runtime built with
+    ``chaos=None`` is bit-identical to one built without the kwarg at all."""
+    from repro.kernels.uts import run_uts
+
+    def run(**kwargs):
+        rt = ApgasRuntime(places=16, config=MachineConfig.small(), **kwargs)
+        r = run_uts(rt, depth=7, glb_config=GlbConfig(chunk_items=128, seed=3))
+        return (
+            r.sim_time,
+            r.value,
+            r.extra["glb"].processed_per_place,
+            rt.engine.events_executed,
+        )
+
+    assert run() == run(chaos=None)
+
+
+def test_chaos_disabled_kmeans_bitwise_identical():
+    def run(**kwargs):
+        r = simulate("kmeans", 8, **kwargs)
+        return r.sim_time, r.value, r.verified
+
+    assert run() == run(chaos=None)
+
+
+def test_resilient_mode_without_faults_same_results():
+    """``seed=0`` (no fault probabilities) turns on the resilient transport —
+    acks, retry timers, dedup — but the application answers must not change.
+    Simulated time differs (acks are real messages); the results cannot."""
+    from repro.kernels.uts import run_uts
+
+    def run(chaos):
+        rt = ApgasRuntime(places=16, config=MachineConfig.small(), chaos=chaos)
+        r = run_uts(rt, depth=7, glb_config=GlbConfig(chunk_items=128, seed=3))
+        return r.extra["nodes"], r.extra["glb"].total_processed
+
+    assert run(None) == run("seed=0")
+
+
 def test_legacy_stats_views_track_registry():
     from repro.kernels.uts import run_uts
 
