@@ -1,0 +1,10 @@
+"""Wall-clock benchmarks of the simulator itself (see :mod:`repro.perf`).
+
+Unlike the ``bench_fig1_*`` / ``bench_table*`` files — which report
+*simulated* seconds and are deterministic — these measure real elapsed time
+of the engine, transport, finish, and kernel layers.  Collected by pytest for
+sanity (each bench asserts its work count and a loose throughput floor); the
+authoritative numbers come from ``repro perf``, which writes
+``BENCH_sim.json`` / ``BENCH_kernels.json`` and gates CI against the
+committed baselines.
+"""

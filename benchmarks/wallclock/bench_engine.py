@@ -1,0 +1,41 @@
+"""Wall-clock engine microbenchmarks: heap timers, ready queue, cancel churn."""
+
+from repro.perf import benches
+from repro.sim.engine import Engine
+
+from benchmarks._util import run_once
+
+
+def bench_engine_timers(benchmark):
+    ops = run_once(benchmark, benches._bench_engine_timers, 50_000)
+    assert ops == 50_000
+
+
+def bench_engine_ready(benchmark):
+    ops = run_once(benchmark, benches._bench_engine_ready, 50_000)
+    assert ops == 50_000
+
+
+def bench_engine_cancel_churn(benchmark):
+    ops = run_once(benchmark, benches._bench_engine_cancel_churn, 50, 1000)
+    assert ops == 50_000
+
+
+def bench_engine_compaction_bounds_heap(benchmark):
+    """The churn pattern must actually trigger compaction and bound the queue."""
+
+    def churn():
+        eng = Engine()
+        peak = 0
+        for _ in range(200):
+            handles = [eng.schedule(1.0, lambda: None) for _ in range(500)]
+            for h in handles:
+                h.cancel()
+            peak = max(peak, eng.pending_events())
+        eng.run()
+        return eng.compactions, peak
+
+    compactions, peak = run_once(benchmark, churn)
+    assert compactions > 0
+    # 100k timers armed and cancelled; lazy deletion alone would peak at 100k
+    assert peak < 5_000

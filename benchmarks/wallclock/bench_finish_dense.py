@@ -1,0 +1,10 @@
+"""Wall-clock FINISH_DENSE benchmark: coalescing-window join throughput."""
+
+from repro.perf import benches
+
+from benchmarks._util import run_once
+
+
+def bench_finish_dense_waves(benchmark):
+    ops = run_once(benchmark, benches._bench_finish_dense, 32, 10)
+    assert ops == 10 * 31

@@ -1,0 +1,10 @@
+"""Wall-clock transport benchmark: active-message ping-pong round trips."""
+
+from repro.perf import benches
+
+from benchmarks._util import run_once
+
+
+def bench_transport_roundtrip(benchmark):
+    ops = run_once(benchmark, benches._bench_transport_roundtrip, 1000)
+    assert ops == 1000

@@ -1,0 +1,20 @@
+"""Wall-clock UTS macro benchmark: the whole stack end to end.
+
+The node count doubles as a determinism check: the fast paths must not
+change what the simulation computes, only how fast the simulator runs it.
+"""
+
+from repro.harness.runner import simulate
+
+from benchmarks._util import run_once
+
+
+def bench_uts_macro_64(benchmark):
+    result = run_once(benchmark, simulate, "uts", 64)
+    assert result.extra["nodes"] == 205_011  # fixed seed, fixed tree
+    assert result.sim_time > 0
+
+
+def bench_uts_macro_256(benchmark):
+    result = run_once(benchmark, simulate, "uts", 256)
+    assert result.extra["nodes"] == 205_011

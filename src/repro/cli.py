@@ -10,6 +10,7 @@
     python -m repro.cli figure stream               # one Figure 1 panel
     python -m repro.cli tables                      # Tables 1 and 2
     python -m repro.cli report                      # the whole EXPERIMENTS body
+    python -m repro.cli perf --quick --check        # wall-clock benches vs baseline
 """
 
 from __future__ import annotations
@@ -17,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import DeadPlaceError
+from repro.errors import ChaosError, DeadPlaceError
 from repro.harness.figures import figure1_panel, render_panel
 from repro.harness.reporting import si
 from repro.harness.runner import KERNELS, simulate
@@ -67,6 +68,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="regenerate Tables 1 and 2")
     sub.add_parser("report", help="regenerate the full EXPERIMENTS body")
+
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock benchmarks of the simulator itself (BENCH_sim/BENCH_kernels)",
+    )
+    perf.add_argument(
+        "--suite",
+        choices=("sim", "kernels", "all"),
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip full-only benches (uts@1024); the CI mode",
+    )
+    perf.add_argument("--repeats", type=int, default=3, help="timed runs per bench (min is reported)")
+    perf.add_argument("--out-dir", default=".", help="where to write BENCH_*.json (default: cwd)")
+    perf.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against committed baselines and exit 1 on regression",
+    )
+    perf.add_argument(
+        "--baseline-dir",
+        default=".",
+        help="directory holding baseline BENCH_*.json (default: cwd)",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional slowdown before --check fails (default 0.2)",
+    )
     return parser
 
 
@@ -82,6 +117,9 @@ def main(argv=None, out=sys.stdout) -> int:
     if args.command == "run":
         try:
             result = simulate(args.kernel, args.places, chaos=args.chaos)
+        except ChaosError as exc:
+            print(f"error: bad --chaos spec: {exc}", file=out)
+            return 2
         except DeadPlaceError as exc:
             print(f"kernel        : {args.kernel}", file=out)
             print(f"places        : {args.places}", file=out)
@@ -123,6 +161,9 @@ def main(argv=None, out=sys.stdout) -> int:
     if args.command == "trace":
         try:
             result = simulate(args.kernel, args.places, trace=True, chaos=args.chaos)
+        except ChaosError as exc:
+            print(f"error: bad --chaos spec: {exc}", file=out)
+            return 2
         except DeadPlaceError as exc:
             print(f"kernel        : {args.kernel}", file=out)
             print(f"places        : {args.places}", file=out)
@@ -162,7 +203,82 @@ def main(argv=None, out=sys.stdout) -> int:
         generate(out)
         return 0
 
+    if args.command == "perf":
+        return _cmd_perf(args, out)
+
     raise AssertionError("unreachable")
+
+
+def _cmd_perf(args, out) -> int:
+    """Run the wall-clock suites; write BENCH_*.json; optionally gate on baselines.
+
+    Exit codes: 0 — ran (and, with ``--check``, no regression); 1 — at least
+    one bench regressed past tolerance; 2 — usage error (bad tolerance,
+    missing baseline file with ``--check``).
+    """
+    import os
+
+    from repro.perf import (
+        DEFAULT_TOLERANCE,
+        compare_to_baseline,
+        load_results,
+        render_results,
+        run_suite,
+        write_results,
+    )
+
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if not 0.0 <= tolerance < 1.0:
+        print(f"error: --tolerance must be in [0, 1), got {tolerance}", file=out)
+        return 2
+    if args.repeats < 1:
+        print(f"error: --repeats must be >= 1, got {args.repeats}", file=out)
+        return 2
+
+    suites = ("sim", "kernels") if args.suite == "all" else (args.suite,)
+
+    # load baselines up front so --check with out-dir == baseline-dir compares
+    # against the committed content, not the file this run is about to write
+    baselines = {}
+    if args.check:
+        for suite in suites:
+            path = os.path.join(args.baseline_dir, f"BENCH_{suite}.json")
+            if not os.path.exists(path):
+                print(f"error: --check needs a baseline at {path}", file=out)
+                return 2
+            try:
+                baselines[suite] = load_results(path)
+            except (ValueError, KeyError, TypeError) as exc:
+                print(f"error: unreadable baseline {path}: {exc}", file=out)
+                return 2
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    regressed = False
+    for suite in suites:
+        print(f"suite {suite}{' (quick)' if args.quick else ''}:", file=out)
+        results = run_suite(
+            suite,
+            quick=args.quick,
+            repeats=args.repeats,
+            log=lambda msg: print(msg, file=out),
+        )
+        print(render_results(results, baselines.get(suite)), file=out)
+        path = os.path.join(args.out_dir, f"BENCH_{suite}.json")
+        write_results(path, suite, results, quick=args.quick)
+        print(f"  -> {path}", file=out)
+        if args.check:
+            for reg in compare_to_baseline(results, baselines[suite], tolerance):
+                regressed = True
+                print(
+                    f"REGRESSION {reg.name}: {reg.value:,.0f} vs baseline "
+                    f"{reg.baseline:,.0f} ({reg.ratio:.2f}x, tolerance {tolerance:.0%})",
+                    file=out,
+                )
+    if args.check:
+        if regressed:
+            return 1
+        print(f"perf check passed (tolerance {tolerance:.0%})", file=out)
+    return 0
 
 
 if __name__ == "__main__":

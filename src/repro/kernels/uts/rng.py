@@ -27,6 +27,11 @@ _MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
 _GAMMA = np.uint64(0x9E3779B97F4A7C15)
 _MIX1 = np.uint64(0xBF58476D1CE4E5B9)
 _MIX2 = np.uint64(0x94D049BB133111EB)
+# plain-int twins for the scalar fast path (same modular arithmetic)
+_MASK_I = 0xFFFFFFFFFFFFFFFF
+_GAMMA_I = 0x9E3779B97F4A7C15
+_MIX1_I = 0xBF58476D1CE4E5B9
+_MIX2_I = 0x94D049BB133111EB
 
 
 class SplitRng(Protocol):
@@ -48,6 +53,19 @@ class SplitMixRng:
         return _mix(np.uint64(seed & 0xFFFFFFFFFFFFFFFF) + _GAMMA)
 
     def child_states(self, parent_state: np.uint64, lo: int, hi: int) -> np.ndarray:
+        n = hi - lo
+        if n <= 32:
+            # small batches (the DFS common case) in exact modular Python-int
+            # arithmetic: identical uint64 values, none of the per-call numpy
+            # overhead (arange + errstate + three ufunc dispatches)
+            p = int(parent_state)
+            out = np.empty(n, dtype=np.uint64)
+            for j in range(n):
+                z = (p + (lo + 1 + j) * _GAMMA_I) & _MASK_I
+                z = ((z ^ (z >> 30)) * _MIX1_I) & _MASK_I
+                z = ((z ^ (z >> 27)) * _MIX2_I) & _MASK_I
+                out[j] = z ^ (z >> 31)
+            return out
         indices = np.arange(lo + 1, hi + 1, dtype=np.uint64)
         return _mix(np.uint64(parent_state) + indices * _GAMMA)
 

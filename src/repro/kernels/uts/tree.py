@@ -81,17 +81,19 @@ class UtsBag(TaskBag):
         while processed < max_items and self.intervals:
             state, depth, lo, hi = self.intervals[-1]
             take = min(hi - lo, max_items - processed)
-            children = rng.child_states(state, lo, lo + take)
             if lo + take >= hi:
                 self.intervals.pop()
             else:
                 self.intervals[-1] = (state, depth, lo + take, hi)
-            if depth + 1 < params.depth:  # the children may have children
+            if depth + 1 < params.depth:  # the children may have children;
+                # below the cut-off visiting a node is just counting it, so
+                # the child states (a majority of the tree) are never derived
+                children = rng.child_states(state, lo, lo + take)
                 counts = rng.num_children(children, q)
                 push = self.intervals.append
-                for st, k in zip(children, counts):
+                for st, k in zip(children, counts.tolist()):
                     if k > 0:
-                        push((st, depth + 1, 0, int(k)))
+                        push((st, depth + 1, 0, k))
             processed += take
         return processed
 

@@ -146,6 +146,28 @@ class Network:
         self._shm: dict[int, SerialResource] = {}
         self._links: dict[tuple, SerialResource] = {}
         self._route_caches: dict[int, _RouteCache] = {}
+        # -- fast-path state: pure caches, shared by both code paths ----------
+        self._cpo = config.cores_per_octant
+        self._n_places = topology.places
+        #: (src_oct, dst_oct) -> Route (resolve() is pure given the topology)
+        self._routes: dict[tuple[int, int], object] = {}
+        #: (src_oct, dst_oct) -> precomputed hot-path tuple, MSG transfers only
+        self._fast: dict[tuple[int, int], tuple] = {}
+        self._delivery_names = {k: f"{k.value}-delivery" for k in TransferKind}
+        self._name_msg = self._delivery_names[TransferKind.MSG]
+        self._c_msg_n = self._msg_count[TransferKind.MSG]
+        self._c_msg_b = self._msg_bytes[TransferKind.MSG]
+        self._c_link_shm = self._link_count[LinkClass.SHM]
+        #: real Counter objects (not the disabled registry's null instrument)?
+        #: gates the fast paths' direct ``.value`` increments
+        self._m_on = metrics.enabled
+        # immutable config scalars, one attribute load instead of two
+        self._k_shm_lat = config.shm_latency
+        self._k_shm_bw = config.shm_bandwidth
+        self._k_sw_lat = config.software_latency
+        self._k_miss_pen = config.route_miss_penalty
+        self._k_msg_occ = config.msg_injection_overhead
+        self._k_inj_bw = config.octant_injection_bandwidth
 
     # -- lazy resources ---------------------------------------------------------
 
@@ -179,7 +201,113 @@ class Network:
             cache = self._route_caches[octant] = _RouteCache(self.config.route_cache_entries)
         return cache
 
+    def _route(self, src_oct: int, dst_oct: int):
+        """Memoized :func:`~repro.machine.routing.resolve` (pure per topology)."""
+        key = (src_oct, dst_oct)
+        route = self._routes.get(key)
+        if route is None:
+            route = self._routes[key] = resolve(self.topology, src_oct, dst_oct)
+        return route
+
+    def _fast_entry(self, src_oct: int, dst_oct: int) -> tuple:
+        """Precomputed per-octant-pair state for the MSG fast path.
+
+        Everything here is a pure function of the octant pair: the resolved
+        route, the bottleneck resource objects, the bandwidth, and the total
+        hop latency.  Mutable per-transfer state (resource clocks, the LRU
+        route cache) lives in the referenced objects, exactly as on the slow
+        path — the fast path only skips re-deriving the immutable parts.
+        """
+        route = self._route(src_oct, dst_oct)
+        if route.link_class is LinkClass.SHM:
+            entry = (None, self._shm_resource(src_oct), 0.0, 0.0, None, None, None)
+        else:
+            entry = (
+                self._link_count[route.link_class],
+                self.link(route.link_key),
+                link_bandwidth(self.config, route.link_class),
+                self.config.hop_latency * route.hops,
+                self.route_cache(src_oct),
+                self.injection(src_oct),
+                self.ejection(dst_oct),
+            )
+        self._fast[(src_oct, dst_oct)] = entry
+        return entry
+
     # -- the transfer model -------------------------------------------------------
+
+    def _transfer_fast(self, src_place: int, dst_place: int, nbytes: float) -> SimEvent:
+        """MSG transfer with chaos and tracing disabled.
+
+        Bit-identical arithmetic to :meth:`transfer` — same reservations in
+        the same order, same route-cache touches, same metric increments —
+        minus the per-transfer chaos/tracer bookkeeping and the route/enum
+        re-derivation.  The zero-overhead suite holds the two paths equal.
+        """
+        t = self._fast_delivery_time(src_place, dst_place, nbytes)
+        event = SimEvent(name=self._name_msg)
+        now = self.engine._now
+        self.engine.schedule_fire(t - now if t > now else 0.0, event.trigger)
+        return event
+
+    def _fast_delivery_time(self, src_place: int, dst_place: int, nbytes: float) -> float:
+        """Shared arithmetic of the MSG fast paths: counters, reservations,
+        route-cache touch; returns the absolute delivery time."""
+        cpo = self._cpo
+        src_oct = src_place // cpo
+        dst_oct = dst_place // cpo
+        entry = self._fast.get((src_oct, dst_oct))
+        if entry is None:
+            entry = self._fast_entry(src_oct, dst_oct)
+        link_count, resource, bw, hop_total, route_cache, injection, ejection = entry
+        m_on = self._m_on
+        if m_on:
+            self._c_msg_n.value += 1
+            self._c_msg_b.value += int(nbytes)
+        now = self.engine._now
+        if link_count is None:  # shared memory within the octant
+            if m_on:
+                self._c_link_shm.value += 1
+            return resource.reserve(now + self._k_shm_lat, nbytes / self._k_shm_bw)
+        if m_on:
+            link_count.value += 1
+        start = now + self._k_sw_lat
+        if not route_cache.lookup(dst_oct):
+            if m_on:
+                self._route_miss_count.value += 1
+            start += self._k_miss_pen
+        occ = self._k_msg_occ
+        stream_occ = nbytes / self._k_inj_bw
+        if stream_occ > occ:
+            occ = stream_occ
+        t = injection.reserve(start, occ)
+        t = resource.reserve(t, nbytes / bw)
+        t = ejection.reserve(t, occ)
+        return t + hop_total
+
+    def transfer_notify(self, src_place: int, dst_place: int, nbytes: float, callback) -> bool:
+        """Fast-path MSG transfer that schedules ``callback`` directly at the
+        delivery time — no :class:`SimEvent` is allocated at all.
+
+        Returns False (doing nothing) when the transfer is not fast-path
+        eligible; the caller must then fall back to :meth:`transfer`.  When it
+        runs, the network-visible effects are bit-identical to
+        :meth:`transfer`: same counters, same reservations, same route-cache
+        touches, same engine sequence-number consumption (one scheduled entry).
+        """
+        if (
+            self.chaos is not None
+            or self._tracer.enabled
+            or not 0 <= src_place < self._n_places
+            or not 0 <= dst_place < self._n_places
+        ):
+            return False
+        if nbytes < 0:
+            raise TransportError(f"negative transfer size {nbytes!r}")
+        t = self._fast_delivery_time(src_place, dst_place, nbytes)
+        now = self.engine._now
+        self.engine.schedule_fire(t - now if t > now else 0.0, callback)
+        return True
 
     def transfer(
         self,
@@ -201,11 +329,19 @@ class Network:
         """
         if nbytes < 0:
             raise TransportError(f"negative transfer size {nbytes!r}")
-        cfg = self.config
         chaos = self.chaos
+        if (
+            chaos is None
+            and kind is TransferKind.MSG
+            and not self._tracer.enabled
+            and 0 <= src_place < self._n_places
+            and 0 <= dst_place < self._n_places
+        ):
+            return self._transfer_fast(src_place, dst_place, nbytes)
+        cfg = self.config
         src_oct = self.topology.octant_of(src_place)
         dst_oct = self.topology.octant_of(dst_place)
-        route = resolve(self.topology, src_oct, dst_oct)
+        route = self._route(src_oct, dst_oct)
         now = self.engine.now
 
         if chaos is not None and (chaos.is_dead(src_place) or chaos.is_dead(dst_place)):
@@ -301,8 +437,8 @@ class Network:
     ) -> SimEvent:
         chaos = self.chaos
         if chaos is None:
-            event = SimEvent(name=f"{kind.value}-delivery")
-            self.engine.schedule(max(0.0, time - self.engine.now), lambda: event.trigger())
+            event = SimEvent(name=self._delivery_names[kind])
+            self.engine.schedule_fire(max(0.0, time - self.engine.now), event.trigger)
             return event
         # under chaos a delivery can race a place failure, and a duplicated
         # transfer fires the same event a second time

@@ -36,6 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Activity:
     """One asynchronous task, governed by a finish, running at a place."""
 
+    __slots__ = ("id", "place", "fn", "args", "governing_finish", "name", "finish_stack", "process")
+
     def __init__(self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str = ""):
         # ids are per-runtime so two identical runs export identical traces
         self.id = next(finish.rt._activity_ids)

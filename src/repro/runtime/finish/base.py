@@ -82,6 +82,7 @@ class BaseFinish:
         #: bytes of protocol state held at the home place (diagnostics)
         self.home_space_bytes = 0
         metrics = rt.obs.metrics
+        self._m_on = metrics.enabled
         metrics.counter("finish.opened", pragma=self.pragma.value).inc()
         self._c_ctl_messages = metrics.counter("finish.ctl_messages", pragma=self.pragma.value)
         self._c_ctl_bytes = metrics.counter("finish.ctl_bytes", pragma=self.pragma.value)
@@ -224,8 +225,9 @@ class BaseFinish:
         """
         self.ctl_messages += 1
         self.ctl_bytes += nbytes
-        self._c_ctl_messages.inc()
-        self._c_ctl_bytes.inc(nbytes)
+        if self._m_on:
+            self._c_ctl_messages.value += 1
+            self._c_ctl_bytes.value += nbytes
         tracer = self._tracer
         if tracer.enabled:
             tracer.instant(

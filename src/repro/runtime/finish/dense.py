@@ -37,8 +37,22 @@ class FinishDense(BaseFinish):
         topo = rt.topology
         self._home_master = topo.master_place_of(home)
         self._c_rerouted = rt.obs.metrics.counter("finish.dense.rerouted")
+        #: place -> next hop; valid until a place dies (routes avoid the dead)
+        self._hops: dict[int, int] = {}
 
     # -- routing --------------------------------------------------------------
+
+    def notify_place_death(self, place: int) -> None:
+        # unconditionally: even a momentarily-quiescent finish may route more
+        # reports later, and those must not follow hops through the dead place
+        self._hops.clear()
+        super().notify_place_death(place)
+
+    def _hop(self, place: int) -> int:
+        hop = self._hops.get(place)
+        if hop is None:
+            hop = self._hops[place] = self._next_hop(place)
+        return hop
 
     def _next_hop(self, place: int) -> int:
         """Next place on the p -> master(p) -> master(home) -> home route.
@@ -71,7 +85,7 @@ class FinishDense(BaseFinish):
 
     def _forward(self, place: int, count: int) -> None:
         """Send ``count`` termination reports one hop toward home."""
-        nxt = self._next_hop(place)
+        nxt = self._hop(place)
         nbytes = CTL_BYTES  # a coalesced count is still one small message
 
         def on_arrival():
@@ -90,7 +104,7 @@ class FinishDense(BaseFinish):
         router.buffered += count
         if not router.flush_scheduled:
             router.flush_scheduled = True
-            self.rt.engine.schedule(self.COALESCE_WINDOW, lambda: self._flush(router))
+            self.rt.engine.schedule_fire(self.COALESCE_WINDOW, lambda: self._flush(router))
 
     def _flush(self, router: _Router) -> None:
         router.flush_scheduled = False

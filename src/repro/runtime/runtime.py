@@ -21,7 +21,6 @@ from repro.sim.process import Process
 from repro.xrt import (
     Collectives,
     MemoryRegistry,
-    Message,
     PamiTransport,
     RdmaEngine,
     estimate_nbytes,
@@ -137,7 +136,10 @@ class ApgasRuntime:
         self._replies: dict[int, tuple[SimEvent, int]] = {}
         #: live processes by hosting place, killed wholesale on place failure
         self._procs_at: dict[int, set[Process]] = {}
+        #: function object -> is-generator-function (spawn fast-path dispatch)
+        self._genfunc_cache: dict = {}
         metrics = self.obs.metrics
+        self._m_on = metrics.enabled
         self._c_activities = metrics.counter("runtime.activities_spawned")
         self._c_remote_spawns = metrics.counter("runtime.remote_spawns")
         self._c_remote_evals = metrics.counter("runtime.remote_evals")
@@ -217,29 +219,92 @@ class ApgasRuntime:
         if self.is_dead(dst):
             raise DeadPlaceError(dst, detected_by=f"spawn@{src}", detail="async to a dead place")
         finish.fork(src, dst)
-        self._c_remote_spawns.inc()
+        if self._m_on:
+            self._c_remote_spawns.value += 1
         size = nbytes if nbytes is not None else estimate_nbytes(args)
         token = finish.spawn_departed(src, dst)
-        self.transport.send(
-            Message(
-                src=src, dst=dst, handler="apgas-spawn",
-                body=(fn, args, finish, name, token), nbytes=size,
-            )
+        self.transport.post_args(
+            src, dst, "apgas-spawn", (fn, args, finish, name, token), size
         )
 
     def _on_spawn(self, dst: int, body) -> None:
         fn, args, finish, name, token = body
         if not finish.spawn_landed(token):
             return  # written off by a place death; its fork is already settled
-        self._start_activity(dst, fn, args, finish, name)
+        self._start_activity(dst, fn, args, finish, name, allow_plain=True)
+
+    def _is_genfunc(self, fn: Callable) -> bool:
+        key = getattr(fn, "__func__", fn)
+        flag = self._genfunc_cache.get(key)
+        if flag is None:
+            flag = self._genfunc_cache[key] = inspect.isgeneratorfunction(fn)
+        return flag
 
     def _start_activity(
-        self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str
+        self,
+        place: int,
+        fn: Callable,
+        args: tuple,
+        finish: BaseFinish,
+        name: str,
+        allow_plain: bool = False,
     ) -> Activity:
         activity = Activity(place, fn, args, finish, name)
-        self._c_activities.inc()
+        if self._m_on:
+            self._c_activities.value += 1
         self.place(place).activities_run += 1
         tracer = self.obs.trace
+        if (
+            allow_plain
+            and self.chaos is None
+            and not tracer.enabled
+            and not self._is_genfunc(fn)
+        ):
+            # Plain-function body on a reliable fabric with tracing off: run
+            # it as one scheduled callback, skipping the generator/Process
+            # machinery entirely.  Same engine step as the Process path would
+            # use (one ready-queue entry), same join-on-crash semantics.
+            def run_plain():
+                ctx = ActivityContext(self, activity)
+                try:
+                    result = fn(ctx, *args)
+                except BaseException:
+                    if len(activity.finish_stack) != 1:
+                        raise ApgasError(
+                            f"activity {activity.name} terminated inside an open finish scope"
+                        )
+                    finish.join(place)
+                    raise
+                if inspect.isgenerator(result):
+                    # a non-generator callable handed back a generator body
+                    # after all; fall back to driving it as a process
+                    def drive():
+                        vanished = False
+                        try:
+                            value = yield from result
+                            return value
+                        except GeneratorExit:
+                            vanished = True
+                            raise
+                        finally:
+                            if not vanished:
+                                if len(activity.finish_stack) != 1:
+                                    raise ApgasError(
+                                        f"activity {activity.name} terminated inside "
+                                        "an open finish scope"
+                                    )
+                                finish.join(place)
+
+                    activity.process = Process(self.engine, drive(), name=activity.name)
+                    return
+                if len(activity.finish_stack) != 1:
+                    raise ApgasError(
+                        f"activity {activity.name} terminated inside an open finish scope"
+                    )
+                finish.join(place)
+
+            self.engine.call_soon_fire(run_plain)
+            return activity
 
         def runner():
             ctx = ActivityContext(self, activity)
@@ -293,7 +358,8 @@ class ApgasRuntime:
     ) -> SimEvent:
         """The activity shifts to ``dst``, evaluates, and the result ships back."""
         self.place(dst)
-        self._c_remote_evals.inc()
+        if self._m_on:
+            self._c_remote_evals.value += 1
         result_event = SimEvent(name=f"at({dst})")
         if self.is_dead(dst):
             result_event.fail(
@@ -307,9 +373,7 @@ class ApgasRuntime:
         reply_id = next(_reply_ids)
         self._replies[reply_id] = (result_event, dst)
         size = nbytes if nbytes is not None else estimate_nbytes(args)
-        self.transport.send(
-            Message(src=src, dst=dst, handler="apgas-eval", body=(fn, args, src, reply_id), nbytes=size)
-        )
+        self.transport.post_args(src, dst, "apgas-eval", (fn, args, src, reply_id), size)
         return result_event
 
     def _on_eval(self, dst: int, body) -> None:
@@ -350,14 +414,8 @@ class ApgasRuntime:
         self._track_process(place, Process(self.engine, runner(), name=f"at-eval@{place}"))
 
     def _send_reply(self, src: int, dst: int, reply_id: int, payload, is_error: bool) -> None:
-        self.transport.send(
-            Message(
-                src=src,
-                dst=dst,
-                handler="apgas-reply",
-                body=(reply_id, payload, is_error),
-                nbytes=estimate_nbytes(payload),
-            )
+        self.transport.post_args(
+            src, dst, "apgas-reply", (reply_id, payload, is_error), estimate_nbytes(payload)
         )
 
     def _on_reply(self, dst: int, body) -> None:
@@ -426,9 +484,7 @@ class ApgasRuntime:
     def send_finish_ctl(
         self, finish: BaseFinish, src: int, dst: int, nbytes: int, on_arrival: Callable[[], None]
     ) -> None:
-        self.transport.send(
-            Message(src=src, dst=dst, handler="apgas-finish", body=on_arrival, nbytes=nbytes)
-        )
+        self.transport.post_args(src, dst, "apgas-finish", on_arrival, nbytes)
 
     def _on_finish_ctl(self, dst: int, body) -> None:
         body()
@@ -439,9 +495,7 @@ class ApgasRuntime:
         self, src: int, dst: int, mailbox: str, item: Any, nbytes: Optional[int] = None
     ) -> None:
         size = nbytes if nbytes is not None else estimate_nbytes(item)
-        self.transport.send(
-            Message(src=src, dst=dst, handler="apgas-item", body=(mailbox, item), nbytes=size)
-        )
+        self.transport.post_args(src, dst, "apgas-item", (mailbox, item), size)
 
     def _on_item(self, dst: int, body) -> None:
         mailbox, item = body

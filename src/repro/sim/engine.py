@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import DeadlockError, SimulationError, StepLimitError
@@ -11,13 +12,26 @@ from repro.errors import DeadlockError, SimulationError, StepLimitError
 class Handle:
     """A cancellable reference to a scheduled callback."""
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_engine")
 
-    def __init__(self) -> None:
+    def __init__(self, engine: Optional["Engine"] = None) -> None:
         self.cancelled = False
+        # cleared once the entry leaves the queues, so a late cancel() of an
+        # already-executed handle cannot skew the engine's cancelled count
+        self._engine = engine
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancelled()
+
+
+#: shared handle for fire-and-forget scheduling: nobody holds a reference to
+#: it, so it can never be cancelled, and one instance serves every entry
+_LIVE = Handle()
 
 
 class Engine:
@@ -26,14 +40,38 @@ class Engine:
     Events scheduled at equal times fire in scheduling order (a monotonically
     increasing sequence number breaks ties), which makes runs fully
     deterministic.
+
+    Two implementation details keep the loop fast without changing that
+    contract:
+
+    * *Batched zero-delay dispatch.*  Zero-delay events (``call_soon`` and the
+      process-step trampolines, a large fraction of all traffic) go to a FIFO
+      ready queue instead of the heap; the main loop merges the two by
+      ``(time, seq)``, so the observable order is exactly what a single heap
+      would produce, at O(1) instead of O(log n) per ready event.
+    * *Lazy-deletion compaction.*  Cancelling a handle only marks it; the heap
+      entry is reclaimed when popped.  Workloads that arm-and-cancel timers in
+      bulk (the resilient transport's retransmit timers) would otherwise grow
+      the heap without bound, so once cancelled entries exceed half the queue
+      (and a small floor) the engine rebuilds the heap without them — O(live)
+      amortized, and heap size stays proportional to live events.
     """
+
+    #: below this many cancelled entries compaction is never attempted
+    COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Handle, Callable[[], None]]] = []
+        #: zero-delay entries in FIFO (= (time, seq)) order
+        self._ready: deque[tuple[float, int, Handle, Callable[[], None]]] = deque()
         self._now = 0.0
         self._seq = 0
+        #: cancelled handles still occupying a queue slot
+        self._cancelled = 0
         #: number of callbacks executed so far (useful for complexity tests)
         self.events_executed = 0
+        #: total heap rebuilds (diagnostics; the perf suite reports it)
+        self.compactions = 0
         #: processes currently blocked on an effect; used for deadlock reports
         self._blocked: dict[int, Any] = {}
 
@@ -42,18 +80,78 @@ class Engine:
         """Current virtual time in seconds."""
         return self._now
 
+    def pending_events(self) -> int:
+        """Queue slots currently occupied (live + not-yet-reclaimed cancelled)."""
+        return len(self._heap) + len(self._ready)
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Handle:
         """Run ``callback`` ``delay`` seconds from now; returns a cancellable handle."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        handle = Handle()
+        handle = Handle(self)
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, handle, callback))
+        if delay == 0.0:
+            self._ready.append((self._now, self._seq, handle, callback))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, self._seq, handle, callback))
         return handle
 
     def call_soon(self, callback: Callable[[], None]) -> Handle:
         """Schedule ``callback`` at the current time, after already-queued events."""
-        return self.schedule(0.0, callback)
+        handle = Handle(self)
+        self._seq += 1
+        self._ready.append((self._now, self._seq, handle, callback))
+        return handle
+
+    def schedule_fire(self, delay: float, callback: Callable[[], None]) -> None:
+        """:meth:`schedule` for callers that never cancel.
+
+        Identical ordering semantics — the entry takes the next sequence
+        number exactly as :meth:`schedule` would — but no per-call
+        :class:`Handle` is allocated (the shared never-cancelled one fills the
+        slot).  The hot path for message deliveries and process wake-ups.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq += 1
+        if delay == 0.0:
+            self._ready.append((self._now, self._seq, _LIVE, callback))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, self._seq, _LIVE, callback))
+
+    def call_soon_fire(self, callback: Callable[[], None]) -> None:
+        """:meth:`call_soon` without a cancellation handle (see :meth:`schedule_fire`)."""
+        self._seq += 1
+        self._ready.append((self._now, self._seq, _LIVE, callback))
+
+    # -- lazy deletion ---------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled > self.COMPACT_MIN_CANCELLED
+            and 2 * self._cancelled > len(self._heap) + len(self._ready)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queues without cancelled entries.
+
+        Entries carry unique ``(time, seq)`` keys, so filtering preserves the
+        execution order exactly; surviving handles keep their queue slots.
+        The queue objects are mutated in place so :meth:`run`'s local
+        references stay valid across a compaction.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if not e[2].cancelled]
+        heapq.heapify(heap)
+        ready = self._ready
+        if any(e[2].cancelled for e in ready):
+            live = [e for e in ready if not e[2].cancelled]
+            ready.clear()
+            ready.extend(live)
+        self._cancelled = 0
+        self.compactions += 1
 
     # -- blocked-process registry (populated by Process) ---------------------
 
@@ -66,25 +164,77 @@ class Engine:
     # -- main loop ------------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run until the heap drains (or virtual time passes ``until``).
+        """Run until the queues drain (or virtual time passes ``until``).
 
-        Raises :class:`~repro.errors.DeadlockError` if the heap drains while
+        Raises :class:`~repro.errors.DeadlockError` if the queues drain while
         processes are still blocked on effects that can no longer fire, and
         :class:`~repro.errors.StepLimitError` once more than ``max_events``
         callbacks have executed in total — the hang guard for chaos tests.
         Returns the final virtual time.
         """
-        while self._heap:
-            if max_events is not None and self.events_executed >= max_events:
-                raise StepLimitError(max_events, self._now)
-            time, _seq, handle, callback = heapq.heappop(self._heap)
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        if until is None and max_events is None:
+            # the common drain-everything call: no bound checks per event,
+            # and the executed-events counter is flushed once per batch
+            executed = 0
+            try:
+                while heap or ready:
+                    if ready:
+                        if heap:
+                            entry = heap[0]
+                            front = ready[0]
+                            if entry[0] < front[0] or (entry[0] == front[0] and entry[1] < front[1]):
+                                entry = pop(heap)
+                            else:
+                                entry = popleft()
+                        else:
+                            entry = popleft()
+                    else:
+                        entry = pop(heap)
+                    handle = entry[2]
+                    if handle.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    handle._engine = None
+                    self._now = entry[0]
+                    executed += 1
+                    entry[3]()
+            finally:
+                self.events_executed += executed
+            if self._blocked:
+                raise DeadlockError(self._blocked.values())
+            return self._now
+        while heap or ready:
+            # merge the two queues by (time, seq): the ready queue is FIFO in
+            # exactly that order, so comparing fronts suffices
+            if ready:
+                if heap:
+                    entry = heap[0]
+                    front = ready[0]
+                    if entry[0] < front[0] or (entry[0] == front[0] and entry[1] < front[1]):
+                        entry = pop(heap)
+                    else:
+                        entry = popleft()
+                else:
+                    entry = popleft()
+            else:
+                entry = pop(heap)
+            time, _seq, handle, callback = entry
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
             if until is not None and time > until:
                 # put it back: the caller may resume the run later
-                heapq.heappush(self._heap, (time, _seq, handle, callback))
+                heapq.heappush(heap, entry)
                 self._now = until
                 return self._now
+            if max_events is not None and self.events_executed >= max_events:
+                heapq.heappush(heap, entry)
+                raise StepLimitError(max_events, self._now)
+            handle._engine = None
             self._now = time
             self.events_executed += 1
             callback()
@@ -93,8 +243,15 @@ class Engine:
         return self._now
 
     def peek(self) -> Optional[float]:
-        """Time of the next pending event, or ``None`` if the heap is empty."""
+        """Time of the next pending event, or ``None`` if the queues are empty."""
+        best: Optional[float] = None
         for time, _seq, handle, _cb in self._heap:
             if not handle.cancelled:
-                return time
-        return None
+                best = time
+                break
+        for time, _seq, handle, _cb in self._ready:
+            if not handle.cancelled:
+                if best is None or time < best:
+                    best = time
+                break
+        return best

@@ -42,6 +42,8 @@ class Process:
     being recorded on :attr:`done`, so protocol bugs fail loudly.
     """
 
+    __slots__ = ("engine", "name", "_body", "_killed", "bookkeeping_callbacks", "done")
+
     def __init__(self, engine: Engine, body: Generator, name: str = "") -> None:
         if not hasattr(body, "send"):
             raise SimulationError(
@@ -56,7 +58,7 @@ class Process:
         self.bookkeeping_callbacks = 0
         #: fires with the body's return value when the process terminates
         self.done = SimEvent(name=f"{self.name}.done")
-        engine.call_soon(lambda: self._step(None))
+        engine.call_soon_fire(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done.fired else "running"
@@ -83,6 +85,10 @@ class Process:
         return self._killed
 
     # -- driving the generator -------------------------------------------------
+
+    def _resume(self) -> None:
+        """Zero-argument trampoline for the dominant ``send(None)`` resume."""
+        self._step(None)
 
     def _step(self, send_value: Any) -> None:
         if self._killed:
@@ -123,10 +129,14 @@ class Process:
 
     def _dispatch(self, effect: Any) -> None:
         if effect is None:
-            self.engine.call_soon(lambda: self._step(None))
+            self.engine.call_soon_fire(self._resume)
             return
         if isinstance(effect, Timeout):
-            self.engine.schedule(effect.delay, lambda: self._step(effect.value))
+            value = effect.value
+            if value is None:
+                self.engine.schedule_fire(effect.delay, self._resume)
+            else:
+                self.engine.schedule_fire(effect.delay, lambda: self._step(value))
             return
         if isinstance(effect, Process):
             effect = effect.done

@@ -21,6 +21,18 @@ def estimate_nbytes(obj) -> int:
     machine word.  Objects can opt in by exposing a ``serialized_nbytes``
     attribute (used by work items in the GLB queues).
     """
+    if type(obj) is tuple:
+        # the dominant payload shape — argument tuples of scalars and Nones —
+        # sized without the per-element dispatch of the general walk
+        total = _OVERHEAD_BYTES
+        for item in obj:
+            kind = type(item)
+            if kind is int or kind is float or kind is bool:
+                total += _SCALAR_BYTES
+            elif item is not None:
+                break
+        else:
+            return total
     return _OVERHEAD_BYTES + _estimate(obj)
 
 

@@ -1,0 +1,100 @@
+"""A timer wheel for the resilient transport's retransmit timers.
+
+Retry timers have two properties that make the engine's general heap a poor
+home for them: they arrive in batches that share a deadline (every send at one
+simulated instant arms ``now + rto``), and the overwhelming majority are
+cancelled before firing (the ack wins the race against the timeout).  The
+wheel coalesces same-deadline timers into one bucket backed by a *single*
+engine event, and cancelling the last live timer in a bucket cancels that
+engine event too — so a thousand armed-and-acked retransmit timers cost the
+engine heap one entry, not a thousand.
+
+Determinism: buckets key on the exact (float) deadline, so timers never fire
+early or late; timers sharing a deadline fire consecutively in arm order, at
+the engine position of the bucket's creation.  Two identical runs produce
+identical firing sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Engine
+
+
+class TimerHandle:
+    """A cancellable reference to one armed timer (mirrors ``Handle``)."""
+
+    __slots__ = ("cancelled", "callback", "_bucket")
+
+    def __init__(self, callback: Callable[[], None], bucket: "_Bucket") -> None:
+        self.cancelled = False
+        self.callback = callback
+        self._bucket = bucket
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        bucket = self._bucket
+        if bucket is not None:
+            self._bucket = None
+            bucket.live -= 1
+            bucket.wheel.cancelled_early += 1
+            if bucket.live == 0:
+                bucket.wheel._retire(bucket)
+
+
+class _Bucket:
+    """All timers armed for one exact deadline, behind one engine event."""
+
+    __slots__ = ("wheel", "deadline", "timers", "live", "engine_handle")
+
+    def __init__(self, wheel: "TimerWheel", deadline: float) -> None:
+        self.wheel = wheel
+        self.deadline = deadline
+        self.timers: list[TimerHandle] = []
+        self.live = 0
+        self.engine_handle = None
+
+    def fire(self) -> None:
+        self.wheel._buckets.pop(self.deadline, None)
+        for timer in self.timers:
+            if not timer.cancelled:
+                timer._bucket = None
+                timer.callback()
+
+
+class TimerWheel:
+    """Deadline-bucketed timers multiplexed onto the simulation engine."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._buckets: dict[float, _Bucket] = {}
+        #: timers armed / cancelled before firing (perf-suite diagnostics)
+        self.armed = 0
+        self.cancelled_early = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Arm ``callback`` to fire ``delay`` seconds from now."""
+        engine = self.engine
+        deadline = engine.now + delay
+        bucket = self._buckets.get(deadline)
+        if bucket is None:
+            bucket = self._buckets[deadline] = _Bucket(self, deadline)
+            bucket.engine_handle = engine.schedule(delay, bucket.fire)
+        timer = TimerHandle(callback, bucket)
+        bucket.timers.append(timer)
+        bucket.live += 1
+        self.armed += 1
+        return timer
+
+    def _retire(self, bucket: _Bucket) -> None:
+        """Last live timer in the bucket was cancelled: drop the engine event."""
+        self._buckets.pop(bucket.deadline, None)
+        if bucket.engine_handle is not None:
+            bucket.engine_handle.cancel()
+
+    def pending(self) -> int:
+        """Live timers still armed (diagnostics)."""
+        return sum(b.live for b in self._buckets.values())

@@ -13,9 +13,10 @@ from repro.machine.topology import Topology
 from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.events import SimEvent
+from repro.xrt.timerwheel import TimerWheel
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An active message: on delivery the destination runs ``handler(dst, body)``."""
 
@@ -58,6 +59,10 @@ class _Reliability:
         self._c_dup_suppressed = metrics.counter("transport.dup_suppressed")
         self._c_delivered = metrics.counter("transport.delivered")
         self._tracer = transport.obs.trace
+        #: retransmit timers ride a timer wheel: same-deadline timers share
+        #: one engine event, and the common arm-then-ack pattern never
+        #: touches the engine heap at all
+        self._timers = TimerWheel(transport.engine)
 
     def transfer(self, src: int, dst: int, nbytes: float) -> SimEvent:
         """Ship ``nbytes`` src -> dst; the event fires on the first delivery
@@ -85,7 +90,7 @@ class _Reliability:
         state = self._pending.get(seq)
         if state is None:
             return
-        state["handle"] = self.transport.engine.schedule(
+        state["handle"] = self._timers.schedule(
             state["rto"], lambda: self._on_timeout(src, dst, nbytes, seq, done)
         )
 
@@ -199,6 +204,8 @@ class Transport:
         self.config = config
         self.topology = topology
         self.obs = obs if obs is not None else Observability()
+        self._tracer = self.obs.trace
+        self._m_on = self.obs.metrics.enabled
         self.chaos = chaos
         self.network = Network(engine, config, topology, obs=self.obs, chaos=chaos)
         self._handlers: dict[str, Callable[[int, Any], None]] = {}
@@ -239,6 +246,27 @@ class Transport:
 
     # -- sending --------------------------------------------------------------------
 
+    def _count_send(self, handler: str, src: int, dst: int, nbytes: float) -> None:
+        counter = self._send_counters.get(handler)
+        if counter is None:
+            counter = self._send_counters[handler] = self.obs.metrics.counter(
+                "xrt.messages", handler=handler
+            )
+        if self._m_on:
+            counter.value += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.instant(
+                "xrt.send",
+                "message",
+                src,
+                self.engine.now,
+                src=src,
+                dst=dst,
+                handler=handler,
+                nbytes=nbytes,
+            )
+
     def send(self, msg: Message) -> SimEvent:
         """Send an active message; the returned event fires after the handler ran.
 
@@ -247,24 +275,7 @@ class Transport:
         after that (first) handler execution.
         """
         fn = self.handler(msg.handler)  # fail fast on unknown handlers
-        counter = self._send_counters.get(msg.handler)
-        if counter is None:
-            counter = self._send_counters[msg.handler] = self.obs.metrics.counter(
-                "xrt.messages", handler=msg.handler
-            )
-        counter.inc()
-        tracer = self.obs.trace
-        if tracer.enabled:
-            tracer.instant(
-                "xrt.send",
-                "message",
-                msg.src,
-                self.engine.now,
-                src=msg.src,
-                dst=msg.dst,
-                handler=msg.handler,
-                nbytes=msg.nbytes,
-            )
+        self._count_send(msg.handler, msg.src, msg.dst, msg.nbytes)
         delivered = self.reliable_transfer(msg.src, msg.dst, self._wire_bytes(msg))
         done = SimEvent(name=f"am:{msg.handler}")
 
@@ -279,6 +290,41 @@ class Transport:
 
         delivered.add_callback(on_delivery)
         return done
+
+    def post(self, msg: Message) -> None:
+        """Fire-and-forget :meth:`send`: the handler still runs exactly once
+        on delivery, but no completion event is allocated.
+
+        Failure semantics match an ignored :meth:`send` result: a dead
+        destination silently swallows the message (the finish layer detects
+        the loss through its own accounting, not through the transport).
+        """
+        self.post_args(msg.src, msg.dst, msg.handler, msg.body, msg.nbytes)
+
+    def post_args(self, src: int, dst: int, handler: str, body: Any, nbytes: float = 16) -> None:
+        """:meth:`post` without the :class:`Message` envelope.
+
+        The hot path for remote spawns, finish control traffic, and mailbox
+        items — the callers that never await the send and would otherwise
+        build a message object just to have it unpacked one frame later.  On
+        a reliable fabric with tracing off, delivery is a single scheduled
+        callback: no Message, no SimEvent.
+        """
+        fn = self.handler(handler)  # fail fast on unknown handlers
+        self._count_send(handler, src, dst, nbytes)
+        wire = nbytes * self.software_overhead_factor
+        if self._reliability is None:
+            if self.network.transfer_notify(src, dst, wire, lambda: fn(dst, body)):
+                return
+            delivered = self.network.transfer(src, dst, wire, kind=TransferKind.MSG)
+        else:
+            delivered = self._reliability.transfer(src, dst, wire)
+
+        def on_delivery(event):
+            if event._exc is None:
+                fn(dst, body)
+
+        delivered.add_callback(on_delivery)
 
     def reliable_transfer(self, src: int, dst: int, nbytes: float) -> SimEvent:
         """An exactly-once message transfer: retried/deduplicated in resilient

@@ -16,10 +16,16 @@ from repro.sim.events import SimEvent
 
 
 def _drop_nth_transfer(n):
-    """A patched Network.transfer that swallows the nth transfer entirely."""
+    """Patched Network entry points that swallow the nth transfer entirely.
+
+    Both message paths are covered: the event-returning :meth:`transfer` and
+    the fire-and-forget :meth:`transfer_notify` fast path share one counter,
+    so "the nth message" means the nth logical send regardless of route.
+    """
     from repro.machine.network import TransferKind
 
     original = Network.transfer
+    original_notify = Network.transfer_notify
     state = {"count": 0}
 
     def patched(net, src, dst, nbytes, kind=TransferKind.MSG, tlb_factor=1.0):
@@ -28,7 +34,13 @@ def _drop_nth_transfer(n):
             return SimEvent(name="dropped")  # never fires: the message is lost
         return original(net, src, dst, nbytes, kind, tlb_factor)
 
-    return patched, original
+    def patched_notify(net, src, dst, nbytes, callback):
+        state["count"] += 1
+        if state["count"] == n:
+            return True  # claimed but never scheduled: the message is lost
+        return original_notify(net, src, dst, nbytes, callback)
+
+    return (patched, patched_notify), (original, original_notify)
 
 
 def run_with_drop(n, program_places=8):
@@ -44,12 +56,14 @@ def run_with_drop(n, program_places=8):
                     ctx.at_async(p, noop)
         yield f.wait()
 
-    patched, original = _drop_nth_transfer(n)
+    (patched, patched_notify), (original, original_notify) = _drop_nth_transfer(n)
     Network.transfer = patched
+    Network.transfer_notify = patched_notify
     try:
         rt.run(main)
     finally:
         Network.transfer = original
+        Network.transfer_notify = original_notify
 
 
 def test_lost_spawn_message_detected_as_deadlock():

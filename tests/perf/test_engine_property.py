@@ -1,0 +1,130 @@
+"""Seeded property tests for the engine's ordering contract.
+
+The engine promises: events fire in ``(time, scheduling-order)`` order, runs
+are deterministic, and cancelled handles are invisible — they change neither
+the relative order of the surviving events nor the final virtual time.  The
+fast paths (ready-queue batching, fire-and-forget handles, lazy-deletion
+compaction) must all preserve this, so each seed replays a random tape of
+schedule / call_soon / cancel operations and checks the execution log against
+an oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Engine
+
+SEEDS = range(10)
+
+
+def _random_tape(seed, n_ops=600):
+    """A reproducible operation tape: (kind, delay) with interleaved cancels.
+
+    ``kind`` is "schedule" / "soon" / "cancel"; cancels target a random
+    earlier op (possibly one already cancelled — a no-op, also legal).
+    """
+    rng = random.Random(seed)
+    tape = []
+    schedulable = []
+    for i in range(n_ops):
+        roll = rng.random()
+        if roll < 0.45:
+            # duplicate delays on purpose: ties must break by scheduling order
+            tape.append(("schedule", rng.choice([0.0, 1e-6, 5e-6, 1e-5, rng.random() * 1e-4])))
+            schedulable.append(i)
+        elif roll < 0.75:
+            tape.append(("soon", None))
+            schedulable.append(i)
+        elif schedulable:
+            tape.append(("cancel", rng.choice(schedulable)))
+        else:
+            tape.append(("soon", None))
+            schedulable.append(i)
+    return tape
+
+
+def _play(tape, skip_cancelled=False):
+    """Run a tape; returns (log of executed op indices+times, final time).
+
+    With ``skip_cancelled`` the ops that the tape later cancels are never
+    scheduled at all — the oracle for "cancelled handles are invisible".
+    """
+    cancelled_ops = {op for kind, op in tape if kind == "cancel"}
+    eng = Engine()
+    log = []
+    handles = {}
+    for i, (kind, arg) in enumerate(tape):
+        if kind == "cancel":
+            if arg in handles:
+                handles[arg].cancel()
+        elif skip_cancelled and i in cancelled_ops:
+            continue
+        elif kind == "schedule":
+            handles[i] = eng.schedule(arg, lambda i=i: log.append((i, eng.now)))
+        else:
+            handles[i] = eng.call_soon(lambda i=i: log.append((i, eng.now)))
+    final = eng.run()
+    return log, final
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_execution_order_matches_time_then_submission_oracle(seed):
+    tape = _random_tape(seed)
+    log, _final = _play(tape)
+    # oracle: live entries sorted by (fire time, submission index) — Python's
+    # sort is stable, so equal times keep tape order
+    cancelled = {op for kind, op in tape if kind == "cancel"}
+    expected = sorted(
+        (
+            (0.0 if kind == "soon" else delay, i)
+            for i, (kind, delay) in enumerate(tape)
+            if kind != "cancel" and i not in cancelled
+        ),
+    )
+    assert [i for i, _t in log] == [i for _t, i in expected]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_runs_are_deterministic(seed):
+    tape = _random_tape(seed)
+    assert _play(tape) == _play(tape)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cancelled_handles_are_invisible(seed):
+    """Same tape with cancelled ops never scheduled: same log, same final time."""
+    tape = _random_tape(seed)
+    log_lazy, final_lazy = _play(tape)
+    log_skip, final_skip = _play(tape, skip_cancelled=True)
+    assert [i for i, _t in log_lazy] == [i for i, _t in log_skip]
+    assert [t for _i, t in log_lazy] == [t for _i, t in log_skip]
+    assert final_lazy == final_skip
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mid_run_scheduling_is_deterministic(seed):
+    """Callbacks that schedule and cancel more work replay identically."""
+
+    def run():
+        rng = random.Random(seed)
+        eng = Engine()
+        log = []
+        live = []
+
+        def spawn(depth, tag):
+            log.append((tag, eng.now))
+            if depth >= 3:
+                return
+            for k in range(rng.randrange(0, 3)):
+                h = eng.schedule(rng.choice([0.0, 1e-6, 2e-6]), lambda: spawn(depth + 1, (tag, k)))
+                live.append(h)
+            if live and rng.random() < 0.3:
+                live.pop(rng.randrange(len(live))).cancel()
+
+        for root in range(20):
+            eng.schedule(rng.random() * 1e-5, lambda root=root: spawn(0, root))
+        final = eng.run()
+        return log, final
+
+    assert run() == run()

@@ -1,0 +1,110 @@
+"""Step-count complexity regressions: engine events per finish/broadcast idiom.
+
+``Engine.events_executed`` counts every callback the loop dispatched, so it
+is a wall-clock-free complexity measure: if a refactor adds a per-message
+hop, an extra trampoline bounce per activity, or turns the broadcast tree
+quadratic, these budgets trip even though all behavioral tests still pass.
+Budgets carry ~30% headroom over the measured counts at the time of writing
+(noted inline) — tighten them when the constants drop, raise them only with
+a reason in the diff.
+"""
+
+import pytest
+
+from repro.harness.runner import make_runtime
+from repro.machine.config import MachineConfig
+from repro.runtime import Pragma
+from repro.runtime.broadcast import PlaceGroup, broadcast_spawn
+
+
+def _leaf(ctx):
+    pass
+
+
+def _events_for_pragma(pragma, places=64):
+    """One idiomatic workload per pragma (each has different legality rules)."""
+    rt = make_runtime(places, MachineConfig.small())
+
+    if pragma in (Pragma.DEFAULT, Pragma.FINISH_SPMD, Pragma.FINISH_DENSE):
+        # one remote activity at every other place
+        def main(ctx):
+            with ctx.finish(pragma, name="budget") as f:
+                for p in ctx.places():
+                    if p != ctx.here:
+                        ctx.at_async(p, _leaf)
+            yield f.wait()
+
+    elif pragma is Pragma.FINISH_ASYNC:
+        # the "put" idiom: a single remote activity
+        def main(ctx):
+            with ctx.finish(pragma, name="budget") as f:
+                ctx.at_async(5, _leaf)
+            yield f.wait()
+
+    elif pragma is Pragma.FINISH_HERE:
+        # the "get" idiom: out and back
+        def _bounce(ctx2):
+            ctx2.at_async(0, _leaf)
+
+        def main(ctx):
+            with ctx.finish(pragma, name="budget") as f:
+                ctx.at_async(5, _bounce)
+            yield f.wait()
+
+    elif pragma is Pragma.FINISH_LOCAL:
+        # local-only activities: no control messages at all
+        def main(ctx):
+            with ctx.finish(pragma, name="budget") as f:
+                for _ in range(places - 1):
+                    ctx.at_async(ctx.here, _leaf)
+            yield f.wait()
+
+    else:  # pragma: no cover - new pragmas must get a budget here
+        raise AssertionError(f"no budget workload for {pragma}")
+
+    rt.run(main)
+    return rt.engine.events_executed
+
+
+# measured values when the budgets were set: DEFAULT 190, FINISH_ASYNC 4,
+# FINISH_HERE 6, FINISH_LOCAL 127, FINISH_SPMD 190, FINISH_DENSE 220
+_BUDGETS = {
+    Pragma.DEFAULT: 250,
+    Pragma.FINISH_ASYNC: 8,
+    Pragma.FINISH_HERE: 10,
+    Pragma.FINISH_LOCAL: 170,
+    Pragma.FINISH_SPMD: 250,
+    Pragma.FINISH_DENSE: 290,
+}
+
+
+@pytest.mark.parametrize("pragma", list(Pragma), ids=lambda p: p.name)
+def test_finish_pragma_event_budget(pragma):
+    events = _events_for_pragma(pragma)
+    assert events <= _BUDGETS[pragma], (
+        f"{pragma.name}: {events} engine events exceed the budget "
+        f"{_BUDGETS[pragma]} — a per-activity or per-message hop was added"
+    )
+
+
+def test_specialized_pragmas_are_not_slower_than_default():
+    """The whole point of the specializations: never more events than DEFAULT."""
+    default = _events_for_pragma(Pragma.DEFAULT)
+    for pragma in (Pragma.FINISH_SPMD, Pragma.FINISH_DENSE):
+        assert _events_for_pragma(pragma) <= default + 64
+
+
+@pytest.mark.parametrize("places", [8, 64, 256])
+def test_broadcast_event_budget_is_linear(places):
+    """Binomial-tree broadcast: O(places) events total, ~3/place measured."""
+    rt = make_runtime(places)
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, PlaceGroup.world(ctx.rt), _leaf)
+
+    rt.run(main)
+    events = rt.engine.events_executed
+    assert events <= 4 * places, (
+        f"broadcast@{places}: {events} events — more than 4/place means the "
+        f"spawning tree or its termination detection went superlinear"
+    )

@@ -83,3 +83,125 @@ def test_tables():
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         run_cli()
+
+
+# -- error paths ---------------------------------------------------------------
+
+
+def test_run_with_malformed_chaos_spec_exits_2():
+    code, text = run_cli("run", "stream", "--places", "4", "--chaos", "drop=banana")
+    assert code == 2
+    assert "bad --chaos spec" in text and "banana" in text
+
+
+def test_run_with_unknown_chaos_key_exits_2():
+    code, text = run_cli("run", "stream", "--places", "4", "--chaos", "explode=1")
+    assert code == 2
+    assert "bad --chaos spec" in text
+
+
+def test_trace_with_malformed_chaos_spec_exits_2(tmp_path):
+    code, text = run_cli(
+        "trace", "uts", "--places", "4", "--out", str(tmp_path / "t.json"),
+        "--chaos", "drop",
+    )
+    assert code == 2
+    assert "bad --chaos spec" in text
+    assert not (tmp_path / "t.json").exists()
+
+
+def test_run_stats_under_chaos_prints_both_sections():
+    code, text = run_cli(
+        "run", "stream", "--places", "4", "--stats", "--chaos", "seed=3,drop=0.05,rto=1e-4"
+    )
+    assert code == 0
+    assert "chaos         :" in text
+    assert "-- metrics --" in text
+
+
+# -- perf subcommand -----------------------------------------------------------
+
+
+def _tiny_benches(monkeypatch):
+    """Replace the catalog with near-instant benches so CLI tests stay fast.
+
+    A short sleep keeps each run's duration stable enough that back-to-back
+    invocations agree within a loose tolerance.
+    """
+    import time
+
+    from repro.perf import benches
+
+    def work():
+        time.sleep(0.01)
+        return 100.0
+
+    catalog = [
+        benches.Bench(name="tiny.sim@1", suite="sim", unit="ops/s", fn=work),
+        benches.Bench(name="tiny.kern@1", suite="kernels", unit="ops/s", fn=work),
+    ]
+    monkeypatch.setattr(benches, "BENCHES", catalog)
+
+
+def test_perf_writes_both_bench_files(monkeypatch, tmp_path):
+    _tiny_benches(monkeypatch)
+    code, text = run_cli("perf", "--repeats", "1", "--out-dir", str(tmp_path))
+    assert code == 0
+    assert (tmp_path / "BENCH_sim.json").exists()
+    assert (tmp_path / "BENCH_kernels.json").exists()
+    assert "suite sim" in text and "suite kernels" in text
+
+
+def test_perf_check_passes_against_own_output(monkeypatch, tmp_path):
+    _tiny_benches(monkeypatch)
+    code, _ = run_cli("perf", "--repeats", "1", "--out-dir", str(tmp_path))
+    assert code == 0
+    code, text = run_cli(
+        "perf", "--repeats", "1", "--tolerance", "0.9",
+        "--out-dir", str(tmp_path), "--baseline-dir", str(tmp_path), "--check",
+    )
+    assert code == 0
+    assert "perf check passed" in text
+
+
+def test_perf_check_fails_on_regression(monkeypatch, tmp_path):
+    import json
+
+    _tiny_benches(monkeypatch)
+    code, _ = run_cli("perf", "--repeats", "1", "--out-dir", str(tmp_path))
+    assert code == 0
+    # inflate the baseline so the rerun looks like a huge slowdown
+    for name in ("BENCH_sim.json", "BENCH_kernels.json"):
+        doc = json.loads((tmp_path / name).read_text())
+        for entry in doc["results"]:
+            entry["value"] *= 1e9
+        (tmp_path / name).write_text(json.dumps(doc))
+    code, text = run_cli(
+        "perf", "--repeats", "1",
+        "--out-dir", str(tmp_path), "--baseline-dir", str(tmp_path), "--check",
+    )
+    assert code == 1
+    assert "REGRESSION" in text
+
+
+def test_perf_check_without_baseline_exits_2(tmp_path):
+    code, text = run_cli("perf", "--check", "--baseline-dir", str(tmp_path), "--out-dir", str(tmp_path))
+    assert code == 2
+    assert "needs a baseline" in text
+
+
+def test_perf_rejects_bad_tolerance(tmp_path):
+    code, text = run_cli("perf", "--tolerance", "1.5", "--out-dir", str(tmp_path))
+    assert code == 2
+    assert "--tolerance" in text
+
+
+def test_perf_rejects_bad_repeats(tmp_path):
+    code, text = run_cli("perf", "--repeats", "0", "--out-dir", str(tmp_path))
+    assert code == 2
+    assert "--repeats" in text
+
+
+def test_perf_rejects_unknown_suite():
+    with pytest.raises(SystemExit):
+        run_cli("perf", "--suite", "warp")
