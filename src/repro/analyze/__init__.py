@@ -1,0 +1,47 @@
+"""repro.analyze — whole-program APGAS static analyzer and lint framework.
+
+Three layers:
+
+- :mod:`repro.analyze.sourcemodel` / :mod:`repro.analyze.callgraph` — parse
+  modules into lexical scopes and extract spawn sites and the call graph.
+- :mod:`repro.analyze.infer` — interprocedural finish-pragma inference (the
+  whole-program upgrade of the paper's prototype compiler analysis).
+- :mod:`repro.analyze.rules` / :mod:`repro.analyze.apgas_rules` — the lint
+  framework and the APGAS anti-pattern catalogue (APG101..APG106).
+
+:func:`analyze_paths` is the one-call entry point used by ``repro analyze``;
+:mod:`repro.analyze.agreement` replays suggestions against the runtime's
+fork validation on the shipped kernels.
+"""
+
+from repro.analyze.agreement import check_agreement, record_finish_sites, replay
+from repro.analyze.driver import AnalyzeResult, analyze_paths
+from repro.analyze.infer import Inference, SiteClassification, classify_program
+from repro.analyze.rules import (
+    REGISTRY,
+    Baseline,
+    Finding,
+    Severity,
+    rule,
+    run_rules,
+)
+from repro.analyze.sourcemodel import Program, iter_python_files
+
+__all__ = [
+    "AnalyzeResult",
+    "Baseline",
+    "Finding",
+    "Inference",
+    "Program",
+    "REGISTRY",
+    "Severity",
+    "SiteClassification",
+    "analyze_paths",
+    "check_agreement",
+    "classify_program",
+    "iter_python_files",
+    "record_finish_sites",
+    "replay",
+    "rule",
+    "run_rules",
+]

@@ -1,0 +1,42 @@
+"""The analyzer driver: load sources, infer pragmas, run the rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analyze.infer import classify_program
+from repro.analyze.rules import Baseline, Finding, Severity, run_rules
+from repro.analyze.sourcemodel import Program
+
+
+@dataclass
+class AnalyzeResult:
+    """Everything one analyzer run produced."""
+
+    program: Program
+    sites: list  # SiteClassification, grouped by file in source order
+    findings: list = field(default_factory=list)  # all surviving findings
+    new_findings: list = field(default_factory=list)  # not in the baseline
+
+    @property
+    def gating(self) -> list:
+        """New findings that should fail a CI gate (warning or worse)."""
+        return [f for f in self.new_findings if f.severity >= Severity.WARNING]
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    baseline: Optional[Baseline] = None,
+    codes: Optional[Iterable[str]] = None,
+) -> AnalyzeResult:
+    """Analyze files/directories and return sites + findings.
+
+    Raises :class:`~repro.errors.AnalyzeError` on a missing path or
+    unparsable source (the CLI maps that to exit code 2).
+    """
+    program = Program.from_paths(paths)
+    sites = classify_program(program)
+    findings: list[Finding] = run_rules(program, sites, codes=codes)
+    new = baseline.new_findings(findings) if baseline is not None else list(findings)
+    return AnalyzeResult(program=program, sites=sites, findings=findings, new_findings=new)

@@ -1,0 +1,361 @@
+"""Interprocedural finish-pragma inference.
+
+This is the whole-program upgrade of the intraprocedural prototype in
+:mod:`repro.runtime.finish.analysis` (which now delegates here).  For every
+``with ctx.finish(...)`` site the analyzer gathers the *governed closure*:
+the spawns lexically under the finish, plus — following the call graph —
+the spawns of every plain-called helper, plus (recursively) the ungoverned
+spawns of every spawned body.  That last step is exactly what the
+intraprocedural version documented as invisible: the return leg of a
+FINISH_HERE round trip lives in the spawned body, one function boundary
+away.
+
+A suggestion is *confident* when every body in the closure was resolved; a
+spawn whose callee the program cannot see (a function-valued parameter, a
+call into an unanalyzed module that received the activity context) degrades
+the site to a best-effort suggestion with ``confident=False``.  Suggestions
+are never silently wrong at runtime either way — every specialized finish
+validates its forks and raises :class:`~repro.errors.PragmaError`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.analyze.callgraph import (
+    FinishSiteNode,
+    Spawn,
+    finish_sites,
+    region_events,
+    ungoverned_events,
+)
+from repro.analyze.sourcemodel import Program, Scope, SourceModule
+from repro.runtime.finish.pragmas import Pragma
+
+
+@dataclass
+class Eff:
+    """One spawn in a governed closure, with composed loop depth and the
+    interprocedural level it was found at (0 = under the finish itself)."""
+
+    kind: str  # "remote" | "local" | "copy"
+    loop: int
+    level: int
+    spawn: Spawn
+
+
+@dataclass
+class SiteClassification:
+    """The analyzer's verdict for one finish site."""
+
+    path: str
+    qualname: str  # function containing the site
+    lineno: int
+    suggestion: Pragma
+    reason: str
+    confident: bool
+    annotation: Optional[Pragma]  # literal Pragma.X at the site, if any
+    dynamic: bool  # a non-literal pragma argument was present
+    aliased: bool
+    site: FinishSiteNode
+    # summary facts about the governed closure, for the lint rules
+    n_remote: int = 0  # direct remote/copy spawns under the finish
+    n_local: int = 0  # direct local spawns under the finish
+    max_loop: int = 0  # deepest loop nesting of any direct spawn
+    spawning_children: bool = False  # some spawned body provably spawns further
+    remote_dests_home: bool = False  # every remote dest is provably ctx.here
+
+    @property
+    def effective_annotation(self) -> Optional[Pragma]:
+        """The pragma the site will run with, when statically known."""
+        if self.dynamic:
+            return None
+        return self.annotation if self.annotation is not None else Pragma.DEFAULT
+
+
+def iter_function_scopes(program: Program, module: SourceModule) -> Iterator[Scope]:
+    """Every function/lambda scope of ``module``, outermost first."""
+
+    def walk(scope: Scope) -> Iterator[Scope]:
+        for child in scope.functions.values():
+            if child.kind in ("function", "lambda"):
+                yield child
+            yield from walk(child)
+
+    yield from walk(program.module_scope[module.path])
+
+
+class Inference:
+    """Memoized closure computation + per-site classification."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._flat: dict[Scope, tuple[list, bool]] = {}
+        self._deep: dict[Scope, tuple[list, bool]] = {}
+        # separate cycle guards: deep(X) legitimately calls flat(X)
+        self._flat_stack: set[Scope] = set()
+        self._deep_stack: set[Scope] = set()
+
+    # -- closures ---------------------------------------------------------------
+
+    def flat(self, scope: Scope) -> tuple[list, bool]:
+        """Ungoverned spawns of ``scope`` including plain-called helpers."""
+        cached = self._flat.get(scope)
+        if cached is not None:
+            return cached
+        if scope in self._flat_stack:
+            return ([], False)  # recursion: the fixpoint contributes nothing new
+        self._flat_stack.add(scope)
+        try:
+            ev = ungoverned_events(scope, self.program)
+            effs = [Eff(s.kind, s.loop_depth, 0, s) for s in ev.spawns]
+            opaque = ev.opaque
+            for call in ev.calls:
+                sub, sub_opaque = self.flat(call.target)
+                opaque = opaque or sub_opaque
+                effs.extend(Eff(e.kind, e.loop + call.loop_depth, 0, e.spawn) for e in sub)
+        finally:
+            self._flat_stack.discard(scope)
+        self._flat[scope] = (effs, opaque)
+        return effs, opaque
+
+    def deep(self, scope: Scope) -> tuple[list, bool]:
+        """``flat`` plus, recursively, the closures of every spawned body."""
+        cached = self._deep.get(scope)
+        if cached is not None:
+            return cached
+        if scope in self._deep_stack:
+            return ([], False)
+        self._deep_stack.add(scope)
+        try:
+            effs, opaque = self.flat(scope)
+            out = list(effs)
+            for e in effs:
+                if e.spawn.kind == "copy":
+                    continue  # an RDMA copy has no body to descend into
+                if e.spawn.callee is None:
+                    opaque = True  # unknown body may spawn anything
+                    continue
+                sub, sub_opaque = self.deep(e.spawn.callee)
+                opaque = opaque or sub_opaque
+                out.extend(Eff(x.kind, x.loop, x.level + e.level + 1, x.spawn) for x in sub)
+        finally:
+            self._deep_stack.discard(scope)
+        self._deep[scope] = (out, opaque)
+        return out, opaque
+
+    # -- the home test (FINISH_HERE) --------------------------------------------
+
+    def _is_home_expr(
+        self, expr, occ_scope: Scope, outer: Spawn, site: FinishSiteNode, depth: int = 0
+    ) -> bool:
+        """Does ``expr`` (a spawn destination inside the spawned body)
+        denote the finish home — the ``ctx.here`` of the site's function?"""
+        if depth > 4 or expr is None:
+            return False
+        ctx_param = site.scope.ctx_param
+        if (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "here"
+            and isinstance(expr.value, ast.Name)
+        ):
+            # `ctx.here` is home only when evaluated in the site function
+            return occ_scope is site.scope and expr.value.id == ctx_param
+        if not isinstance(expr, ast.Name):
+            return False
+        name = expr.id
+        callee = outer.callee
+        if callee is not None and name in callee.params:
+            # a parameter of the spawned body: map back to the call-site
+            # argument (arguments after the body function line up with the
+            # parameters after the context)
+            idx = callee.params.index(name)
+            if idx >= 1 and idx - 1 < len(outer.call_args):
+                arg = outer.call_args[idx - 1]
+                return self._is_home_expr(arg, site.scope, outer, site, depth + 1)
+            return False
+        bound = self.program.binding_scope(name, occ_scope)
+        if bound is None:
+            return False
+        bscope, bexpr = bound
+        return (
+            bscope is site.scope
+            and isinstance(bexpr, ast.Attribute)
+            and bexpr.attr == "here"
+            and isinstance(bexpr.value, ast.Name)
+            and bexpr.value.id == ctx_param
+        )
+
+    # -- classification -----------------------------------------------------------
+
+    def classify_site(self, site: FinishSiteNode) -> SiteClassification:
+        ev = region_events(site.with_node.body, site.scope, self.program)
+        opaque = ev.opaque
+        direct: list[Eff] = [Eff(s.kind, s.loop_depth, 0, s) for s in ev.spawns]
+        for call in ev.calls:
+            sub, sub_opaque = self.flat(call.target)
+            opaque = opaque or sub_opaque
+            direct.extend(Eff(e.kind, e.loop + call.loop_depth, 0, e.spawn) for e in sub)
+
+        def child_closure(eff: Eff) -> tuple[Optional[list], bool]:
+            if eff.spawn.kind == "copy":
+                return [], False
+            if eff.spawn.callee is None:
+                return None, True
+            return self.deep(eff.spawn.callee)
+
+        remote = [e for e in direct if e.kind in ("remote", "copy")]
+        local = [e for e in direct if e.kind == "local"]
+
+        # summary facts for the lint rules (pragma-mismatch and friends)
+        stats = {
+            "n_remote": len(remote),
+            "n_local": len(local),
+            "max_loop": max((e.loop for e in direct), default=0),
+            "spawning_children": any(
+                bool(child_closure(e)[0]) for e in direct if e.spawn.kind != "copy"
+            ),
+            "remote_dests_home": bool(remote)
+            and all(e.kind == "remote" for e in remote)
+            and all(
+                self._is_home_expr(e.spawn.dest, site.scope, e.spawn, site)
+                for e in remote
+            ),
+        }
+
+        def verdict(suggestion: Pragma, reason: str, confident: bool) -> SiteClassification:
+            return SiteClassification(
+                path=site.scope.module.path,
+                qualname=site.scope.qualname,
+                lineno=site.lineno,
+                suggestion=suggestion,
+                reason=reason,
+                confident=confident,
+                annotation=site.annotation,
+                dynamic=site.dynamic,
+                aliased=site.aliased,
+                site=site,
+                **stats,
+            )
+
+        if not direct:
+            return verdict(Pragma.DEFAULT, "no spawns under this finish", not opaque)
+
+        if not remote:
+            child_opaque = False
+            any_remote = False
+            for e in local:
+                sub, sub_opaque = child_closure(e)
+                child_opaque = child_opaque or sub_opaque
+                if sub:
+                    any_remote = any_remote or any(
+                        x.kind in ("remote", "copy") for x in sub
+                    )
+            if any_remote:
+                return verdict(
+                    Pragma.DEFAULT,
+                    "local asyncs whose bodies spawn remote subactivities",
+                    not opaque,
+                )
+            return verdict(
+                Pragma.FINISH_LOCAL,
+                "only local asyncs (transitively)",
+                not (opaque or child_opaque),
+            )
+
+        if local:
+            return verdict(
+                Pragma.DEFAULT, "mixed local and remote asyncs", not opaque
+            )
+
+        max_loop = max(e.loop for e in remote)
+
+        if len(remote) == 1 and max_loop == 0:
+            e = remote[0]
+            sub, child_opaque = child_closure(e)
+            if sub is None:
+                return verdict(
+                    Pragma.FINISH_ASYNC, "a single remote async (body not resolved)", False
+                )
+            if not sub:
+                return verdict(
+                    Pragma.FINISH_ASYNC,
+                    "a single remote async whose body spawns nothing further",
+                    not (opaque or child_opaque),
+                )
+            if (
+                len(sub) == 1
+                and sub[0].kind == "remote"
+                and sub[0].loop == 0
+                and sub[0].level == 0
+                and self._is_home_expr(sub[0].spawn.dest, sub[0].spawn.scope, e.spawn, site)
+            ):
+                ret_sub, ret_opaque = child_closure(sub[0])
+                if ret_sub == []:
+                    return verdict(
+                        Pragma.FINISH_HERE,
+                        "a round trip: one remote async whose body sends one "
+                        "async back to the home place",
+                        not (opaque or child_opaque or ret_opaque),
+                    )
+            return verdict(
+                Pragma.DEFAULT,
+                "a remote async whose body spawns further activities",
+                not (opaque or child_opaque),
+            )
+
+        # multiple remote asyncs (statically or through loops)
+        child_opaque = False
+        spawning_children = False
+        for e in remote:
+            sub, sub_opaque = child_closure(e)
+            child_opaque = child_opaque or sub_opaque
+            if sub:
+                spawning_children = True
+        if max_loop >= 2:
+            return verdict(
+                Pragma.FINISH_DENSE,
+                "remote asyncs inside nested place loops (dense communication graph)",
+                not (opaque or child_opaque),
+            )
+        if spawning_children:
+            return verdict(
+                Pragma.FINISH_DENSE,
+                "spawned bodies spawn further activities (irregular communication graph)",
+                not (opaque or child_opaque),
+            )
+        if max_loop >= 1:
+            return verdict(
+                Pragma.FINISH_SPMD,
+                "one remote async per place in a loop, none spawning further",
+                not (opaque or child_opaque),
+            )
+        return verdict(
+            Pragma.FINISH_SPMD,
+            "a static set of remote asyncs, none spawning further",
+            not (opaque or child_opaque),
+        )
+
+    def classify_scope(self, scope: Scope) -> list:
+        return [self.classify_site(s) for s in finish_sites(scope, self.program)]
+
+    def classify_module(self, module: SourceModule) -> list:
+        """Every finish site in ``module``, in source order."""
+        out: list[SiteClassification] = []
+        mscope = self.program.module_scope[module.path]
+        out.extend(self.classify_scope(mscope))
+        for scope in iter_function_scopes(self.program, module):
+            out.extend(self.classify_scope(scope))
+        out.sort(key=lambda c: c.lineno)
+        return out
+
+
+def classify_program(program: Program) -> list:
+    """Every finish site of every analyzed module, grouped by file."""
+    inference = Inference(program)
+    out: list[SiteClassification] = []
+    for module in program.modules:
+        out.extend(inference.classify_module(module))
+    return out

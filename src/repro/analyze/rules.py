@@ -1,0 +1,197 @@
+"""The lint-rule framework: registry, severities, suppression, baseline.
+
+Rules are small functions registered with the :func:`rule` decorator.  Each
+receives a :class:`RuleContext` (the analyzed :class:`Program` plus every
+finish-site classification) and yields :class:`Finding` objects.  The driver
+then applies per-line suppression comments (``# noqa`` or ``# noqa:
+APG104``) and the findings baseline — a committed JSON file of fingerprints
+for findings that are acknowledged but not yet fixed, so CI gates only on
+*new* findings.
+
+Fingerprints are line-number independent (rule code + file + stripped source
+text), so unrelated edits above a baselined finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.analyze.sourcemodel import Program, SourceModule
+from repro.errors import AnalyzeError
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; only WARNING and above affect the exit code."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source line."""
+
+    rule: str
+    severity: Severity
+    path: str
+    lineno: int
+    message: str
+    source: str  # the offending source line, stripped
+
+    @property
+    def fingerprint(self) -> str:
+        path = os.path.relpath(self.path).replace(os.sep, "/")
+        return f"{self.rule}::{path}::{self.source}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "path": os.path.relpath(self.path).replace(os.sep, "/"),
+            "line": self.lineno,
+            "message": self.message,
+            "source": self.source,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """A registered lint rule."""
+
+    code: str  # e.g. "APG101"
+    name: str  # kebab-case, e.g. "pragma-mismatch"
+    severity: Severity
+    doc: str
+    fn: Callable
+
+
+#: code -> RuleInfo, populated by the @rule decorator
+REGISTRY: dict[str, RuleInfo] = {}
+
+
+def rule(code: str, name: str, severity: Severity):
+    """Register a rule function ``fn(ctx) -> Iterable[Finding]``."""
+
+    def deco(fn: Callable) -> Callable:
+        if code in REGISTRY:
+            raise AnalyzeError(f"duplicate rule code {code}")
+        REGISTRY[code] = RuleInfo(code, name, severity, (fn.__doc__ or "").strip(), fn)
+        return fn
+
+    return deco
+
+
+class RuleContext:
+    """Everything a rule may inspect."""
+
+    def __init__(self, program: Program, classifications: list) -> None:
+        self.program = program
+        #: every SiteClassification, all modules, source order per module
+        self.classifications = classifications
+        self._by_path = {m.path: m for m in program.modules}
+
+    def module(self, path: str) -> Optional[SourceModule]:
+        return self._by_path.get(path)
+
+    def finding(
+        self, info: RuleInfo, module: SourceModule, lineno: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=info.code,
+            severity=info.severity,
+            path=module.path,
+            lineno=lineno,
+            message=message,
+            source=module.line(lineno).strip(),
+        )
+
+
+# -- suppression -----------------------------------------------------------------
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?", re.IGNORECASE)
+
+
+def is_suppressed(finding: Finding, module: SourceModule) -> bool:
+    """True when the finding's line carries a matching ``# noqa`` comment."""
+    m = _NOQA_RE.search(module.line(finding.lineno))
+    if m is None:
+        return False
+    codes = m.group("codes")
+    if codes is None:
+        return True  # bare `# noqa` silences every rule on the line
+    wanted = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return finding.rule.upper() in wanted
+
+
+def run_rules(
+    program: Program, classifications: list, codes: Optional[Iterable[str]] = None
+) -> list:
+    """Run every registered rule (or the subset ``codes``) and return the
+    surviving findings, suppressions applied, sorted by location."""
+    # rule modules register themselves on import
+    import repro.analyze.apgas_rules  # noqa: F401
+
+    ctx = RuleContext(program, classifications)
+    selected = set(codes) if codes is not None else None
+    findings: list[Finding] = []
+    for code in sorted(REGISTRY):
+        if selected is not None and code not in selected:
+            continue
+        info = REGISTRY[code]
+        findings.extend(info.fn(ctx, info))
+    out = []
+    for f in findings:
+        module = ctx.module(f.path)
+        if module is not None and is_suppressed(f, module):
+            continue
+        out.append(f)
+    out.sort(key=lambda f: (f.path, f.lineno, f.rule))
+    return out
+
+
+# -- baseline --------------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """The committed set of acknowledged finding fingerprints."""
+
+    fingerprints: set = field(default_factory=set)
+    path: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls(set(), path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise AnalyzeError(f"cannot read baseline {path}: {exc}") from None
+        if not isinstance(doc, dict) or not isinstance(doc.get("findings"), list):
+            raise AnalyzeError(f"malformed baseline {path}: expected a findings list")
+        return cls({str(f) for f in doc["findings"]}, path)
+
+    def write(self, path: str, findings: list) -> None:
+        doc = {
+            "comment": "acknowledged repro-analyze findings; regenerate with "
+            "`repro analyze ... --write-baseline`",
+            "findings": sorted({f.fingerprint for f in findings}),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def new_findings(self, findings: list) -> list:
+        return [f for f in findings if f.fingerprint not in self.fingerprints]

@@ -1,0 +1,311 @@
+"""Source loading and the lexical-scope model of the whole-program analyzer.
+
+The analyzer works on plain ASTs — nothing is imported or executed.  A
+:class:`Program` holds every module named on the command line plus any
+modules pulled in on demand (the agreement checker analyzes whichever file a
+runtime finish site lives in).  Each function-like construct (``def``,
+``async def``, ``lambda``) and each ``class`` body becomes a :class:`Scope`
+so that name resolution can follow Python's lexical rules: a name used inside
+a nested function resolves through the chain of enclosing *function* scopes
+(class bodies are skipped, as in Python), then module level, then the
+module's ``from x import y`` table when the imported module is part of the
+analyzed set.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Optional
+
+from repro.errors import AnalyzeError
+
+
+class SourceModule:
+    """One parsed file."""
+
+    __slots__ = ("path", "source", "tree", "lines")
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def line(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Scope:
+    """A lexical scope: module, class body, function, or lambda."""
+
+    __slots__ = (
+        "kind", "node", "module", "parent", "name", "qualname",
+        "functions", "assigns", "params",
+    )
+
+    def __init__(self, kind: str, node, module: SourceModule, parent: Optional["Scope"], name: str):
+        self.kind = kind  # "module" | "class" | "function" | "lambda"
+        self.node = node
+        self.module = module
+        self.parent = parent
+        self.name = name
+        if parent is None or parent.kind == "module":
+            self.qualname = name
+        else:
+            self.qualname = f"{parent.qualname}.{name}"
+        #: immediate nested function/lambda scopes by name (methods for classes)
+        self.functions: dict[str, Scope] = {}
+        #: simple single-target ``name = expr`` bindings in this scope's body
+        self.assigns: dict[str, ast.expr] = {}
+        self.params: list[str] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scope {self.kind} {self.qualname} @{self.module.path}>"
+
+    @property
+    def ctx_param(self) -> Optional[str]:
+        """The activity-context parameter: by convention the first one."""
+        return self.params[0] if self.params else None
+
+    def owning_class(self) -> Optional["Scope"]:
+        """The class scope this function is a method of, if any."""
+        if self.parent is not None and self.parent.kind == "class":
+            return self.parent
+        return None
+
+    def body_statements(self) -> list:
+        node = self.node
+        if isinstance(node, ast.Lambda):
+            return [ast.Expr(value=node.body)]
+        return list(node.body)
+
+
+def _params_of(node) -> list[str]:
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        a = node.args
+        names = [p.arg for p in a.posonlyargs] + [p.arg for p in a.args]
+        return names
+    return []
+
+
+class _ScopeBuilder(ast.NodeVisitor):
+    """Populate ``scope.functions`` / ``scope.assigns`` without descending
+    into nested scopes (each nested scope builds itself)."""
+
+    def __init__(self, program: "Program", scope: Scope) -> None:
+        self.program = program
+        self.scope = scope
+
+    def build(self) -> None:
+        node = self.scope.node
+        if isinstance(node, ast.Lambda):
+            self.visit(node.body)
+            return
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def _enter(self, kind: str, node, name: str) -> None:
+        child = Scope(kind, node, self.scope.module, self.scope, name)
+        child.params = _params_of(node)
+        self.program.scope_of[node] = child
+        self.scope.functions[name] = child
+        _ScopeBuilder(self.program, child).build()
+
+    def visit_FunctionDef(self, node) -> None:
+        self._enter("function", node, node.name)
+
+    def visit_AsyncFunctionDef(self, node) -> None:
+        self._enter("function", node, node.name)
+
+    def visit_Lambda(self, node) -> None:
+        self._enter("lambda", node, f"<lambda@{node.lineno}>")
+
+    def visit_ClassDef(self, node) -> None:
+        child = Scope("class", node, self.scope.module, self.scope, node.name)
+        self.program.scope_of[node] = child
+        self.scope.functions[node.name] = child
+        builder = _ScopeBuilder(self.program, child)
+        for stmt in node.body:
+            builder.visit(stmt)
+
+    def visit_Assign(self, node) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self.scope.assigns.setdefault(node.targets[0].id, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self.scope.assigns.setdefault(node.target.id, node.value)
+        self.generic_visit(node)
+
+    def visit_NamedExpr(self, node) -> None:
+        if isinstance(node.target, ast.Name):
+            self.scope.assigns.setdefault(node.target.id, node.value)
+        self.generic_visit(node)
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name for import resolution (best effort)."""
+    norm = os.path.normpath(os.path.abspath(path))
+    parts = norm.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src", "site-packages"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1:]
+            break
+    # fall back to the longest package-looking suffix
+    return ".".join(parts[-4:]) if len(parts) > 4 else ".".join(parts)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d not in ("__pycache__", ".git"))
+                for name in sorted(names):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(root, name))
+        else:
+            raise AnalyzeError(f"no such file or directory: {path}")
+    return files
+
+
+class Program:
+    """Every analyzed module, with cross-module name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: list[SourceModule] = []
+        self.module_scope: dict[str, Scope] = {}  # path -> module scope
+        #: ast node (FunctionDef/Lambda/ClassDef) -> its Scope
+        self.scope_of: dict[ast.AST, Scope] = {}
+        self._by_modname: dict[str, SourceModule] = {}
+        self._imports: dict[str, dict[str, tuple[str, str]]] = {}  # path -> alias -> (mod, orig)
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str]) -> "Program":
+        program = cls()
+        for path in iter_python_files(paths):
+            program.add_file(path)
+        return program
+
+    def add_file(self, path: str) -> SourceModule:
+        for mod in self.modules:
+            if os.path.abspath(mod.path) == os.path.abspath(path):
+                return mod
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            raise AnalyzeError(f"cannot read {path}: {exc}") from None
+        return self.add_source(path, source)
+
+    def add_source(self, path: str, source: str) -> SourceModule:
+        """Add an in-memory module (used for sources without a file)."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise AnalyzeError(f"cannot parse {path}: {exc}") from None
+        module = SourceModule(path, source, tree)
+        self.modules.append(module)
+        self._by_modname[_module_name(path)] = module
+        scope = Scope("module", tree, module, None, _module_name(path))
+        self.module_scope[path] = scope
+        builder = _ScopeBuilder(self, scope)
+        for stmt in tree.body:
+            builder.visit(stmt)
+        self._imports[path] = self._collect_imports(tree)
+        return module
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> dict[str, tuple[str, str]]:
+        table: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    table[alias.asname or alias.name] = (node.module, alias.name)
+        return table
+
+    # -- name resolution ---------------------------------------------------------
+
+    def resolve_function(self, name: str, scope: Scope, _depth: int = 0) -> Optional[Scope]:
+        """The function/lambda scope ``name`` refers to at ``scope``, or None.
+
+        Follows the lexical chain (skipping class bodies), simple aliases
+        (``g = f``), and single-hop ``from m import f`` edges into other
+        analyzed modules.
+        """
+        if _depth > 8:
+            return None
+        s: Optional[Scope] = scope
+        while s is not None:
+            if s.kind != "class":
+                found = s.functions.get(name)
+                if found is not None and found.kind in ("function", "lambda"):
+                    return found
+                bound = s.assigns.get(name)
+                if bound is not None:
+                    if isinstance(bound, ast.Name):
+                        return self.resolve_function(bound.id, s, _depth + 1)
+                    if isinstance(bound, ast.Lambda):
+                        return self.scope_of.get(bound)
+                    return None  # rebound to something we cannot follow
+            s = s.parent
+        imports = self._imports.get(scope.module.path, {})
+        if name in imports:
+            modname, orig = imports[name]
+            target = self._lookup_module(modname)
+            if target is not None:
+                mscope = self.module_scope[target.path]
+                found = mscope.functions.get(orig)
+                if found is not None and found.kind in ("function", "lambda"):
+                    return found
+        return None
+
+    def _lookup_module(self, modname: str) -> Optional[SourceModule]:
+        """Find an analyzed module by dotted name, tolerating differing
+        anchor points (an import says ``helpers`` where the analyzed path
+        produced ``pkg.helpers``, or vice versa)."""
+        target = self._by_modname.get(modname)
+        if target is not None:
+            return target
+        for key, module in self._by_modname.items():
+            if key.endswith("." + modname) or modname.endswith("." + key):
+                return module
+        return None
+
+    def resolve_method(self, scope: Scope, attr: str) -> Optional[Scope]:
+        """Resolve ``self.<attr>`` / ``cls.<attr>`` inside a method body."""
+        s: Optional[Scope] = scope
+        while s is not None:
+            cls = s.owning_class() if s.kind in ("function", "lambda") else None
+            if cls is not None:
+                found = cls.functions.get(attr)
+                if found is not None and found.kind in ("function", "lambda"):
+                    return found
+            s = s.parent
+        return None
+
+    def binding_scope(self, name: str, scope: Scope) -> Optional[tuple[Scope, ast.expr]]:
+        """The nearest enclosing scope that binds ``name`` with a simple
+        assignment, plus the bound expression (lexical chain, class bodies
+        skipped)."""
+        s: Optional[Scope] = scope
+        while s is not None:
+            if s.kind != "class":
+                if name in s.params:
+                    return None  # a parameter, not a simple binding
+                if name in s.assigns:
+                    return (s, s.assigns[name])
+            s = s.parent
+        return None

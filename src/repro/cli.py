@@ -102,6 +102,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="allowed fractional slowdown before --check fails (default 0.2)",
     )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static analysis: infer finish pragmas and lint for APGAS anti-patterns",
+    )
+    analyze.add_argument("paths", nargs="+", help="files and/or directories to analyze")
+    analyze.add_argument("--json", action="store_true", help="machine-readable report")
+    analyze.add_argument(
+        "--sites", action="store_true", help="also list every classified finish site"
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="findings baseline: known findings listed there do not gate",
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
     return parser
 
 
@@ -206,7 +227,44 @@ def main(argv=None, out=sys.stdout) -> int:
     if args.command == "perf":
         return _cmd_perf(args, out)
 
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
+
     raise AssertionError("unreachable")
+
+
+def _cmd_analyze(args, out) -> int:
+    """Run the static analyzer over files/directories.
+
+    Exit codes: 0 — clean (no new findings at warning severity or above);
+    1 — findings; 2 — usage error (missing path, unparsable source, bad
+    baseline).
+    """
+    from repro.analyze import Baseline, analyze_paths
+    from repro.analyze.report import render_text, write_json
+    from repro.errors import AnalyzeError
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline PATH", file=out)
+        return 2
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+        result = analyze_paths(args.paths, baseline=baseline)
+    except AnalyzeError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    if args.write_baseline:
+        Baseline(path=args.baseline).write(args.baseline, result.findings)
+        print(
+            f"wrote {len(result.findings)} finding fingerprint(s) to {args.baseline}",
+            file=out,
+        )
+        return 0
+    if args.json:
+        write_json(result, out)
+    else:
+        render_text(result, out, show_sites=args.sites)
+    return 1 if result.gating else 0
 
 
 def _cmd_perf(args, out) -> int:

@@ -91,6 +91,10 @@ class DeadPlaceError(ApgasError):
         super().__init__(msg)
 
 
+class AnalyzeError(ReproError):
+    """Misuse of the static analyzer (bad path, unreadable or unparsable source)."""
+
+
 class ChaosError(ReproError):
     """Misuse of the fault-injection layer (bad spec, unknown fault kind)."""
 

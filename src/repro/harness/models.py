@@ -22,7 +22,6 @@ from repro.machine.bandwidth import (
     alltoall_bw_per_octant,
     alltoall_time,
     barrier_time,
-    broadcast_time,
 )
 from repro.machine.config import MachineConfig
 from repro.machine.memory import stream_bw_per_place

@@ -8,7 +8,6 @@ from __future__ import annotations
 import sys
 
 from repro.harness.figures import figure1_panel, render_panel
-from repro.harness.runner import KERNELS
 from repro.harness.tables import render_table1, render_table2, table1, table2
 
 PANEL_ORDER = [

@@ -19,7 +19,7 @@ from repro.errors import KernelError
 from repro.harness.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.harness.results import KernelResult
 from repro.kernels.bc.brandes import brandes_betweenness
-from repro.kernels.bc.rmat import Graph, rmat_graph
+from repro.kernels.bc.rmat import rmat_graph
 from repro.runtime import PlaceGroup, Team, broadcast_spawn
 from repro.runtime.runtime import ApgasRuntime
 from repro.sim.rng import RngStream

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.errors import KernelError
 from repro.harness.calibration import DEFAULT_CALIBRATION, Calibration

@@ -109,6 +109,7 @@ def audit_trace(trace: Union[Tracer, Iterable[TraceEvent]], places: int) -> Audi
         )
     )
     report.checks.append(_check_finish(events))
+    report.checks.append(_check_pragma_shapes(events))
     report.checks.append(_check_victim_out_degree(events, places))
     report.checks.append(_check_broadcast_depth(events))
     report.checks.append(_check_routing(events))
@@ -154,6 +155,43 @@ def _check_finish(events: list) -> AuditCheck:
         name="finish.ctl_messages",
         passed=not violations,
         expected="per-pragma closed form",
+        actual=f"{len(final) - len(violations)}/{len(final)} finishes conform",
+        detail="; ".join(violations[:3]),
+    )
+
+
+def _check_pragma_shapes(events: list) -> AuditCheck:
+    """Each specialized finish stayed within the shape its pragma promises.
+
+    This is the dynamic face of the static analyzer's pragma-mismatch rule
+    (APG101 in :mod:`repro.analyze.apgas_rules`): FINISH_ASYNC governs at
+    most one activity, FINISH_HERE at most a two-activity round trip, and
+    FINISH_LOCAL never sees a remote join.  ``validate_fork`` raises on the
+    offending spawn at runtime; this check confirms from the trace alone
+    that no finish slipped past it (and gives replayed or hand-crafted
+    traces the same scrutiny).
+    """
+    final: dict[int, TraceEvent] = {}
+    for e in events:
+        if e.name == "finish.quiesce":
+            final[e.id] = e
+    if not final:
+        return AuditCheck(name="finish.pragma_shapes", passed=None, detail="no finish in trace")
+    violations = []
+    for fid, e in sorted(final.items()):
+        pragma = e.args.get("pragma")
+        forks = e.args.get("total_forks")
+        rj = e.args.get("remote_joins")
+        if pragma == "finish_async" and forks is not None and forks > 1:
+            violations.append(f"finish#{fid} finish_async governed {forks} activities")
+        elif pragma == "finish_here" and forks is not None and forks > 2:
+            violations.append(f"finish#{fid} finish_here governed {forks} activities")
+        elif pragma == "finish_local" and rj is not None and rj > 0:
+            violations.append(f"finish#{fid} finish_local saw {rj} remote joins")
+    return AuditCheck(
+        name="finish.pragma_shapes",
+        passed=not violations,
+        expected="per-pragma activity shape",
         actual=f"{len(final) - len(violations)}/{len(final)} finishes conform",
         detail="; ".join(violations[:3]),
     )

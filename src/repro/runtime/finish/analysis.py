@@ -1,30 +1,32 @@
-"""Prototype compiler analysis for finish-implementation selection.
+"""Compiler analysis for finish-implementation selection.
 
 The paper prototyped a fully automatic compiler analysis capable of detecting
 many situations where the specialized finish patterns apply (it correctly
 classifies the finishes in their HPL code into FINISH_SPMD, FINISH_ASYNC, and
 FINISH_HERE), while the production system still relies on pragmas.  This
-module is the same kind of prototype for our Python surface: it inspects an
-activity body's AST and suggests a pragma for each ``with ctx.finish(...)``
-site.  Unrecognized patterns fall back to the DEFAULT algorithm, which is
-always correct.
+module is the runtime-facing entry point to our version of that analysis:
+given a live function object, it locates the source and delegates to the
+whole-program analyzer in :mod:`repro.analyze`, whose inference is
+*interprocedural* — it follows ``at_async`` / ``async_`` bodies across
+function boundaries, so the return leg of a FINISH_HERE round trip (invisible
+to the old intraprocedural prototype) is classified correctly.
 
-Known limitation (the reason it remains a prototype, exactly as in the
-paper): the analysis is intraprocedural, so a spawned body that itself
-spawns — e.g. the return leg of a FINISH_HERE round trip — is invisible.  A
-mis-suggested pragma is never silently wrong, though: every specialized
-finish validates the forks it governs at runtime and raises
-:class:`~repro.errors.PragmaError` on a pattern violation.
+A mis-suggested pragma is never silently wrong: every specialized finish
+validates the forks it governs at runtime and raises
+:class:`~repro.errors.PragmaError` on a pattern violation, and
+:mod:`repro.analyze.agreement` replays suggestions against exactly that
+validation.
 """
 
 from __future__ import annotations
 
-import ast
 import inspect
+import os
 import textwrap
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.errors import AnalyzeError
 from repro.runtime.finish.pragmas import Pragma
 
 
@@ -35,98 +37,108 @@ class FinishSite:
     lineno: int
     suggestion: Pragma
     reason: str
+    confident: bool = True
 
 
 def classify_function(fn: Callable) -> list[FinishSite]:
     """Suggest a finish implementation for every finish site in ``fn``.
 
-    Returns an empty list when the source is unavailable (builtins, lambdas
-    defined in a REPL) — the caller falls back to pragmas or DEFAULT.
+    Sites inside functions nested in ``fn`` are included.  Line numbers are
+    absolute within ``fn``'s source file when it has one (matching what
+    ``repro analyze`` reports), else relative to the function's own source.
+    Returns an empty list when no source is available (builtins) — callers
+    fall back to pragmas or DEFAULT.
     """
+    sites = _classify_via_file(fn)
+    if sites is not None:
+        return sites
+    return _classify_via_source(fn)
+
+
+def suggest(fn: Callable) -> dict[int, Pragma]:
+    """Per-site suggestions for ``fn``, keyed by line number.
+
+    Empty when ``fn`` has no analyzable finish sites.
+    """
+    return {site.lineno: site.suggestion for site in classify_function(fn)}
+
+
+# -- locating the function in the whole-program model ----------------------------
+
+
+def _classify_scopes(program, target) -> list[FinishSite]:
+    from repro.analyze.infer import Inference
+
+    scopes = [target]
+    queue = [target]
+    while queue:
+        scope = queue.pop()
+        for child in scope.functions.values():
+            if child.kind in ("function", "lambda"):
+                scopes.append(child)
+            queue.append(child)
+    inference = Inference(program)
+    out: list[FinishSite] = []
+    for scope in scopes:
+        for c in inference.classify_scope(scope):
+            out.append(FinishSite(c.lineno, c.suggestion, c.reason, c.confident))
+    out.sort(key=lambda s: s.lineno)
+    return out
+
+
+def _find_scope(program, module, firstline: int):
+    """The function scope whose def (or first decorator) is at ``firstline``."""
+    from repro.analyze.infer import iter_function_scopes
+
+    for scope in iter_function_scopes(program, module):
+        node = scope.node
+        linenos = {node.lineno}
+        for dec in getattr(node, "decorator_list", []):
+            linenos.add(dec.lineno)
+        if firstline in linenos:
+            return scope
+    return None
+
+
+def _classify_via_file(fn: Callable) -> Optional[list[FinishSite]]:
+    from repro.analyze.sourcemodel import Program
+
+    try:
+        path = inspect.getsourcefile(fn)
+        firstline = fn.__code__.co_firstlineno
+    except (TypeError, AttributeError):
+        return None
+    if not path or not os.path.exists(path):
+        return None
+    program = Program()
+    try:
+        module = program.add_file(path)
+    except AnalyzeError:
+        return None
+    target = _find_scope(program, module, firstline)
+    if target is None:
+        return None
+    return _classify_scopes(program, target)
+
+
+def _classify_via_source(fn: Callable) -> list[FinishSite]:
+    """Fallback for functions without a resolvable file (REPL, exec'd code):
+    analyze the dedented source in isolation.  Still interprocedural within
+    the function — nested helper bodies are followed — but module-level
+    helpers are out of sight here."""
+    from repro.analyze.sourcemodel import Program
+
     try:
         source = textwrap.dedent(inspect.getsource(fn))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError):
+    except (OSError, TypeError):
         return []
-    sites: list[FinishSite] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.With):
-            for item in node.items:
-                if _is_finish_call(item.context_expr):
-                    sites.append(_classify_site(node))
-    return sites
-
-
-def suggest(fn: Callable) -> Optional[Pragma]:
-    """The suggestion for the first finish site of ``fn``, or None."""
-    sites = classify_function(fn)
-    return sites[0].suggestion if sites else None
-
-
-# -- the pattern rules ------------------------------------------------------------
-
-
-def _classify_site(with_node: ast.With) -> FinishSite:
-    body = with_node.body
-    spawns = _count_calls(body, "at_async")
-    local_spawns = _count_calls(body, "async_")
-    loops = _loops_containing_spawn(body)
-
-    if spawns == 0 and local_spawns > 0:
-        return FinishSite(with_node.lineno, Pragma.FINISH_LOCAL, "only local asyncs")
-    if spawns == 1 and local_spawns == 0 and not loops:
-        return FinishSite(with_node.lineno, Pragma.FINISH_ASYNC, "a single remote async")
-    if loops:
-        depth = max(loops)
-        if depth >= 2:
-            return FinishSite(
-                with_node.lineno,
-                Pragma.FINISH_DENSE,
-                "remote asyncs inside nested place loops (dense communication graph)",
-            )
-        return FinishSite(
-            with_node.lineno, Pragma.FINISH_SPMD, "one remote async per place in a loop"
-        )
-    return FinishSite(with_node.lineno, Pragma.DEFAULT, "pattern not recognized")
-
-
-def _is_finish_call(expr: ast.expr) -> bool:
-    return (
-        isinstance(expr, ast.Call)
-        and isinstance(expr.func, ast.Attribute)
-        and expr.func.attr == "finish"
-    )
-
-
-def _count_calls(body: list[ast.stmt], method: str) -> int:
-    count = 0
-    for stmt in body:
-        for node in ast.walk(stmt):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == method
-            ):
-                count += 1
-    return count
-
-
-def _loops_containing_spawn(body: list[ast.stmt]) -> list[int]:
-    """Nesting depths of loops that contain an ``at_async`` call."""
-    depths: list[int] = []
-
-    def visit(node: ast.AST, depth: int) -> None:
-        if isinstance(node, (ast.For, ast.While)):
-            depth += 1
-            if _count_calls([node], "at_async") > 0:  # type: ignore[list-item]
-                depths.append(depth)
-        elif isinstance(node, ast.With) and any(
-            _is_finish_call(i.context_expr) for i in node.items
-        ):
-            return  # nested finish sites are classified separately
-        for child in ast.iter_child_nodes(node):
-            visit(child, depth)
-
-    for stmt in body:
-        visit(stmt, 0)
-    return depths
+    program = Program()
+    try:
+        module = program.add_source("<analysis>", source)
+    except AnalyzeError:
+        return []
+    mscope = program.module_scope[module.path]
+    funcs = [s for s in mscope.functions.values() if s.kind == "function"]
+    if not funcs:
+        return []
+    return _classify_scopes(program, funcs[0])

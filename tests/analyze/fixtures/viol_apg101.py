@@ -1,0 +1,31 @@
+"""Seeded violations for APG101 (pragma-mismatch): every annotation here
+contradicts the concurrency pattern it governs and would raise PragmaError."""
+
+from repro.runtime import Pragma
+
+
+def bad_async(ctx):
+    # FINISH_ASYNC governs ONE activity; this spawns one per place
+    with ctx.finish(Pragma.FINISH_ASYNC) as f:  # APG101 expected here
+        for p in ctx.places():
+            ctx.at_async(p, work)
+    yield f.wait()
+
+
+def bad_here(ctx):
+    # FINISH_HERE governs a two-activity round trip, not a place loop
+    with ctx.finish(Pragma.FINISH_HERE) as f:  # APG101 expected here
+        for p in ctx.places():
+            ctx.at_async(p, work)
+    yield f.wait()
+
+
+def bad_local(ctx, p):
+    # FINISH_LOCAL cannot govern a remote spawn
+    with ctx.finish(Pragma.FINISH_LOCAL) as f:  # APG101 expected here
+        ctx.at_async(p, work)
+    yield f.wait()
+
+
+def work(ctx):
+    yield ctx.compute(seconds=1e-6)

@@ -1,0 +1,19 @@
+"""Seeded violations for APG102 (escaping-activity): task handles that
+outlive the finish that guarantees their termination."""
+
+
+def leak_by_return(ctx):
+    with ctx.finish() as f:
+        return ctx.async_(work)  # APG102 expected here
+    yield f.wait()
+
+
+def leak_by_use_after(ctx):
+    with ctx.finish() as f:
+        handle = ctx.async_(work)  # APG102 expected here
+    yield f.wait()
+    print(handle)
+
+
+def work(ctx):
+    yield ctx.compute(seconds=1e-6)

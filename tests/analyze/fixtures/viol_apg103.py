@@ -1,0 +1,15 @@
+"""Seeded violation for APG103 (blocking-call-in-activity): a real OS-level
+blocking call inside a spawned activity body."""
+
+import time
+
+
+def main(ctx):
+    with ctx.finish() as f:
+        ctx.async_(worker)
+    yield f.wait()
+
+
+def worker(ctx):
+    time.sleep(0.1)  # APG103 expected here
+    yield ctx.compute(seconds=1e-6)

@@ -1,0 +1,16 @@
+"""Seeded violation for APG104 (mutable-capture): a remote activity mutates
+a mutable local captured from the spawning function."""
+
+
+def main(ctx):
+    results = {}
+
+    def collect(c, p):
+        results[p] = c.here  # APG104 expected here
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        for p in ctx.places():
+            ctx.at_async(p, collect, p)
+    yield f.wait()
+    return results

@@ -1,0 +1,14 @@
+"""Seeded violation for APG105 (default-finish-in-hot-loop): an unannotated
+finish re-created per loop iteration, paying full protocol state each time."""
+
+
+def main(ctx, steps):
+    for _ in range(steps):
+        with ctx.finish() as f:  # APG105 expected here
+            for p in ctx.places():
+                ctx.at_async(p, work)
+        yield f.wait()
+
+
+def work(ctx):
+    yield ctx.compute(seconds=1e-6)

@@ -1,0 +1,11 @@
+"""Seeded violations for APG106 (unbounded-glb-victims), plus one suppressed
+occurrence exercising the `# noqa` machinery."""
+
+from repro.glb import GlbConfig
+
+
+def build():
+    explicit = GlbConfig(max_victims=None)  # APG106 expected here
+    original = GlbConfig.original(chunk_items=32)  # APG106 expected here
+    acknowledged = GlbConfig.original()  # noqa: APG106
+    return explicit, original, acknowledged

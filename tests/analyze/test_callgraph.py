@@ -1,0 +1,204 @@
+"""Tests for source model, finish-site detection, and spawn extraction."""
+
+import pytest
+
+from repro.analyze.callgraph import finish_sites, region_events, ungoverned_events
+from repro.analyze.sourcemodel import Program, iter_python_files
+from repro.errors import AnalyzeError
+from repro.runtime.finish.pragmas import Pragma
+
+
+def program_of(source: str) -> Program:
+    program = Program()
+    program.add_source("<test>", source)
+    return program
+
+
+def scope_of(program: Program, *names):
+    scope = program.module_scope["<test>"]
+    for name in names:
+        scope = scope.functions[name]
+    return scope
+
+
+def test_finish_sites_walk_all_with_items():
+    program = program_of(
+        """
+def body(ctx, res):
+    with open(res) as fh, ctx.finish() as f:
+        ctx.at_async(1, work)
+    yield f.wait()
+
+def work(ctx):
+    pass
+"""
+    )
+    sites = finish_sites(scope_of(program, "body"), program)
+    assert len(sites) == 1
+    assert sites[0].annotation is None and not sites[0].aliased
+
+
+def test_finish_sites_follow_aliased_context_managers():
+    program = program_of(
+        """
+def body(ctx):
+    scope = ctx.finish(Pragma.FINISH_SPMD)
+    with scope as f:
+        for p in ctx.places():
+            ctx.at_async(p, work)
+    yield f.wait()
+
+def work(ctx):
+    pass
+"""
+    )
+    sites = finish_sites(scope_of(program, "body"), program)
+    assert len(sites) == 1
+    assert sites[0].aliased
+    assert sites[0].annotation is Pragma.FINISH_SPMD
+
+
+def test_dynamic_pragma_argument_is_flagged():
+    program = program_of(
+        """
+def body(ctx, pragma):
+    with ctx.finish(pragma) as f:
+        ctx.at_async(1, work)
+    yield f.wait()
+
+def work(ctx):
+    pass
+"""
+    )
+    (site,) = finish_sites(scope_of(program, "body"), program)
+    assert site.dynamic and site.annotation is None
+
+
+def test_keyword_pragma_annotation_is_recognized():
+    program = program_of(
+        """
+def body(ctx):
+    with ctx.finish(pragma=Pragma.FINISH_LOCAL, name="x") as f:
+        ctx.async_(work)
+    yield f.wait()
+
+def work(ctx):
+    pass
+"""
+    )
+    (site,) = finish_sites(scope_of(program, "body"), program)
+    assert site.annotation is Pragma.FINISH_LOCAL and not site.dynamic
+
+
+def test_region_events_partition_by_governing_finish():
+    program = program_of(
+        """
+def body(ctx):
+    ctx.async_(work)               # ungoverned (outer finish of the caller)
+    with ctx.finish() as f:
+        ctx.at_async(1, work)      # governed by this site
+        with ctx.finish() as inner:
+            ctx.at_async(2, work)  # governed by the nested site
+    yield f.wait()
+
+def work(ctx):
+    pass
+"""
+    )
+    scope = scope_of(program, "body")
+    ung = ungoverned_events(scope, program)
+    assert [s.kind for s in ung.spawns] == ["local"]
+    outer, inner = finish_sites(scope, program)
+    ev = region_events(outer.with_node.body, scope, program)
+    assert [s.line for s in ev.spawns] == [outer.lineno + 1]
+
+
+def test_spawn_callees_resolve_through_aliases_and_lambdas():
+    program = program_of(
+        """
+def helper(ctx):
+    pass
+
+alias = helper
+
+def body(ctx):
+    with ctx.finish() as f:
+        ctx.at_async(1, alias)
+        ctx.async_(lambda c: None)
+    yield f.wait()
+"""
+    )
+    scope = scope_of(program, "body")
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    remote, local = ev.spawns
+    assert remote.callee is program.module_scope["<test>"].functions["helper"]
+    assert local.callee is not None and local.callee.kind == "lambda"
+
+
+def test_unresolvable_call_with_context_argument_is_opaque():
+    program = program_of(
+        """
+def body(ctx, visitor):
+    with ctx.finish() as f:
+        visitor(ctx)
+    yield f.wait()
+"""
+    )
+    scope = scope_of(program, "body")
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    assert ev.opaque and not ev.spawns
+
+
+def test_loop_depth_is_tracked_per_spawn():
+    program = program_of(
+        """
+def body(ctx):
+    with ctx.finish() as f:
+        ctx.at_async(0, work)
+        for p in ctx.places():
+            for q in ctx.places():
+                ctx.at_async(q, work)
+    yield f.wait()
+
+def work(ctx):
+    pass
+"""
+    )
+    scope = scope_of(program, "body")
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    assert sorted(s.loop_depth for s in ev.spawns) == [0, 2]
+
+
+def test_iter_python_files_rejects_missing_path(tmp_path):
+    with pytest.raises(AnalyzeError, match="no such file or directory"):
+        iter_python_files([str(tmp_path / "nope")])
+
+
+def test_add_file_rejects_unparsable_source(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    with pytest.raises(AnalyzeError, match="cannot parse"):
+        Program.from_paths([str(bad)])
+
+
+def test_cross_module_import_resolution(tmp_path):
+    (tmp_path / "helpers.py").write_text(
+        "def work(ctx):\n    yield ctx.compute(seconds=1e-6)\n"
+    )
+    (tmp_path / "main.py").write_text(
+        "from helpers import work\n"
+        "def body(ctx, p):\n"
+        "    with ctx.finish() as f:\n"
+        "        ctx.at_async(p, work)\n"
+        "    yield f.wait()\n"
+    )
+    program = Program.from_paths([str(tmp_path)])
+    mscope = program.module_scope[str(tmp_path / "main.py")]
+    scope = mscope.functions["body"]
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    assert ev.spawns[0].callee is not None
+    assert ev.spawns[0].callee.name == "work"

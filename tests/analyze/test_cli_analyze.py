@@ -1,0 +1,91 @@
+"""Error paths and output shapes of the `repro analyze` CLI subcommand."""
+
+import io
+import json
+import os
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+KERNELS = os.path.join(REPO, "src", "repro", "kernels")
+EXAMPLES = os.path.join(REPO, "examples")
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_clean_tree_exits_zero():
+    code, text = run_cli("analyze", KERNELS, EXAMPLES)
+    assert code == 0
+    assert "analyze: clean" in text
+
+
+def test_findings_exit_one_with_locations():
+    code, text = run_cli("analyze", FIXTURES)
+    assert code == 1
+    assert "viol_apg101.py:9: APG101" in text
+    assert "error" in text and "warning" in text
+
+
+def test_missing_path_exits_two():
+    code, text = run_cli("analyze", "/no/such/tree")
+    assert code == 2
+    assert text.startswith("error:") and "/no/such/tree" in text
+
+
+def test_unparsable_file_exits_two(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    code, text = run_cli("analyze", str(bad))
+    assert code == 2
+    assert "cannot parse" in text
+
+
+def test_json_output_shape():
+    code, text = run_cli("analyze", os.path.join(FIXTURES, "viol_apg106.py"), "--json")
+    assert code == 1
+    payload = json.loads(text)
+    assert set(payload) == {"files", "sites", "findings"}
+    assert len(payload["files"]) == 1
+    rules = sorted(f["rule"] for f in payload["findings"])
+    assert rules == ["APG106", "APG106"]
+    for finding in payload["findings"]:
+        assert {"rule", "severity", "path", "line", "message", "new"} <= set(finding)
+        assert finding["new"] is True
+
+
+def test_sites_listing():
+    code, text = run_cli("analyze", os.path.join(EXAMPLES, "finish_patterns.py"), "--sites")
+    assert code == 0
+    assert "suggests finish_spmd" in text
+    assert "[annotated: finish_here]" in text
+
+
+def test_write_baseline_then_gated_rerun_exits_zero(tmp_path):
+    baseline = str(tmp_path / "baseline.json")
+    code, _ = run_cli("analyze", FIXTURES, "--baseline", baseline, "--write-baseline")
+    assert code == 0
+    with open(baseline) as fh:
+        assert len(json.load(fh)["findings"]) == 10
+
+    code, text = run_cli("analyze", FIXTURES, "--baseline", baseline)
+    assert code == 0
+    assert "baselined" in text
+
+
+def test_write_baseline_requires_baseline_path():
+    code, text = run_cli("analyze", FIXTURES, "--write-baseline")
+    assert code == 2
+    assert "--baseline" in text
+
+
+def test_malformed_baseline_exits_two(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json")
+    code, text = run_cli("analyze", FIXTURES, "--baseline", str(baseline))
+    assert code == 2
+    assert text.startswith("error:")

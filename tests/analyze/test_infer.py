@@ -1,0 +1,189 @@
+"""Tests for interprocedural pragma inference."""
+
+from repro.analyze.infer import Inference
+from repro.analyze.sourcemodel import Program
+from repro.runtime.finish.pragmas import Pragma
+
+WORK = """
+def work(ctx, *args):
+    yield ctx.compute(seconds=1e-6)
+"""
+
+
+def classify(source: str, *names):
+    program = Program()
+    program.add_source("<test>", source + WORK)
+    scope = program.module_scope["<test>"]
+    for name in names:
+        scope = scope.functions[name]
+    sites = Inference(program).classify_scope(scope)
+    assert len(sites) == 1, sites
+    return sites[0]
+
+
+def test_round_trip_through_named_helper_is_finish_here():
+    c = classify(
+        """
+def body(ctx, p):
+    home = ctx.here
+
+    def go(c):
+        c.at_async(home, work)
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        ctx.at_async(p, go)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.FINISH_HERE and c.confident
+
+
+def test_round_trip_with_home_passed_as_argument_is_finish_here():
+    # the home place travels as an explicit argument instead of a closure
+    c = classify(
+        """
+def go(c, back):
+    c.at_async(back, work)
+    yield c.compute(seconds=1e-6)
+
+def body(ctx, p):
+    home = ctx.here
+    with ctx.finish() as f:
+        ctx.at_async(p, go, home)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.FINISH_HERE and c.confident
+
+
+def test_return_leg_to_non_home_place_is_not_finish_here():
+    c = classify(
+        """
+def body(ctx, p, q):
+    def go(c):
+        c.at_async(q, work)
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        ctx.at_async(p, go)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is not Pragma.FINISH_HERE
+
+
+def test_spawns_reached_through_plain_helper_calls_count():
+    # the helper is *called*, not spawned: its spawns belong to this finish
+    c = classify(
+        """
+def fan(ctx):
+    for p in ctx.places():
+        ctx.at_async(p, work)
+
+def body(ctx):
+    with ctx.finish() as f:
+        fan(ctx)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.FINISH_SPMD and c.confident
+
+
+def test_local_asyncs_spawning_remotely_demote_to_default():
+    c = classify(
+        """
+def body(ctx, p):
+    def escalate(c):
+        c.at_async(p, work)
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        ctx.async_(escalate)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.DEFAULT
+
+
+def test_single_remote_with_spawning_body_is_not_finish_async():
+    c = classify(
+        """
+def body(ctx, p, q):
+    def chain(c):
+        c.at_async(q, work)
+        c.at_async(q, work)
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        ctx.at_async(p, chain)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.DEFAULT
+
+
+def test_unresolvable_body_degrades_confidence():
+    c = classify(
+        """
+def body(ctx, p, fn):
+    with ctx.finish() as f:
+        ctx.at_async(p, fn)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.FINISH_ASYNC and not c.confident
+
+
+def test_recursive_closure_terminates_and_stays_local():
+    c = classify(
+        """
+def body(ctx, n):
+    def fib_task(c, k):
+        if k > 1:
+            c.async_(fib_task, k - 1)
+            c.async_(fib_task, k - 2)
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        ctx.async_(fib_task, n)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.FINISH_LOCAL and c.confident
+
+
+def test_async_copy_counts_as_remote_fork():
+    c = classify(
+        """
+def body(ctx, src, dst):
+    with ctx.finish() as f:
+        ctx.async_copy(src, dst)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.suggestion is Pragma.FINISH_ASYNC and c.confident
+
+
+def test_annotation_and_dynamic_flags_are_carried():
+    c = classify(
+        """
+def body(ctx, p):
+    with ctx.finish(Pragma.FINISH_ASYNC) as f:
+        ctx.at_async(p, work)
+    yield f.wait()
+""",
+        "body",
+    )
+    assert c.annotation is Pragma.FINISH_ASYNC
+    assert c.effective_annotation is Pragma.FINISH_ASYNC
+    assert not c.dynamic

@@ -1,0 +1,122 @@
+"""Tests for the lint framework: each rule fires on its seeded fixture,
+suppression comments work, and the baseline gates only new findings."""
+
+import os
+
+import pytest
+
+from repro.analyze import Baseline, Severity, analyze_paths
+from repro.analyze.rules import REGISTRY
+
+# rule registration happens on import of the rule module
+import repro.analyze.apgas_rules  # noqa: F401
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def findings_for(name: str):
+    return analyze_paths([fixture(name)]).findings
+
+
+ALL_RULES = ("APG101", "APG102", "APG103", "APG104", "APG105", "APG106")
+
+
+def test_registry_has_the_full_catalogue():
+    assert set(REGISTRY) == set(ALL_RULES)
+    assert REGISTRY["APG101"].severity is Severity.ERROR
+    assert REGISTRY["APG101"].name == "pragma-mismatch"
+    for code in ALL_RULES:
+        assert REGISTRY[code].doc  # every rule documents itself
+
+
+@pytest.mark.parametrize("code", ALL_RULES)
+def test_each_rule_fires_exactly_where_planted(code):
+    name = f"viol_{code.lower()}.py"
+    path = fixture(name)
+    expected = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if f"{code} expected here" in line:
+                expected.append(lineno)
+    assert expected, f"fixture {name} has no planted markers"
+    found = findings_for(name)
+    assert [f.lineno for f in found] == expected
+    assert all(f.rule == code for f in found)
+
+
+def test_no_rule_fires_on_a_foreign_fixture():
+    # the APG104 fixture is clean for every other rule
+    found = findings_for("viol_apg104.py")
+    assert {f.rule for f in found} == {"APG104"}
+
+
+def test_bare_noqa_suppresses_all_rules(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "from repro.glb import GlbConfig\n"
+        "cfg = GlbConfig(max_victims=None)  # noqa\n"
+    )
+    assert analyze_paths([str(src)]).findings == []
+
+
+def test_coded_noqa_suppresses_only_named_rules():
+    # viol_apg106.py plants two findings and suppresses a third with
+    # `# noqa: APG106`; a mismatched code must not suppress
+    found = findings_for("viol_apg106.py")
+    assert len(found) == 2
+
+
+def test_noqa_with_other_code_does_not_suppress(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "from repro.glb import GlbConfig\n"
+        "cfg = GlbConfig(max_victims=None)  # noqa: APG999\n"
+    )
+    found = analyze_paths([str(src)]).findings
+    assert [f.rule for f in found] == ["APG106"]
+
+
+def test_baseline_round_trip_gates_only_new_findings(tmp_path):
+    baseline_path = str(tmp_path / "baseline.json")
+    result = analyze_paths([fixture("viol_apg106.py")])
+    assert result.findings and result.new_findings == result.findings
+
+    Baseline(path=baseline_path).write(baseline_path, result.findings)
+    baseline = Baseline.load(baseline_path)
+    rerun = analyze_paths([fixture("viol_apg106.py")], baseline=baseline)
+    assert rerun.findings and rerun.new_findings == []
+    assert rerun.gating == []
+
+
+def test_baseline_fingerprints_survive_line_shifts(tmp_path):
+    src = tmp_path / "m.py"
+    src.write_text(
+        "from repro.glb import GlbConfig\n"
+        "cfg = GlbConfig(max_victims=None)\n"
+    )
+    result = analyze_paths([str(src)])
+    baseline_path = str(tmp_path / "baseline.json")
+    Baseline(path=baseline_path).write(baseline_path, result.findings)
+
+    # shift the finding down two lines; the fingerprint must still match
+    src.write_text(
+        "from repro.glb import GlbConfig\n\n\n"
+        "cfg = GlbConfig(max_victims=None)\n"
+    )
+    rerun = analyze_paths([str(src)], baseline=Baseline.load(baseline_path))
+    assert rerun.findings and rerun.new_findings == []
+
+
+def test_missing_baseline_file_is_empty():
+    baseline = Baseline.load("/definitely/not/there.json")
+    assert baseline.fingerprints == set()
+
+
+def test_severity_gating_ignores_notes():
+    result = analyze_paths([fixture("viol_apg101.py")])
+    assert result.gating  # errors gate
+    assert all(f.severity >= Severity.WARNING for f in result.gating)

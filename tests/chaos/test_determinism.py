@@ -6,7 +6,7 @@ import io
 
 from repro.glb import CountingBag, Glb, GlbConfig
 
-from tests.chaos.conftest import STEP_CAP, make_chaos_runtime, run_fanout
+from tests.chaos.conftest import make_chaos_runtime, run_fanout
 
 SPEC = "seed=7,drop=0.25,dup=0.15,delay=0.2:2e-5,rto=1e-4"
 

@@ -10,8 +10,6 @@ every fault was recovered (no kills).
 import pytest
 
 from repro.glb import GlbConfig
-from repro.machine import MachineConfig
-from repro.runtime import ApgasRuntime
 
 from tests.chaos.conftest import counter_total, make_chaos_runtime, run_fanout
 

@@ -7,7 +7,6 @@ from repro.harness.figures import MODEL_PLACES, SIM_PLACES, figure1_panel, rende
 from repro.harness.reporting import render_table, si
 from repro.harness.runner import KERNELS, simulate
 from repro.harness.tables import render_table1, render_table2, table1, table2
-from repro.machine import MachineConfig
 
 
 def test_all_eight_kernels_have_figure_definitions():

@@ -1,6 +1,5 @@
 """Whole-stack determinism: a run is a pure function of (program, config, seed)."""
 
-import numpy as np
 import pytest
 
 from repro.glb import GlbConfig

@@ -11,7 +11,7 @@ import pytest
 from repro.errors import DeadlockError
 from repro.machine import MachineConfig
 from repro.machine.network import Network
-from repro.runtime import ApgasRuntime, Pragma, Team
+from repro.runtime import ApgasRuntime, Team
 from repro.sim.events import SimEvent
 
 

@@ -6,7 +6,6 @@ built on a common network stack and run unchanged off the Power 775).
 """
 
 import numpy as np
-import pytest
 
 from repro.kernels.kmeans import run_kmeans
 from repro.kernels.smithwaterman import run_smith_waterman

@@ -1,7 +1,6 @@
 """Cross-module integration: several subsystems composed in one program."""
 
 import numpy as np
-import pytest
 
 from repro.machine import MachineConfig
 from repro.runtime import (

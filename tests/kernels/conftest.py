@@ -1,7 +1,5 @@
 """Shared kernel-test helpers."""
 
-import pytest
-
 from repro.machine import MachineConfig
 from repro.runtime import ApgasRuntime
 

@@ -1,7 +1,6 @@
 """Tests for GLB-balanced Betweenness Centrality ([43])."""
 
 import numpy as np
-import pytest
 
 from repro.glb import GlbConfig
 from repro.kernels.bc import brandes_betweenness, rmat_graph, run_bc, run_bc_glb

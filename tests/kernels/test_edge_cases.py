@@ -1,7 +1,5 @@
 """Degenerate-size edge cases for every kernel."""
 
-import numpy as np
-import pytest
 
 from repro.glb import GlbConfig
 from repro.kernels.fft import run_fft

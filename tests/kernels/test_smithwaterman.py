@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.errors import KernelError
 from repro.kernels.smithwaterman import (
-    random_sequence,
     run_smith_waterman,
     sw_score,
     sw_score_reference,

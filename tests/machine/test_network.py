@@ -65,7 +65,8 @@ def test_ejection_flood_at_single_destination():
     """
     eng, net = make_net()
     senders = [p for p in range(4, 64)]  # everyone outside octant 0
-    events = [net.transfer(p, 0, 16) for p in senders]
+    for p in senders:
+        net.transfer(p, 0, 16)
     eng.run()
     t = eng.now
     assert t >= len(senders) * net.config.msg_injection_overhead

@@ -190,3 +190,41 @@ def test_empty_trace_fails_audit():
     assert isinstance(report, AuditReport)
     assert not report.passed
     assert report.check("trace.nonempty").passed is False
+
+
+def test_pragma_shapes_flags_overcommitted_specialized_finishes():
+    tr = Tracer(enabled=True)
+    # a finish_async that governed three activities, a finish_here that made
+    # two full round trips, and a finish_local that saw a remote join
+    tr.instant(
+        "finish.quiesce", "finish", 0, 1.0, id=1,
+        pragma="finish_async", total_forks=3, remote_joins=1, ctl_messages=1,
+    )
+    tr.instant(
+        "finish.quiesce", "finish", 0, 1.0, id=2,
+        pragma="finish_here", total_forks=4, remote_joins=2, ctl_messages=2,
+    )
+    tr.instant(
+        "finish.quiesce", "finish", 0, 1.0, id=3,
+        pragma="finish_local", total_forks=1, remote_joins=1, ctl_messages=0,
+    )
+    report = audit_trace(tr, places=4)
+    check = report.check("finish.pragma_shapes")
+    assert check.passed is False
+    assert "finish#1" in check.detail and "finish#2" in check.detail
+    assert "3/0" not in check.actual  # sanity: actual reads "0/3 finishes conform"
+    assert check.actual.startswith("0/3")
+
+
+def test_pragma_shapes_passes_on_conforming_runs():
+    rt = traced_runtime(4)
+    rt.run(spmd_program(Pragma.FINISH_SPMD))
+    report = audit_trace(rt.obs.trace, places=4)
+    assert report.check("finish.pragma_shapes").passed is True
+
+
+def test_pragma_shapes_skips_without_finish_events():
+    tr = Tracer(enabled=True)
+    tr.instant("net.transfer", "network", 0, 0.0, src=0, dst=1, hops=1)
+    report = audit_trace(tr, places=4)
+    assert report.check("finish.pragma_shapes").skipped

@@ -1,6 +1,12 @@
-"""Tests for the prototype finish-selection compiler analysis."""
+"""Tests for the finish-selection compiler analysis (runtime-facing API)."""
 
 from repro.runtime import Pragma, classify_function, suggest
+
+
+def one_suggestion(fn):
+    values = list(suggest(fn).values())
+    assert len(values) == 1, values
+    return values[0]
 
 
 def test_single_remote_async_is_finish_async():
@@ -9,7 +15,7 @@ def test_single_remote_async_is_finish_async():
             ctx.at_async(p, work)
         yield f.wait()
 
-    assert suggest(body) is Pragma.FINISH_ASYNC
+    assert one_suggestion(body) is Pragma.FINISH_ASYNC
 
 
 def test_only_local_asyncs_is_finish_local():
@@ -19,7 +25,7 @@ def test_only_local_asyncs_is_finish_local():
                 ctx.async_(work, i)
         yield f.wait()
 
-    assert suggest(body) is Pragma.FINISH_LOCAL
+    assert one_suggestion(body) is Pragma.FINISH_LOCAL
 
 
 def test_place_loop_is_finish_spmd():
@@ -29,7 +35,7 @@ def test_place_loop_is_finish_spmd():
                 ctx.at_async(p, work)
         yield f.wait()
 
-    assert suggest(body) is Pragma.FINISH_SPMD
+    assert one_suggestion(body) is Pragma.FINISH_SPMD
 
 
 def test_nested_place_loops_are_finish_dense():
@@ -40,7 +46,7 @@ def test_nested_place_loops_are_finish_dense():
                     ctx.at_async(q, work, p)
         yield f.wait()
 
-    assert suggest(body) is Pragma.FINISH_DENSE
+    assert one_suggestion(body) is Pragma.FINISH_DENSE
 
 
 def test_unrecognized_pattern_stays_default():
@@ -50,7 +56,55 @@ def test_unrecognized_pattern_stays_default():
             ctx.async_(work)  # mixed local + remote: not a known pattern
         yield f.wait()
 
-    assert suggest(body) is Pragma.DEFAULT
+    assert one_suggestion(body) is Pragma.DEFAULT
+
+
+def test_finish_here_round_trip_is_inferred_interprocedurally():
+    # the pattern the old intraprocedural prototype documented as invisible:
+    # the return leg lives in the spawned body, one function boundary away
+    def body(ctx, p):
+        home = ctx.here
+
+        def go(c):
+            c.at_async(home, work)
+            yield c.compute(seconds=1e-6)
+
+        with ctx.finish() as f:
+            ctx.at_async(p, go)
+        yield f.wait()
+
+    assert one_suggestion(body) is Pragma.FINISH_HERE
+
+
+def test_spawned_bodies_that_spawn_remotely_promote_loop_to_dense():
+    def body(ctx):
+        def fanout(c):
+            for q in c.places():
+                c.at_async(q, work)
+            yield c.compute(seconds=1e-6)
+
+        with ctx.finish() as f:
+            for p in ctx.places():
+                ctx.at_async(p, fanout)
+        yield f.wait()
+
+    assert one_suggestion(body) is Pragma.FINISH_DENSE
+
+
+def test_suggest_keys_sites_by_line_number():
+    def body(ctx):
+        with ctx.finish() as f1:
+            ctx.at_async(1, work)
+        yield f1.wait()
+        with ctx.finish() as f2:
+            for p in ctx.places():
+                ctx.at_async(p, work)
+        yield f2.wait()
+
+    suggestions = suggest(body)
+    assert list(suggestions.values()) == [Pragma.FINISH_ASYNC, Pragma.FINISH_SPMD]
+    first, second = suggestions
+    assert first < second  # keyed by line number, in source order
 
 
 def test_multiple_sites_classified_independently():
@@ -85,9 +139,24 @@ def test_nested_finish_sites_do_not_leak_into_outer():
     assert Pragma.FINISH_ASYNC in suggestions
 
 
+def test_recursive_spawn_bodies_terminate():
+    def body(ctx, n):
+        def task(c, k):
+            if k > 0:
+                c.async_(task, k - 1)
+            yield c.compute(seconds=1e-6)
+
+        with ctx.finish() as f:
+            ctx.async_(task, n)
+        yield f.wait()
+
+    # local asyncs all the way down: the cycle guard must not diverge
+    assert one_suggestion(body) is Pragma.FINISH_LOCAL
+
+
 def test_source_unavailable_returns_empty():
     assert classify_function(len) == []
-    assert suggest(len) is None
+    assert suggest(len) == {}
 
 
 def test_function_without_finish_sites():

@@ -84,7 +84,6 @@ def test_tree_beats_sequential_root_spawning():
 
     def run(spawner, places):
         rt = make_runtime(places=places)
-        group = None
 
         def main(ctx):
             yield from spawner(ctx, PlaceGroup.world(rt), body)

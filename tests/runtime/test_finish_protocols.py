@@ -3,9 +3,7 @@
 import pytest
 
 from repro.errors import FinishError, PragmaError
-from repro.machine import MachineConfig
-from repro.machine.network import TransferKind
-from repro.runtime import ApgasRuntime, Pragma
+from repro.runtime import Pragma
 
 from tests.runtime.conftest import make_runtime
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ApgasError
-from repro.runtime import PlaceGroup, Pragma, Team, broadcast_spawn
+from repro.runtime import Pragma, Team
 
 from tests.runtime.conftest import make_runtime
 

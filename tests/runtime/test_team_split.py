@@ -1,8 +1,5 @@
 """Tests for Team.split (sub-team construction by color)."""
 
-import pytest
-
-from repro.errors import ApgasError
 from repro.runtime import Pragma, Team
 
 from tests.runtime.conftest import make_runtime

@@ -1,7 +1,5 @@
 """Public API stability: the names a downstream user imports."""
 
-import pytest
-
 import repro
 from repro import errors
 
