@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.chaos.spec import ChaosSpec
+from repro.errors import ChaosError
 from repro.obs import Observability
 from repro.sim.rng import RngStream
 
@@ -48,6 +49,7 @@ class ChaosInjector:
         self.rng = RngStream(spec.seed, "chaos/fate")
         self._dead: set[int] = set()
         self._death_listeners: list[Callable[[int], None]] = []
+        self._revive_listeners: list[Callable[[int], None]] = []
         metrics = self.obs.metrics
         self._c_drops = metrics.counter("chaos.drops")
         self._c_dups = metrics.counter("chaos.duplicates")
@@ -56,6 +58,7 @@ class ChaosInjector:
         self._c_degraded = metrics.counter("chaos.degraded")
         self._c_blackholed = metrics.counter("chaos.blackholed")
         self._c_kills = metrics.counter("chaos.place_failures")
+        self._c_revivals = metrics.counter("chaos.place_revivals")
         self._tracer = self.obs.trace
         for place, time in spec.kills:
             engine.schedule(time, lambda p=place: self.kill(p))
@@ -89,6 +92,28 @@ class ChaosInjector:
     def declare_dead(self, place: int, reason: str) -> None:
         """A failure detector (e.g. retry exhaustion) concluded ``place`` died."""
         self.kill(place, reason=reason)
+
+    def subscribe_revive(self, listener: Callable[[int], None]) -> None:
+        """``listener(place)`` runs when a dead place is brought back."""
+        self._revive_listeners.append(listener)
+
+    def revive(self, place: int) -> None:
+        """Un-kill ``place``: mark it live again and notify revive listeners.
+
+        Called by the runtime's elastic recovery once a fresh (empty)
+        :class:`~repro.runtime.place.PlaceRuntime` is installed; listeners
+        (Teams, GLB topology, the resilient store) then re-register the place
+        in their structures.  The place is marked live *before* listeners run
+        so they may immediately message it.
+        """
+        if place not in self._dead:
+            raise ChaosError(f"cannot revive place {place}: it is not dead")
+        self._dead.discard(place)
+        self._c_revivals.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("chaos.revive", "chaos", place, self.engine.now)
+        for listener in list(self._revive_listeners):
+            listener(place)
 
     # -- per-transfer fates -------------------------------------------------------
 

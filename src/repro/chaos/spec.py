@@ -71,10 +71,18 @@ class ChaosSpec:
             raise ChaosError(f"degrade_factor={self.degrade_factor!r} must be >= 1")
         if self.rto <= 0 or self.max_retries < 0:
             raise ChaosError("rto must be positive and max_retries >= 0")
+        first_kill_time: dict = {}
         for kill in self.kills:
             place, time = kill
             if place < 0 or time < 0:
                 raise ChaosError(f"invalid kill {kill!r}: want (place >= 0, time >= 0)")
+            seen = first_kill_time.setdefault(place, time)
+            if seen != time:
+                raise ChaosError(
+                    f"conflicting kills for place {place}: "
+                    f"kill={place}@{seen:g} and kill={place}@{time:g} "
+                    "(a place dies once; drop one of them)"
+                )
 
     # -- construction ------------------------------------------------------------
 
@@ -116,7 +124,9 @@ class ChaosSpec:
                             raise ChaosError(
                                 f"kill {item!r} must be place@time (e.g. kill=3@0.001)"
                             )
-                        kills.append((int(place), float(time)))
+                        kill = (int(place), float(time))
+                        if kill not in kills:  # exact repeats collapse to one
+                            kills.append(kill)
                 elif key == "rto":
                     kwargs["rto"] = float(value)
                 elif key == "retries":
@@ -132,6 +142,20 @@ class ChaosSpec:
     def with_(self, **overrides) -> "ChaosSpec":
         """A modified copy (specs are frozen)."""
         return replace(self, **overrides)
+
+    def validate_places(self, n_places: int) -> None:
+        """Reject kills of places the runtime does not have.
+
+        Place count is unknown at parse time, so the runtime calls this once
+        it is; the error reaches the CLI as a :class:`ChaosError` (exit 2)
+        instead of a silently inert kill schedule.
+        """
+        for place, time in self.kills:
+            if place >= n_places:
+                raise ChaosError(
+                    f"kill={place}@{time:g} targets a place outside the "
+                    f"runtime (places 0..{n_places - 1})"
+                )
 
     # -- introspection -------------------------------------------------------------
 

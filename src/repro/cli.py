@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ChaosError, DeadPlaceError
+from repro.errors import ChaosError, DeadPlaceError, KernelError
 from repro.harness.figures import figure1_panel, render_panel
 from repro.harness.reporting import si
 from repro.harness.runner import KERNELS, simulate
@@ -41,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
         "switches the transport into resilient (ack/retry) mode"
     )
 
+    resilient_help = (
+        "checkpoint/restore + elastic recovery: kills under --chaos are healed "
+        "by respawning the place and re-executing only the lost epoch"
+    )
+
     run = sub.add_parser("run", help="simulate one kernel at one scale")
     run.add_argument("kernel", choices=KERNELS)
     run.add_argument("--places", type=int, default=32)
@@ -48,11 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print the metrics snapshot after the result"
     )
     run.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
+    run.add_argument("--resilient", action="store_true", help=resilient_help)
 
     trace = sub.add_parser("trace", help="run one kernel with event tracing and audit the trace")
     trace.add_argument("kernel", choices=KERNELS)
     trace.add_argument("--places", type=int, default=32)
     trace.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
+    trace.add_argument("--resilient", action="store_true", help=resilient_help)
     trace.add_argument("--out", default=None, help="trace output path (default trace_<kernel>_<places>)")
     trace.add_argument(
         "--format",
@@ -137,9 +144,14 @@ def main(argv=None, out=sys.stdout) -> int:
 
     if args.command == "run":
         try:
-            result = simulate(args.kernel, args.places, chaos=args.chaos)
+            result = simulate(
+                args.kernel, args.places, chaos=args.chaos, resilient=args.resilient
+            )
         except ChaosError as exc:
             print(f"error: bad --chaos spec: {exc}", file=out)
+            return 2
+        except KernelError as exc:
+            print(f"error: {exc}", file=out)
             return 2
         except DeadPlaceError as exc:
             print(f"kernel        : {args.kernel}", file=out)
@@ -154,6 +166,9 @@ def main(argv=None, out=sys.stdout) -> int:
         print(f"per core/host : {per}", file=out)
         if result.verified is not None:
             print(f"verified      : {result.verified}", file=out)
+        checksum = result.extra.get("checksum")
+        if checksum is not None:
+            print(f"checksum      : {checksum}", file=out)
         chaos = result.extra.get("chaos")
         if chaos is not None:
             snap = result.extra["metrics"]
@@ -166,6 +181,16 @@ def main(argv=None, out=sys.stdout) -> int:
                 f"dead places {dead if dead else 'none'}",
                 file=out,
             )
+        if args.resilient:
+            snap = result.extra["metrics"]
+            print(
+                f"resilient     : "
+                f"{int(snap.total('resilient.epochs_committed'))} epochs committed, "
+                f"{int(snap.total('resilient.epochs_aborted'))} aborted, "
+                f"{int(snap.total('resilient.recoveries'))} recoveries, "
+                f"{int(snap.total('chaos.place_revivals'))} places revived",
+                file=out,
+            )
         if args.stats:
             snap = result.extra["metrics"]
             print(file=out)
@@ -176,14 +201,22 @@ def main(argv=None, out=sys.stdout) -> int:
                   f"{int(snap.total('finish.ctl_bytes'))} bytes", file=out)
             print(f"steals        : {int(snap.total('glb.steal_attempts'))} attempts, "
                   f"{int(snap.total('glb.steals_ok'))} ok", file=out)
+            print(f"deaths        : {int(snap.total('finish.deaths_tolerated'))} tolerated",
+                  file=out)
             print(snap.render(), file=out)
         return 0 if result.verified is not False else 1
 
     if args.command == "trace":
         try:
-            result = simulate(args.kernel, args.places, trace=True, chaos=args.chaos)
+            result = simulate(
+                args.kernel, args.places, trace=True, chaos=args.chaos,
+                resilient=args.resilient,
+            )
         except ChaosError as exc:
             print(f"error: bad --chaos spec: {exc}", file=out)
+            return 2
+        except KernelError as exc:
+            print(f"error: {exc}", file=out)
             return 2
         except DeadPlaceError as exc:
             print(f"kernel        : {args.kernel}", file=out)

@@ -91,6 +91,18 @@ class DeadPlaceError(ApgasError):
         super().__init__(msg)
 
 
+class ResilientError(ApgasError):
+    """The checkpoint/restore layer could not guarantee recovery.
+
+    Raised when a quorum read finds no live replica holding a committed
+    snapshot, when replicas disagree (a torn write that escaped
+    invalidation), or when recovery exceeds its retry budget.  Unlike
+    :class:`DeadPlaceError` this signals *data* loss, not place loss: the
+    computation cannot be reconstructed bit-identically and must fail loudly
+    rather than return a silently different answer.
+    """
+
+
 class AnalyzeError(ReproError):
     """Misuse of the static analyzer (bad path, unreadable or unparsable source)."""
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from typing import TYPE_CHECKING
+
 from repro.errors import DeadPlaceError, GlbError
 from repro.glb.bag import TaskBag
 from repro.glb.config import GlbConfig
@@ -12,6 +14,9 @@ from repro.glb.lifelines import GRAPHS
 from repro.glb.victims import victim_set
 from repro.runtime.runtime import ApgasRuntime
 from repro.sim.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilient.glb import GlbResilience
 
 
 #: the per-place counters GLB reports into the metrics registry
@@ -74,6 +79,12 @@ class GlbStats:
     ctl_messages: int
     #: total cost units (== total_processed for unit-cost workloads)
     total_cost: float = 0.0
+    #: items a recovered place re-processed after a restore (resilient mode);
+    #: already subtracted from ``total_processed``, which stays the exact
+    #: workload size — ``processed_per_place`` remains the raw counts
+    reexecuted: int = 0
+    #: workers restored from the resilient store after a kill
+    workers_restored: int = 0
 
     def efficiency(self, rate: float) -> float:
         """Parallel efficiency against perfect static balance at ``rate``.
@@ -110,13 +121,16 @@ class Glb:
         make_empty_bag: Callable[[], TaskBag],
         process_rate: float,
         config: Optional[GlbConfig] = None,
+        resilient: Optional["GlbResilience"] = None,
     ) -> None:
         if process_rate <= 0:
             raise GlbError("process_rate must be positive (items per second)")
         self.rt = rt
         self.config = config or GlbConfig()
         self.root_bag = root_bag
+        self.make_empty_bag = make_empty_bag
         self.process_rate = process_rate
+        self._res = resilient
         try:
             graph = GRAPHS[self.config.lifeline_graph]
         except KeyError:
@@ -144,11 +158,18 @@ class Glb:
             {name: getattr(st, name).value for name in _PLACE_METRICS} for st in self.state
         ]
         self._root_finish = None
+        self._graph = graph
         self._c_lifelines_rewired = metrics.counter("glb.lifelines_rewired")
         self._c_victims_repaired = metrics.counter("glb.victims_repaired")
         self._c_distribute_rerouted = metrics.counter("glb.distribute_rerouted")
+        self._c_workers_restored = metrics.counter("glb.workers_restored")
+        self._base_restored = self._c_workers_restored.value
         if rt.chaos is not None:
             rt.chaos.subscribe_death(self._on_place_death)
+            if self._res is not None:
+                rt.chaos.subscribe_revive(self._on_place_revive)
+        if self._res is not None:
+            self._res.attach(self)
 
     # -- public API ------------------------------------------------------------------
 
@@ -165,9 +186,11 @@ class Glb:
 
         n = self.rt.n_places
         per_place = [int(delta(p, "processed")) for p in range(n)]
+        reexecuted = int(self._res.reexecuted_items) if self._res is not None else 0
+        reexec_cost = self._res.reexecuted_cost if self._res is not None else 0.0
         return GlbStats(
             places=n,
-            total_processed=sum(per_place),
+            total_processed=sum(per_place) - reexecuted,
             makespan=self.rt.now,
             processed_per_place=per_place,
             steal_attempts=int(sum(delta(p, "steal_attempts") for p in range(n))),
@@ -175,7 +198,9 @@ class Glb:
             lifelines_sent=int(sum(delta(p, "lifelines_sent") for p in range(n))),
             resuscitations=int(sum(delta(p, "resuscitations") for p in range(n))),
             ctl_messages=self._root_finish.ctl_messages if self._root_finish else 0,
-            total_cost=sum(delta(p, "cost") for p in range(n)),
+            total_cost=sum(delta(p, "cost") for p in range(n)) - reexec_cost,
+            reexecuted=reexecuted,
+            workers_restored=int(self._c_workers_restored.value - self._base_restored),
         )
 
     # -- program structure ---------------------------------------------------------------
@@ -189,10 +214,21 @@ class Glb:
             ctx.async_(self._distribute, 0, self.rt.n_places, self.root_bag)
         yield f.wait()
 
-    def _distribute(self, ctx, lo: int, hi: int, bag: TaskBag):
+    def _distribute(self, ctx, lo: int, hi: int, bag: TaskBag, loot_id=None):
         """Initial work distribution: one tree-shaped wave from the root worker."""
         step = 1
         st = self.state[ctx.here]
+        if self._res is not None:
+            # resilient mode: the arriving share becomes this place's durable
+            # state immediately, and every part leaving below is ledger loot
+            if bag is not None and loot_id is not None and not self._res.accept_loot(loot_id):
+                bag = None  # stale redelivery after a recovery re-merge
+            if bag is not None:
+                st.bag.merge(bag)
+                if loot_id is not None:
+                    self._res.note_merged(ctx.here, loot_id)
+            yield from self._res.checkpoint(ctx, st)
+            bag = st.bag  # split from the live bag below
         while lo + step < hi:
             child_lo = lo + step
             child_hi = min(lo + 2 * step, hi)
@@ -207,6 +243,9 @@ class Glb:
                 if cost:
                     yield ctx.compute(seconds=cost / self.process_rate)
                 part = bag.split()
+            if part is not None and self._res is not None:
+                # the post-split snapshot must be durable before the part ships
+                yield from self._res.checkpoint(ctx, st)
             if self.rt.is_dead(child_lo):
                 # re-root the wave around the dead child: its share goes to
                 # the subtree's first survivor as loot (the rest of the
@@ -216,21 +255,35 @@ class Glb:
                 )
                 if part is not None:
                     if target is None:
-                        bag.merge(part)  # whole subtree dead: keep the work here
+                        if self._res is not None:
+                            # keep the work here, but through the ledger so a
+                            # restore from the post-split snapshot re-merges it
+                            lid = self._res.register_loot(ctx.here, ctx.here, part)
+                            bag.merge(part)
+                            self._res.note_merged(ctx.here, lid)
+                        else:
+                            bag.merge(part)  # whole subtree dead: keep the work here
                     else:
                         self._c_distribute_rerouted.inc()
+                        payload = part
+                        if self._res is not None:
+                            lid = self._res.register_loot(ctx.here, target, part)
+                            payload = (lid, part)
                         ctx.at_async(
-                            target, self._receive_loot, part, nbytes=part.serialized_nbytes
+                            target, self._receive_loot, payload, nbytes=part.serialized_nbytes
                         )
             elif part is not None:
+                lid = None
+                if self._res is not None:
+                    lid = self._res.register_loot(ctx.here, child_lo, part)
                 ctx.at_async(
-                    child_lo, self._distribute, child_lo, child_hi, part,
+                    child_lo, self._distribute, child_lo, child_hi, part, lid,
                     nbytes=part.serialized_nbytes,
                 )
             else:
                 ctx.at_async(child_lo, self._distribute, child_lo, child_hi, None)
             step *= 2
-        yield from self._worker(ctx, bag)
+        yield from self._worker(ctx, None if self._res is not None else bag)
 
     # -- the worker ---------------------------------------------------------------------------
 
@@ -289,7 +342,7 @@ class Glb:
                     "glb.steal", "glb", ctx.here, ctx.now, thief=ctx.here, victim=victim
                 )
             try:
-                loot = yield ctx.at(victim, self._try_steal)
+                loot = yield ctx.at(victim, self._try_steal, ctx.here)
             except DeadPlaceError:
                 continue  # the victim died mid-steal; move on
 
@@ -299,6 +352,15 @@ class Glb:
                     thief=ctx.here, victim=victim, ok=loot is not None,
                 )
             if loot is not None:
+                if self._res is not None:
+                    lid, loot = loot
+                    if not self._res.accept_loot(lid):
+                        continue  # reassigned by a recovery while in flight
+                    st.steals_ok.inc()
+                    st.bag.merge(loot)
+                    self._res.note_merged(ctx.here, lid)
+                    ctx.async_(self._checkpoint_here)
+                    return True
                 st.steals_ok.inc()
                 st.bag.merge(loot)
                 return True
@@ -306,12 +368,23 @@ class Glb:
 
     # -- handlers running at other places -----------------------------------------------------
 
-    def _try_steal(self, vctx):
+    def _try_steal(self, vctx, thief: Optional[int] = None):
         """Synchronous steal attempt (runs at the victim; round-trip pattern)."""
         st = self.state[vctx.here]
         if st.bag.is_empty():
             return None
-        return st.bag.split()
+        if self._res is None:
+            return st.bag.split()
+        return self._try_steal_resilient(vctx, st, thief)
+
+    def _try_steal_resilient(self, vctx, st: _PlaceState, thief):
+        """Steal with durability: loot leaves only after the snapshot lands."""
+        loot = st.bag.split()
+        if loot is None:
+            return None
+        yield from self._res.checkpoint(vctx, st)
+        lid = self._res.register_loot(vctx.here, thief, loot)
+        return (lid, loot)
 
     def _lifeline_request(self, vctx, thief: int):
         """A lifeline request: satisfy now, or remember the thief."""
@@ -335,6 +408,13 @@ class Glb:
             self._ship(ctx, thief, loot)
 
     def _ship(self, ctx, thief: int, loot: TaskBag) -> None:
+        if self._res is not None:
+            # durability first: a helper activity checkpoints the post-split
+            # state, registers the loot, then ships — without turning the
+            # caller (a plain-function handler on the fast path) into a
+            # generator
+            ctx.async_(self._ship_resilient, thief, loot)
+            return
         if self.rt.is_dead(thief):
             self.state[ctx.here].bag.merge(loot)  # the thief is gone; keep the work
             return
@@ -344,6 +424,35 @@ class Glb:
                 src=ctx.here, thief=thief, nbytes=loot.serialized_nbytes,
             )
         ctx.at_async(thief, self._receive_loot, loot, nbytes=loot.serialized_nbytes)
+
+    def _ship_resilient(self, ctx, thief: int, loot: TaskBag):
+        st = self.state[ctx.here]
+        yield from self._res.checkpoint(ctx, st)  # post-split state durable
+        lid = self._res.register_loot(ctx.here, thief, loot)
+        if self.rt.is_dead(thief):
+            # the thief died before (or while) we checkpointed: reclaim the
+            # loot; the ledger keeps it exactly-once across our own death
+            self._res.reclaim(lid, ctx.here)
+            st.bag.merge(loot)
+            self._res.note_merged(ctx.here, lid)
+            yield from self._res.checkpoint(ctx, st)
+            if not st.alive:
+                # the owner went idle while we checkpointed: resuscitate, or
+                # the reclaimed work would strand in a bag nobody drains
+                st.alive = True
+                st.resuscitations.inc()
+                yield from self._work_loop(ctx, st)
+            return
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "glb.loot", "glb", ctx.here, ctx.now,
+                src=ctx.here, thief=thief, nbytes=loot.serialized_nbytes,
+            )
+        ctx.at_async(thief, self._receive_loot, (lid, loot), nbytes=loot.serialized_nbytes)
+
+    def _checkpoint_here(self, ctx):
+        """Helper activity: make the current bag durable (post-merge cover)."""
+        yield from self._res.checkpoint(ctx, self.state[ctx.here])
 
     # -- place failure ------------------------------------------------------------------------
 
@@ -356,10 +465,31 @@ class Glb:
         sets swap the dead entry for the smallest live place outside the set,
         so the out-degree bound is preserved exactly.
         """
-        dead = self.rt.chaos.dead_places
         st = self.state[place]
         st.alive = False
         st.lifeline_requests.clear()
+        self._repair_topology(place)
+        if (
+            self._res is not None
+            and self._root_finish is not None
+            and self._root_finish.failed is None
+            and place != self._root_finish.home
+        ):
+            # elastic recovery: hold the root finish open across the respawn
+            # gap (a placeholder fork at home, released by _respawn), capture
+            # the counters for re-execution accounting, schedule the respawn
+            home = self._root_finish.home
+            self._root_finish.fork(home, home)
+            self._res.note_death(
+                place, float(st.processed.value), float(st.cost.value)
+            )
+            self.rt.engine.schedule(
+                self._res.respawn_delay, lambda p=place: self._respawn(p)
+            )
+
+    def _repair_topology(self, place: int, record: bool = True) -> None:
+        dead = self.rt.chaos.dead_places
+        st = self.state[place]
         inherited = [p for p in st.lifelines if p not in dead]
         n = self.rt.n_places
         for p, other in enumerate(self.state):
@@ -371,12 +501,13 @@ class Glb:
                     if candidate != p and candidate not in other.lifelines:
                         other.lifelines.append(candidate)
                         break
-                self._c_lifelines_rewired.inc()
-                if self._tracer.enabled:
-                    self._tracer.instant(
-                        "glb.rewire", "glb", p, self.rt.now,
-                        place=p, dead=place, lifelines=list(other.lifelines),
-                    )
+                if record:
+                    self._c_lifelines_rewired.inc()
+                    if self._tracer.enabled:
+                        self._tracer.instant(
+                            "glb.rewire", "glb", p, self.rt.now,
+                            dead=place, lifelines=list(other.lifelines),
+                        )
             mask = other.victims == place
             if mask.any():
                 in_set = {int(v) for v in other.victims}
@@ -388,18 +519,77 @@ class Glb:
                     other.victims = other.victims[~mask]
                 else:
                     other.victims[mask] = repl
-                self._c_victims_repaired.inc()
+                if record:
+                    self._c_victims_repaired.inc()
             if place in other.lifeline_requests:
                 other.lifeline_requests.remove(place)
 
-    def _receive_loot(self, tctx, loot: TaskBag):
+    # -- elastic recovery (resilient mode) ----------------------------------------------------
+
+    def _respawn(self, place: int) -> None:
+        """Engine callback: revive the place and start its restored worker."""
+        f = self._root_finish
+        if f.failed is not None:
+            return  # home died meanwhile: the run is over
+        if self.rt.is_dead(place):
+            self.rt.revive_place(place)  # fires _on_place_revive (topology)
+            self.rt.spawn_remote(
+                f.home, place, self._restored_worker, (), f, nbytes=32
+            )
+        f.join(f.home)  # release the placeholder taken at death time
+
+    def _restored_worker(self, ctx):
+        """Runs at the revived place: reload state from replicas and rejoin."""
+        st = self.state[ctx.here]
+        st.bag = self.make_empty_bag()
+        st.lifeline_requests.clear()
+        yield from self._res.restore(ctx, st)
+        st.alive = True
+        self._c_workers_restored.inc()
+        if self._tracer.enabled:
+            self._tracer.instant("glb.restored", "glb", ctx.here, ctx.now)
+        # make the recovered state durable under a fresh version before work
+        yield from self._res.checkpoint(ctx, st)
+        yield from self._work_loop(ctx, st)
+
+    def _on_place_revive(self, place: int) -> None:
+        """Re-register a revived place in the balancing topology.
+
+        Every live place's lifelines and victim set are rebuilt from the
+        pristine graph, then the repairs for the places *still* dead are
+        replayed — the revived place is woven back in exactly where the
+        graph construction would have put it.
+        """
+        dead = self.rt.chaos.dead_places
+        n = self.rt.n_places
+        for p in range(n):
+            if p in dead:
+                continue
+            st = self.state[p]
+            st.lifelines = list(self._graph(n, p))
+            st.victims = victim_set(n, p, self.config.max_victims, self.config.seed)
+        for d in sorted(dead):
+            self._repair_topology(d, record=False)
+
+    def _receive_loot(self, tctx, loot):
+        lid = None
+        if self._res is not None:
+            lid, loot = loot
+            if not self._res.accept_loot(lid):
+                return  # reassigned by a recovery while in flight: drop
         st = self.state[tctx.here]
         if st.alive:
             st.bag.merge(loot)
+            if lid is not None:
+                self._res.note_merged(tctx.here, lid)
+                tctx.async_(self._checkpoint_here)
             return
         st.alive = True
         st.resuscitations.inc()
         if self._tracer.enabled:
             self._tracer.instant("glb.resuscitation", "glb", tctx.here, tctx.now)
         st.bag.merge(loot)
+        if lid is not None:
+            self._res.note_merged(tctx.here, lid)
+            yield from self._res.checkpoint(tctx, st)
         yield from self._work_loop(tctx, st)

@@ -2,8 +2,17 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
+
+
+def checksum_bytes(*chunks: bytes) -> str:
+    """Short stable digest of result payloads (fault-free equality gate)."""
+    digest = hashlib.sha256()
+    for chunk in chunks:
+        digest.update(chunk)
+    return digest.hexdigest()[:16]
 
 
 @dataclass

@@ -37,12 +37,17 @@ def make_runtime(
     return ApgasRuntime(places=places, config=cfg, obs=Observability(trace=trace), chaos=chaos)
 
 
+#: kernels with a checkpoint/restore implementation (``--resilient``)
+RESILIENT_KERNELS = frozenset({"kmeans", "uts", "stream"})
+
+
 def simulate(
     kernel: str,
     places: int,
     config: Optional[MachineConfig] = None,
     trace: bool = False,
     chaos: Optional[str] = None,
+    resilient: bool = False,
     **kwargs,
 ) -> KernelResult:
     """Run one kernel at one scale inside the simulator.
@@ -51,11 +56,20 @@ def simulate(
     ``trace=True`` the populated tracer rides in ``extra["trace"]``.  With a
     ``chaos`` spec the run executes under deterministic fault injection; the
     injector rides in ``extra["chaos"]`` so callers can inspect dead places.
+    ``resilient`` turns on checkpoint/restore and elastic recovery for the
+    kernels in :data:`RESILIENT_KERNELS`.
     """
     try:
         runner = _RUNNERS[kernel]
     except KeyError:
         raise KernelError(f"unknown kernel {kernel!r}; choose from {sorted(_RUNNERS)}") from None
+    if resilient:
+        if kernel not in RESILIENT_KERNELS:
+            raise KernelError(
+                f"kernel {kernel!r} has no checkpoint/restore hooks; "
+                f"--resilient supports {sorted(RESILIENT_KERNELS)}"
+            )
+        kwargs["resilient"] = True
     rt = make_runtime(places, config, trace=trace, chaos=chaos)
     result = runner(rt, **kwargs)
     result.extra["metrics"] = rt.obs.metrics.snapshot()

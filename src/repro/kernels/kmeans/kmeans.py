@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.errors import KernelError
 from repro.harness.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.harness.results import KernelResult
+from repro.harness.results import KernelResult, checksum_bytes
+from repro.resilient import CheckpointHooks, EpochCoordinator, ResilientStore
 from repro.runtime import PlaceGroup, Team, broadcast_spawn
 from repro.runtime.runtime import ApgasRuntime
 from repro.sim.rng import RngStream
@@ -75,11 +76,18 @@ def run_kmeans(
     actual_points: Optional[int] = None,
     actual_k: Optional[int] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    resilient: bool = False,
+    respawn_delay: float = 2e-3,
 ) -> KernelResult:
     """Weak-scaling distributed K-Means; paper parameters are the defaults.
 
     ``actual_points`` / ``actual_k`` bound the real math at scale while time
     is charged for the modeled ``points_per_place`` x ``k`` problem.
+
+    With ``resilient`` every iteration is a checkpoint epoch: each place's
+    point partition (epoch 0) and rank 0's centroids (every epoch) go to the
+    replicated store, so a chaos kill costs one re-executed iteration and the
+    final centroids are bit-identical to the fault-free run.
     """
     if min(points_per_place, k, dim, iterations) < 1:
         raise KernelError("kmeans parameters must be positive")
@@ -89,22 +97,34 @@ def run_kmeans(
     final = {}
     flops_per_iter = points_per_place * k * dim * FLOPS_PER_PAIR_PER_DIM
 
-    def body(ctx):
-        points = generate_points(seed, ctx.here, real_n, dim)
-        centroids = initial_centroids(seed, real_k, dim)
-        for _ in range(iterations):
-            sums, counts = assign_and_accumulate(points, centroids)
-            yield ctx.compute(flops=flops_per_iter, flop_rate=calibration.kmeans_flops)
-            # two All-Reduce collectives compute the global averages
-            global_sums = yield team.allreduce(ctx, sums)
-            global_counts = yield team.allreduce(ctx, counts)
-            centroids = update_centroids(centroids, global_sums, global_counts)
-        final[ctx.here] = centroids
+    def iterate(ctx, points, centroids):
+        sums, counts = assign_and_accumulate(points, centroids)
+        yield ctx.compute(flops=flops_per_iter, flop_rate=calibration.kmeans_flops)
+        # two All-Reduce collectives compute the global averages
+        global_sums = yield team.allreduce(ctx, sums)
+        global_counts = yield team.allreduce(ctx, counts)
+        return update_centroids(centroids, global_sums, global_counts)
 
-    def main(ctx):
-        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+    if resilient:
+        run_resilient = _make_resilient_main(
+            rt, iterate, real_n=real_n, real_k=real_k, dim=dim, seed=seed,
+            iterations=iterations, points_per_place=points_per_place, k=k,
+            final=final, respawn_delay=respawn_delay,
+        )
+        rt.run(run_resilient)
+    else:
 
-    rt.run(main)
+        def body(ctx):
+            points = generate_points(seed, ctx.here, real_n, dim)
+            centroids = initial_centroids(seed, real_k, dim)
+            for _ in range(iterations):
+                centroids = yield from iterate(ctx, points, centroids)
+            final[ctx.here] = centroids
+
+        def main(ctx):
+            yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+
+        rt.run(main)
     centroids = final[0]
     agreement = all(np.array_equal(final[p], centroids) for p in final)
     return KernelResult(
@@ -115,5 +135,68 @@ def run_kmeans(
         unit="s",
         per_core=rt.now,  # the paper reports run time; efficiency is time-based
         verified=agreement,
-        extra={"centroids": centroids, "iterations": iterations},
+        extra={
+            "centroids": centroids,
+            "iterations": iterations,
+            "checksum": checksum_bytes(np.ascontiguousarray(centroids).tobytes()),
+        },
     )
+
+
+def _make_resilient_main(
+    rt, iterate, *, real_n, real_k, dim, seed, iterations,
+    points_per_place, k, final, respawn_delay,
+):
+    """Build the epoch-coordinated main for the resilient K-Means variant."""
+    store = ResilientStore(rt, name="kmeans")
+    part: dict[int, dict] = {}  # the simulated PGAS-local state per place
+    points_nbytes = points_per_place * dim * 8  # modeled partition size
+    centroids_nbytes = k * dim * 8
+
+    def checkpoint(ctx, epoch, st):
+        here = ctx.here
+        if epoch == 0:
+            # the input partition is written once; restores quorum-read it
+            yield from st.put(
+                ctx, f"points/{here}", part[here]["points"], epoch,
+                nbytes=points_nbytes,
+            )
+        if here == 0:
+            yield from st.put(
+                ctx, "centroids", part[here]["centroids"], epoch,
+                nbytes=centroids_nbytes,
+            )
+
+    def restore(ctx, epoch, st):
+        here = ctx.here
+        if epoch < 0:
+            # before any commit: (re)initialize from the deterministic seeds
+            part[here] = {
+                "points": generate_points(seed, here, real_n, dim),
+                "centroids": initial_centroids(seed, real_k, dim),
+            }
+            return
+        state = part.get(here)
+        if state is None or "points" not in state:
+            _version, points = yield from st.get(ctx, f"points/{here}")
+            if points is None:  # written at epoch 0, so always committed here
+                points = generate_points(seed, here, real_n, dim)
+            part[here] = state = {"points": points}
+        _version, centroids = yield from st.get(ctx, "centroids")
+        state["centroids"] = centroids
+
+    hooks = CheckpointHooks(checkpoint=checkpoint, restore=restore)
+    coordinator = EpochCoordinator(rt, store, hooks, respawn_delay=respawn_delay)
+
+    def epoch_body(ctx, epoch):
+        state = part[ctx.here]
+        state["centroids"] = yield from iterate(
+            ctx, state["points"], state["centroids"]
+        )
+
+    def main(ctx):
+        yield from coordinator.run(ctx, iterations, epoch_body)
+        for place, state in part.items():
+            final[place] = state["centroids"]
+
+    return main

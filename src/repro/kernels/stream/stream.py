@@ -13,8 +13,9 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import KernelError
-from repro.harness.results import KernelResult
+from repro.harness.results import KernelResult, checksum_bytes
 from repro.machine.memory import stream_bw_per_place
+from repro.resilient import CheckpointHooks, EpochCoordinator, ResilientStore
 from repro.runtime import CongruentAllocator, PlaceGroup, broadcast_spawn
 from repro.runtime.runtime import ApgasRuntime
 
@@ -35,6 +36,8 @@ def run_stream(
     alpha: float = 3.0,
     actual_elements: Optional[int] = None,
     verify: bool = True,
+    resilient: bool = False,
+    respawn_delay: float = 2e-3,
 ) -> KernelResult:
     """Weak-scaling Stream Triad over all places of ``rt``.
 
@@ -42,6 +45,12 @@ def run_stream(
     ``actual_elements`` (default: capped at 65,536) sizes the real arrays the
     kernel actually computes on and verifies — so at-scale runs do not
     allocate terabytes.
+
+    With ``resilient`` each triad round is a checkpoint epoch.  The arrays
+    are recomputable from their init formulas and the triad is idempotent,
+    so recovery re-*initializes* a revived place's partition instead of
+    restoring bytes from replicas — only a tiny partition descriptor lives
+    in the store.
     """
     if elements_per_place < 1 or iterations < 1:
         raise KernelError("need at least one element and one iteration")
@@ -49,9 +58,9 @@ def run_stream(
     cfg = rt.config
     alloc = CongruentAllocator(rt, large_pages=True)
     failures: list[int] = []
+    arrays: dict[int, tuple] = {}
 
-    def body(ctx):
-        place = ctx.here
+    def init_partition(place):
         octant = rt.topology.octant_of(place)
         crowd = len(rt.topology.places_on_octant(octant))
         bw = stream_bw_per_place(cfg, crowd)
@@ -61,20 +70,67 @@ def run_stream(
         c = alloc.alloc(place, shape=(real_n,))
         b.data[:] = 1.0 + place
         c.data[:] = 2.0
-        for _ in range(iterations):
-            triad(a.data, b.data, c.data, alpha)
-            yield ctx.compute(mem_bytes=BYTES_PER_ELEMENT * elements_per_place, mem_bw=bw)
+        arrays[place] = (a, b, c, bw)
+
+    def round_(ctx):
+        a, b, c, bw = arrays[ctx.here]
+        triad(a.data, b.data, c.data, alpha)
+        yield ctx.compute(mem_bytes=BYTES_PER_ELEMENT * elements_per_place, mem_bw=bw)
+
+    def check(place):
+        a, b, c, _bw = arrays[place]
         if verify:
             expected = b.data + alpha * c.data
             if not np.array_equal(a.data, expected):
                 failures.append(place)
 
-    def main(ctx):
-        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+    if resilient:
+        store = ResilientStore(rt, name="stream")
+        if rt.chaos is not None:
+            # a respawned place comes up with empty memory
+            rt.chaos.subscribe_revive(lambda p: arrays.pop(p, None))
+
+        def checkpoint(ctx, epoch, st):
+            if epoch == 0:
+                # the partition is a formula, not data: persist only a
+                # descriptor proving the place participated
+                yield from st.put(
+                    ctx, f"part/{ctx.here}", (real_n, alpha), epoch, nbytes=64
+                )
+
+        def restore(ctx, epoch, st):
+            if epoch < 0 or ctx.here not in arrays:
+                init_partition(ctx.here)
+            # the triad is idempotent: surviving arrays need no rollback
+
+        hooks = CheckpointHooks(checkpoint=checkpoint, restore=restore)
+        coordinator = EpochCoordinator(rt, store, hooks, respawn_delay=respawn_delay)
+
+        def epoch_body(ctx, epoch):
+            yield from round_(ctx)
+
+        def main(ctx):
+            yield from coordinator.run(ctx, iterations, epoch_body)
+            for place in arrays:
+                check(place)
+
+    else:
+
+        def body(ctx):
+            init_partition(ctx.here)
+            for _ in range(iterations):
+                yield from round_(ctx)
+            check(ctx.here)
+
+        def main(ctx):
+            yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
 
     rt.run(main)
     total_bytes = BYTES_PER_ELEMENT * elements_per_place * iterations * rt.n_places
     rate = total_bytes / rt.now
+    checksum = checksum_bytes(
+        *(np.ascontiguousarray(arrays[p][0].data).tobytes() for p in sorted(arrays))
+    )
     return KernelResult(
         kernel="stream",
         places=rt.n_places,
@@ -83,5 +139,5 @@ def run_stream(
         unit="B/s",
         per_core=rate / rt.n_places,
         verified=(not failures) if verify else None,
-        extra={"failures": failures, "iterations": iterations},
+        extra={"failures": failures, "iterations": iterations, "checksum": checksum},
     )

@@ -12,8 +12,9 @@ from typing import Optional
 
 from repro.glb import Glb, GlbConfig, GlbStats
 from repro.harness.calibration import DEFAULT_CALIBRATION, Calibration
-from repro.harness.results import KernelResult
+from repro.harness.results import KernelResult, checksum_bytes
 from repro.kernels.uts.tree import UtsBag, UtsParams
+from repro.resilient import GlbResilience, ResilientStore
 from repro.runtime.runtime import ApgasRuntime
 
 
@@ -27,6 +28,8 @@ def run_uts(
     steal_all_intervals: bool = True,
     time_dilation: float = 1.0,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    resilient: bool = False,
+    respawn_delay: float = 2e-3,
 ) -> KernelResult:
     """Traverse one geometric tree across all places of ``rt``.
 
@@ -46,12 +49,20 @@ def run_uts(
     if time_dilation < 1.0:
         raise ValueError("time_dilation must be >= 1")
     effective_rate = calibration.uts_nodes_per_sec / time_dilation
+    res = None
+    if resilient:
+        # bag fragments are snapshotted at every steal boundary; a killed
+        # place is respawned and re-executes only its uncovered chunk
+        res = GlbResilience(
+            ResilientStore(rt, name="glb"), respawn_delay=respawn_delay
+        )
     glb = Glb(
         rt,
         root_bag=UtsBag.root(params, steal_all_intervals=steal_all_intervals),
         make_empty_bag=lambda: UtsBag(params, steal_all_intervals=steal_all_intervals),
         process_rate=effective_rate,
         config=config,
+        resilient=res,
     )
     stats: GlbStats = glb.run()
     rate = stats.total_processed / rt.now * time_dilation if rt.now > 0 else 0.0
@@ -65,6 +76,7 @@ def run_uts(
         verified=None,  # cross-checked against sequential_count in tests
         extra={
             "nodes": stats.total_processed,
+            "checksum": checksum_bytes(str(stats.total_processed).encode()),
             "glb": stats,
             "efficiency": stats.efficiency(effective_rate),
             "params": params,

@@ -115,6 +115,7 @@ def audit_trace(trace: Union[Tracer, Iterable[TraceEvent]], places: int) -> Audi
     report.checks.append(_check_routing(events))
     report.checks.append(_check_exactly_once(events))
     report.checks.append(_check_retry_recovery(events))
+    report.checks.append(_check_epoch_consistency(events))
     return report
 
 
@@ -333,4 +334,63 @@ def _check_retry_recovery(events: list) -> AuditCheck:
         expected="every dropped data message delivered or written off",
         actual=f"{recovered}/{len(dropped)} dropped transfers recovered by retry",
         detail=", ".join(f"seq {s} lost" for s in sorted(lost)[:5]),
+    )
+
+
+# -- resilient epoch consistency ---------------------------------------------------
+
+
+def _check_epoch_consistency(events: list) -> AuditCheck:
+    """Checkpoint epochs commit in order and restores target committed state.
+
+    Per commit scope (the coordinator's ``epochs`` scope, or one ``glb/p``
+    scope per GLB place): committed epochs never repeat; in the coordinator
+    scope they are consecutive from 0 and every aborted epoch is eventually
+    re-committed; every restore targets epoch -1 (initialize from scratch)
+    or an epoch the scope committed — never a torn, invalidated snapshot.
+    """
+    commits: dict[str, list] = {}
+    aborts: dict[str, set] = {}
+    violations = []
+    total = 0
+    for e in events:
+        scope = e.args.get("scope")
+        epoch = e.args.get("epoch")
+        if e.name == "resilient.commit":
+            total += 1
+            seen = commits.setdefault(scope, [])
+            if scope == "epochs" and seen and epoch != seen[-1] + 1:
+                violations.append(f"{scope}: commit {epoch} after {seen[-1]}")
+            elif epoch in seen:
+                violations.append(f"{scope}: epoch {epoch} committed twice")
+            seen.append(epoch)
+        elif e.name == "resilient.abort":
+            total += 1
+            aborts.setdefault(scope, set()).add(epoch)
+        elif e.name == "resilient.restore":
+            total += 1
+            committed = commits.get(scope, [])
+            if epoch != -1 and epoch not in committed:
+                violations.append(f"{scope}: restore to uncommitted epoch {epoch}")
+    if not total:
+        return AuditCheck(
+            name="resilient.epoch_consistency",
+            passed=None,
+            detail="no checkpoint epochs in trace",
+        )
+    for scope, aborted in aborts.items():
+        never = aborted - set(commits.get(scope, []))
+        if never:
+            violations.append(
+                f"{scope}: aborted epoch(s) {sorted(never)} never re-committed"
+            )
+    return AuditCheck(
+        name="resilient.epoch_consistency",
+        passed=not violations,
+        expected="ordered commits; restores only to committed epochs",
+        actual=f"{sum(len(v) for v in commits.values())} commits over "
+        f"{len(commits)} scopes conform"
+        if not violations
+        else f"{len(violations)} violation(s)",
+        detail="; ".join(violations[:3]),
     )

@@ -1,0 +1,35 @@
+"""Resilient store, checkpoint/restore epochs, and elastic place recovery.
+
+The paper's finish protocols assume places never die; this package adds the
+Resilient-APGAS follow-on story: application state is checkpointed into a
+replicated in-memory store so a chaos ``kill`` costs one epoch of re-execution
+instead of the whole run — with the bit-identical answer the chaos suite
+already demands.
+
+Three pieces:
+
+:class:`ResilientStore`
+    Versioned key/value snapshots written to ``k=2`` replica places with
+    quorum reads, exactly-once epoch-tagged writes over the resilient
+    transport, and invalidation of torn (mid-epoch) snapshots.
+:class:`CheckpointHooks` / :class:`EpochCoordinator`
+    Kernels declare ``checkpoint()``/``restore(epoch)`` hooks; a coordinator
+    at place 0 cuts globally consistent epochs at ``finish`` boundaries
+    (FINISH_DENSE control rounds) with commit/abort semantics.
+:class:`GlbResilience`
+    The GLB variant: task-bag fragments are checkpointed at steal boundaries
+    and a loot ledger keeps in-flight steals exactly-once across deaths, so a
+    killed worker's subtree is re-executed from its last fragment instead of
+    being written off.
+"""
+
+from repro.resilient.checkpoint import CheckpointHooks, EpochCoordinator
+from repro.resilient.glb import GlbResilience
+from repro.resilient.store import ResilientStore
+
+__all__ = [
+    "CheckpointHooks",
+    "EpochCoordinator",
+    "GlbResilience",
+    "ResilientStore",
+]

@@ -1,0 +1,181 @@
+"""Globally consistent checkpoint epochs cut at ``finish`` boundaries.
+
+The :class:`EpochCoordinator` runs inside the ``main`` activity at place 0
+and drives the computation as a sequence of *epochs* (K-Means iterations,
+Stream rounds).  Each epoch is one flat FINISH_DENSE control round — the
+commit piggybacks on the same dense finish that already proves global
+quiescence, so "everyone finished epoch *e* and checkpointed" needs no extra
+agreement protocol.  The round's finish runs with ``tolerate_death`` so a
+mid-epoch kill surfaces as an *aborted epoch*, never a hung or failed run:
+
+1. the epoch's partial snapshots are invalidated (torn writes),
+2. dead members are respawned (:meth:`ApgasRuntime.revive_place`) after a
+   configurable rejoin delay,
+3. every member — revived *and* survivor — rolls back to the last committed
+   epoch through the kernel's ``restore`` hook (survivors may have advanced
+   team-collective state that no longer matches), and
+4. the same epoch is re-executed.  Kernel bodies are deterministic given the
+   restored state, so the retry commits byte-identical snapshots and the
+   final answer matches the fault-free run exactly.
+
+Place 0 hosts the coordinator itself; its death remains unrecoverable,
+matching Resilient X10's distinguished-place semantics.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Optional, Sequence
+
+from repro.errors import DeadPlaceError, ResilientError
+from repro.runtime.finish import Pragma
+from repro.resilient.store import ResilientStore
+
+
+def _drive(result):
+    """Run a hook that may be a generator or a plain function."""
+    if inspect.isgenerator(result):
+        return (yield from result)
+    return result
+
+
+class CheckpointHooks:
+    """A kernel's declared checkpoint/restore behaviour.
+
+    ``checkpoint(ctx, epoch, store)`` runs at every member after the epoch
+    body and writes the member's snapshots for ``epoch`` into the store.
+    ``restore(ctx, epoch, store)`` rolls the member back to committed epoch
+    ``epoch`` (``-1`` means "before any epoch": initialize from scratch).
+    Both run on the member's simulated timeline and may be generators.
+
+    Kernels executed under ``--resilient`` must construct these hooks —
+    analyzer rule APG107 flags resilient-capable kernels that don't.
+    """
+
+    __slots__ = ("checkpoint", "restore")
+
+    def __init__(self, checkpoint: Callable, restore: Callable) -> None:
+        self.checkpoint = checkpoint
+        self.restore = restore
+
+
+class EpochCoordinator:
+    """Cuts commit/abort epochs over a member set and heals dead members."""
+
+    def __init__(
+        self,
+        rt,
+        store: ResilientStore,
+        hooks: CheckpointHooks,
+        members: Optional[Sequence[int]] = None,
+        respawn_delay: float = 2e-3,
+        max_attempts: int = 8,
+    ) -> None:
+        self.rt = rt
+        self.store = store
+        self.hooks = hooks
+        self.members = list(members) if members is not None else list(range(rt.n_places))
+        self.respawn_delay = respawn_delay
+        self.max_attempts = max_attempts
+        metrics = rt.obs.metrics
+        self._c_commits = metrics.counter("resilient.epochs_committed")
+        self._c_aborts = metrics.counter("resilient.epochs_aborted")
+        self._c_recoveries = metrics.counter("resilient.recoveries")
+        self._c_member_aborts = metrics.counter("resilient.member_aborts")
+        self._tracer = rt.obs.trace
+
+    # -- the main loop -----------------------------------------------------------------
+
+    def run(self, ctx, epochs: int, body: Callable):
+        """Execute ``body(ctx, epoch)`` at every member for each epoch.
+
+        A generator for the coordinating activity (place 0's ``main``).
+        """
+        yield from self._restore_wave(ctx)  # epoch -1: initialize everywhere
+        epoch = 0
+        attempts = 0
+        while epoch < epochs:
+            if self._dead_members():
+                yield from self._heal(ctx)
+            ok = yield from self._attempt(ctx, epoch, body)
+            if ok:
+                self.store.commit(epoch)
+                self._c_commits.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "resilient.commit", "resilient", ctx.here,
+                        self.rt.engine.now, scope="epochs", epoch=epoch,
+                    )
+                epoch += 1
+                attempts = 0
+            else:
+                self._c_aborts.inc()
+                self.store.invalidate_epoch(epoch)
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "resilient.abort", "resilient", ctx.here,
+                        self.rt.engine.now, scope="epochs", epoch=epoch,
+                    )
+                attempts += 1
+                if attempts >= self.max_attempts:
+                    raise ResilientError(
+                        f"epoch {epoch} aborted {attempts} times: giving up"
+                    )
+
+    # -- one epoch attempt --------------------------------------------------------------
+
+    def _attempt(self, ctx, epoch: int, body: Callable):
+        with ctx.finish(Pragma.FINISH_DENSE, name=f"epoch-{epoch}") as f:
+            f.tolerate_death = True
+            for place in self.members:
+                if not self.rt.is_dead(place):
+                    ctx.at_async(place, self._member_epoch, epoch, body, nbytes=64)
+        yield f.wait()
+        return not self._dead_members()
+
+    def _member_epoch(self, mctx, epoch: int, body: Callable):
+        try:
+            yield from _drive(body(mctx, epoch))
+            yield from _drive(self.hooks.checkpoint(mctx, epoch, self.store))
+        except DeadPlaceError:
+            # a peer died mid-epoch: this member's work is torn; return
+            # cleanly and let the coordinator abort and retry the epoch
+            self._c_member_aborts.inc()
+
+    # -- recovery ------------------------------------------------------------------------
+
+    def _dead_members(self) -> list[int]:
+        return [p for p in self.members if self.rt.is_dead(p)]
+
+    def _heal(self, ctx):
+        """Revive dead members, then roll everyone back to committed state."""
+        self._c_recoveries.inc()
+        for _ in range(self.max_attempts):
+            for place in self._dead_members():
+                yield ctx.sleep(self.respawn_delay)  # respawn/rejoin latency
+                self.rt.revive_place(place)
+            yield from self._restore_wave(ctx)
+            if not self._dead_members():  # kills can land mid-restore; loop
+                return
+        raise ResilientError("recovery did not converge: members keep dying")
+
+    def _restore_wave(self, ctx):
+        committed = self.store.committed_epoch
+        with ctx.finish(Pragma.FINISH_DENSE, name=f"restore@{committed}") as f:
+            f.tolerate_death = True
+            for place in self.members:
+                if not self.rt.is_dead(place):
+                    ctx.at_async(place, self._member_restore, committed, nbytes=32)
+        yield f.wait()
+
+    def _member_restore(self, mctx, committed: int):
+        try:
+            yield from _drive(self.hooks.restore(mctx, committed, self.store))
+        except DeadPlaceError:
+            self._c_member_aborts.inc()
+            return
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "resilient.restore", "resilient", mctx.here,
+                self.rt.engine.now, scope="epochs", epoch=committed,
+            )

@@ -305,6 +305,10 @@ class BaseFinish:
         self.rt.obs.metrics.counter("finish.forgiven", pragma=self.pragma.value).inc(
             lost_live + lost_reports + len(lost_spawns)
         )
+        # one adoption event per tolerated death (forgiven counts the pieces)
+        self.rt.obs.metrics.counter(
+            "finish.deaths_tolerated", pragma=self.pragma.value
+        ).inc()
         if self._tracer.enabled:
             self._tracer.instant(
                 "finish.forgive", "finish", self.home, self.rt.engine.now,

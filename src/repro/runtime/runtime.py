@@ -112,6 +112,7 @@ class ApgasRuntime:
             self.transport = transport_cls(self.engine, self.config, self.topology, obs=self.obs)
         else:
             spec = ChaosSpec.parse(chaos) if isinstance(chaos, str) else chaos
+            spec.validate_places(places)
             self.chaos = ChaosInjector(spec, self.engine, self.obs)
             self.chaos.subscribe_death(self._on_place_death)
             self.transport = transport_cls(
@@ -475,6 +476,25 @@ class ApgasRuntime:
                 event.fail(DeadPlaceError(
                     place, detected_by=f"at({place})", detail="evaluating place failed"
                 ))
+
+    def revive_place(self, place: int) -> None:
+        """Elastic recovery: respawn a failed place as a fresh, empty host.
+
+        Models re-launching a process on a spare node under the same place
+        id: the old :class:`PlaceRuntime` (activities, mailboxes, in-flight
+        work) is gone for good and a blank one takes its slot, then chaos
+        revive listeners (Teams, GLB topology, resilient stores) re-register
+        the place.  Application state does NOT come back — that is the
+        resilient store's job (:mod:`repro.resilient`).
+        """
+        if self.chaos is None:
+            raise ApgasError("revive_place requires fault injection (chaos) enabled")
+        if not self.chaos.is_dead(place):
+            raise ApgasError(f"cannot revive place {place}: it is not dead")
+        self.place(place)  # validate the id
+        self._procs_at.pop(place, None)
+        self._places[place] = PlaceRuntime(place, workers=self.workers_per_place)
+        self.chaos.revive(place)
 
     # -- finish control traffic -------------------------------------------------------------
 

@@ -60,6 +60,7 @@ class Team:
         self._failed: Optional[DeadPlaceError] = None
         if getattr(rt, "chaos", None) is not None:
             rt.chaos.subscribe_death(self._on_place_death)
+            rt.chaos.subscribe_revive(self._on_place_revive)
 
     @property
     def size(self) -> int:
@@ -260,6 +261,22 @@ class Team:
             for event in slot.events:
                 if not event.fired:
                     event.fail(self._failed)
+
+    def _on_place_revive(self, place: int) -> None:
+        """Elastic recovery re-registered a member: reset the rendezvous.
+
+        Once *every* member is live again the team starts a fresh collective
+        generation: call indices return to zero and the failure latch clears,
+        so a restored computation epoch replays its collective sequence from
+        the top.  While any member is still dead the team stays failed.
+        """
+        if place not in self._rank:
+            return
+        if any(self.rt.is_dead(p) for p in self.members):
+            return
+        self._failed = None
+        self._slots.clear()
+        self._call_index = {p: 0 for p in self.members}
 
 
 def _reduce_values(values: list, op: Callable):

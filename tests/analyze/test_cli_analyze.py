@@ -70,7 +70,7 @@ def test_write_baseline_then_gated_rerun_exits_zero(tmp_path):
     code, _ = run_cli("analyze", FIXTURES, "--baseline", baseline, "--write-baseline")
     assert code == 0
     with open(baseline) as fh:
-        assert len(json.load(fh)["findings"]) == 10
+        assert len(json.load(fh)["findings"]) == 12
 
     code, text = run_cli("analyze", FIXTURES, "--baseline", baseline)
     assert code == 0

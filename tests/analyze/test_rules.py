@@ -22,7 +22,7 @@ def findings_for(name: str):
     return analyze_paths([fixture(name)]).findings
 
 
-ALL_RULES = ("APG101", "APG102", "APG103", "APG104", "APG105", "APG106")
+ALL_RULES = ("APG101", "APG102", "APG103", "APG104", "APG105", "APG106", "APG107")
 
 
 def test_registry_has_the_full_catalogue():

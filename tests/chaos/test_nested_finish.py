@@ -1,0 +1,151 @@
+"""DeadPlaceError propagation through nested finishes and Team collectives.
+
+A kill inside an inner FINISH_SPMD must fail that finish, propagate out of
+its ``wait()`` into the enclosing FINISH_DENSE scope, and surface from the
+outer ``wait()`` — never hang, never get silently swallowed.  A kill in the
+middle of a Team collective must fail every surviving member's pending call.
+"""
+
+import pytest
+
+from repro.errors import DeadPlaceError
+from repro.runtime import Team
+from repro.runtime.finish.pragmas import Pragma
+
+from tests.chaos.conftest import STEP_CAP, counter_total, make_chaos_runtime
+
+
+def test_kill_in_inner_spmd_propagates_through_the_nested_scopes():
+    """The SPMD finish governing the dead place's activity fails first; its
+    activity re-raises, and the error surfaces from the whole nested run."""
+    rt = make_chaos_runtime(16, chaos="seed=0,kill=5@1e-4")
+    seen = []
+
+    def leaf(ctx):
+        yield ctx.compute(seconds=5e-4)  # still running when 5 dies
+
+    def spmd_group(ctx, lo, hi):
+        with ctx.finish(Pragma.FINISH_SPMD) as inner:
+            for p in range(lo, hi):
+                if p != ctx.here:
+                    ctx.at_async(p, leaf)
+        try:
+            yield inner.wait()
+        except DeadPlaceError as exc:
+            seen.append(("inner", ctx.here, exc.place))
+            raise  # unhandled: aborts the nested run
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_DENSE) as outer:
+            ctx.at_async(1, spmd_group, 1, 8)
+            ctx.at_async(8, spmd_group, 8, 16)
+        yield outer.wait()
+
+    with pytest.raises(DeadPlaceError) as excinfo:
+        rt.run(main, max_events=STEP_CAP)
+    assert excinfo.value.place == 5
+    assert ("inner", 1, 5) in seen  # the governing SPMD finish saw it first
+    assert counter_total(rt, "finish.failed") >= 1
+
+
+def test_kill_in_sibling_subtree_fails_only_the_governing_spmd():
+    """Only the finish whose subtree lost an activity fails; the sibling
+    SPMD group and the (handled) outer dense scope complete normally."""
+    rt = make_chaos_runtime(16, chaos="seed=0,kill=5@1e-4")
+    outcomes = {}
+    completed = []
+
+    def leaf(ctx):
+        yield ctx.compute(seconds=5e-4)
+
+    def spmd_group(ctx, lo, hi):
+        with ctx.finish(Pragma.FINISH_SPMD) as inner:
+            for p in range(lo, hi):
+                if p != ctx.here:
+                    ctx.at_async(p, leaf)
+        try:
+            yield inner.wait()
+            outcomes[lo] = "ok"
+        except DeadPlaceError:
+            outcomes[lo] = "failed"  # handled: the outer scope stays clean
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_DENSE) as outer:
+            ctx.at_async(1, spmd_group, 1, 8)   # contains place 5
+            ctx.at_async(8, spmd_group, 8, 16)  # unaffected sibling
+        yield outer.wait()
+        completed.append(True)
+
+    rt.run(main, max_events=STEP_CAP)
+    assert outcomes == {1: "failed", 8: "ok"}
+    assert completed == [True]
+
+
+def test_tolerant_dense_finish_adopts_the_dead_places_activities():
+    """The satellite counter: a tolerate_death finish writes the dead
+    place's governed activities off as an adoption, visible in metrics."""
+    rt = make_chaos_runtime(16, chaos="seed=0,kill=5@1e-4")
+    absorbed = []
+
+    def leaf(ctx):
+        yield ctx.compute(seconds=5e-4)
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_DENSE) as f:
+            f.tolerate_death = True
+            for p in range(1, 8):
+                ctx.at_async(p, leaf)
+        yield f.wait()
+        absorbed.append(True)
+
+    rt.run(main, max_events=STEP_CAP)
+    assert absorbed == [True]
+    assert counter_total(rt, "finish.deaths_tolerated") == 1
+    assert counter_total(rt, "finish.forgiven") >= 1
+
+
+def test_team_allreduce_fails_survivors_when_member_dies_mid_collective():
+    rt = make_chaos_runtime(8, chaos="seed=0,kill=3@1e-4")
+    team = Team(rt, list(range(8)))
+    failures = []
+
+    def member(ctx):
+        if ctx.here == 2:
+            yield ctx.compute(seconds=5e-4)  # 3 dies while 2 is still busy
+        try:
+            yield team.allreduce(ctx, float(ctx.here))
+        except DeadPlaceError as exc:
+            failures.append((ctx.here, exc.place))
+            return
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_DENSE) as f:
+            f.tolerate_death = True
+            for p in range(8):
+                ctx.at_async(p, member)
+        yield f.wait()
+
+    rt.run(main, max_events=STEP_CAP)
+    # every survivor's pending call failed and named the dead member
+    assert sorted(p for p, _ in failures) == [p for p in range(8) if p != 3]
+    assert all(dead == 3 for _, dead in failures)
+
+
+def test_team_barrier_mid_operation_death_propagates_to_main():
+    rt = make_chaos_runtime(8, chaos="seed=0,kill=5@1e-4")
+    team = Team(rt, list(range(8)))
+
+    def member(ctx):
+        if ctx.here == 1:
+            yield ctx.compute(seconds=5e-4)
+        yield team.barrier(ctx)
+
+    def main(ctx):
+        with ctx.finish(Pragma.FINISH_DENSE) as f:
+            for p in range(8):
+                ctx.at_async(p, member)
+        yield f.wait()
+
+    with pytest.raises(DeadPlaceError) as excinfo:
+        rt.run(main, max_events=STEP_CAP)
+    assert excinfo.value.place == 5

@@ -48,3 +48,31 @@ def test_spec_is_frozen_with_functional_update():
     spec = ChaosSpec.parse("seed=1,drop=0.1")
     assert spec.with_(drop=0.5).drop == 0.5
     assert spec.drop == 0.1
+
+
+def test_exact_duplicate_kills_are_deduplicated():
+    spec = ChaosSpec.parse("kill=5@0.01+5@0.01+9@0.02")
+    assert spec.kills == ((5, 0.01), (9, 0.02))
+
+
+def test_conflicting_kill_times_for_one_place_are_rejected():
+    with pytest.raises(ChaosError) as excinfo:
+        ChaosSpec.parse("kill=5@0.01+5@0.02")
+    message = str(excinfo.value)
+    assert "conflicting kills for place 5" in message
+    assert "kill=5@0.01" in message and "kill=5@0.02" in message
+
+
+def test_validate_places_rejects_out_of_range_kill():
+    spec = ChaosSpec.parse("kill=9@0.01")
+    spec.validate_places(16)  # in range: fine
+    with pytest.raises(ChaosError) as excinfo:
+        spec.validate_places(8)
+    assert "places 0..7" in str(excinfo.value)
+
+
+def test_runtime_construction_rejects_out_of_range_kill():
+    from tests.chaos.conftest import make_chaos_runtime
+
+    with pytest.raises(ChaosError):
+        make_chaos_runtime(4, chaos="seed=0,kill=7@0.01")

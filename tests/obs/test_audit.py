@@ -228,3 +228,73 @@ def test_pragma_shapes_skips_without_finish_events():
     tr.instant("net.transfer", "network", 0, 0.0, src=0, dst=1, hops=1)
     report = audit_trace(tr, places=4)
     assert report.check("finish.pragma_shapes").skipped
+
+
+# -- resilient epoch consistency ---------------------------------------------------
+
+
+def _epoch(tr, name, epoch, scope="epochs", ts=1.0):
+    tr.instant(name, "resilient", 0, ts, scope=scope, epoch=epoch)
+
+
+def test_epoch_consistency_skips_without_resilient_events():
+    tr = Tracer(enabled=True)
+    tr.instant("net.transfer", "network", 0, 0.0, src=0, dst=1, hops=1)
+    report = audit_trace(tr, places=4)
+    assert report.check("resilient.epoch_consistency").skipped
+
+
+def test_epoch_consistency_passes_on_abort_then_recommit():
+    tr = Tracer(enabled=True)
+    _epoch(tr, "resilient.restore", -1)
+    _epoch(tr, "resilient.commit", 0)
+    _epoch(tr, "resilient.abort", 1)
+    _epoch(tr, "resilient.restore", 0)
+    _epoch(tr, "resilient.commit", 1)
+    _epoch(tr, "resilient.commit", 2)
+    # an independent GLB scope with its own version sequence
+    _epoch(tr, "resilient.commit", 1, scope="glb/3")
+    _epoch(tr, "resilient.commit", 2, scope="glb/3")
+    _epoch(tr, "resilient.restore", 2, scope="glb/3")
+    report = audit_trace(tr, places=4)
+    assert report.check("resilient.epoch_consistency").passed is True
+
+
+def test_epoch_consistency_flags_out_of_order_commit():
+    tr = Tracer(enabled=True)
+    _epoch(tr, "resilient.commit", 0)
+    _epoch(tr, "resilient.commit", 2)  # skipped epoch 1
+    report = audit_trace(tr, places=4)
+    check = report.check("resilient.epoch_consistency")
+    assert check.passed is False
+    assert "commit 2 after 0" in check.detail
+
+
+def test_epoch_consistency_flags_restore_to_uncommitted_epoch():
+    tr = Tracer(enabled=True)
+    _epoch(tr, "resilient.commit", 0)
+    _epoch(tr, "resilient.restore", 3)  # never committed: a torn snapshot
+    report = audit_trace(tr, places=4)
+    check = report.check("resilient.epoch_consistency")
+    assert check.passed is False
+    assert "uncommitted epoch 3" in check.detail
+
+
+def test_epoch_consistency_flags_abandoned_abort():
+    tr = Tracer(enabled=True)
+    _epoch(tr, "resilient.commit", 0)
+    _epoch(tr, "resilient.abort", 1)  # run ended without re-committing 1
+    report = audit_trace(tr, places=4)
+    check = report.check("resilient.epoch_consistency")
+    assert check.passed is False
+    assert "never re-committed" in check.detail
+
+
+def test_epoch_consistency_flags_duplicate_glb_version():
+    tr = Tracer(enabled=True)
+    _epoch(tr, "resilient.commit", 1, scope="glb/0")
+    _epoch(tr, "resilient.commit", 1, scope="glb/0")
+    report = audit_trace(tr, places=4)
+    check = report.check("resilient.epoch_consistency")
+    assert check.passed is False
+    assert "committed twice" in check.detail

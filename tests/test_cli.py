@@ -117,6 +117,58 @@ def test_run_stats_under_chaos_prints_both_sections():
     assert code == 0
     assert "chaos         :" in text
     assert "-- metrics --" in text
+    assert "deaths        : 0 tolerated" in text
+
+
+# -- resilient runs ------------------------------------------------------------
+
+
+def test_run_resilient_survives_kill_with_identical_checksum():
+    code, fault_free = run_cli("run", "stream", "--places", "4")
+    assert code == 0
+    code, text = run_cli(
+        "run", "stream", "--places", "4", "--resilient", "--chaos", "seed=0,kill=2@1e-4"
+    )
+    assert code == 0
+    assert "verified      : True" in text
+    assert "resilient     :" in text and "1 places revived" in text
+    assert "dead places none" in text
+
+    def checksum(s):
+        return next(ln for ln in s.splitlines() if ln.startswith("checksum"))
+
+    assert checksum(text) == checksum(fault_free)
+
+
+def test_run_kill_without_resilient_still_fails():
+    code, text = run_cli(
+        "run", "stream", "--places", "4", "--chaos", "seed=0,kill=2@1e-4"
+    )
+    assert code == 1
+    assert "failed" in text and "dead" in text
+
+
+def test_run_resilient_rejects_kernel_without_hooks():
+    code, text = run_cli("run", "hpl", "--places", "4", "--resilient")
+    assert code == 2
+    assert "no checkpoint/restore hooks" in text
+
+
+def test_run_with_out_of_range_kill_place_exits_2():
+    code, text = run_cli("run", "stream", "--places", "4", "--chaos", "kill=7@0.01")
+    assert code == 2
+    assert "bad --chaos spec" in text and "places 0..3" in text
+
+
+def test_trace_resilient_run_audits_epoch_consistency(tmp_path):
+    path = str(tmp_path / "km.json")
+    code, text = run_cli(
+        "trace", "kmeans", "--places", "8", "--resilient",
+        "--chaos", "seed=0,kill=3@0.01", "--out", path,
+    )
+    assert code == 0
+    assert "protocol audit: PASS" in text
+    assert "[PASS] resilient.epoch_consistency" in text
 
 
 # -- perf subcommand -----------------------------------------------------------
