@@ -69,6 +69,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--no-audit", action="store_true", help="skip the protocol audit")
 
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant serving: schedule many concurrent kernel jobs on one machine",
+    )
+    serve.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="scenario spec JSON (default: a built-in two-tenant demo)",
+    )
+    serve.add_argument("--places", type=int, default=None, help="override the machine size")
+    serve.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    serve.add_argument(
+        "--duration", type=float, default=None, help="override the arrival window (simulated s)"
+    )
+    serve.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
+    serve.add_argument(
+        "--stats", action="store_true", help="print the metrics snapshot after the report"
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="machine-readable SLO report (schema v1)"
+    )
+    serve.add_argument(
+        "--audit",
+        action="store_true",
+        help="run traced and gate on the protocol audit (incl. serve.isolation)",
+    )
+
     fig = sub.add_parser("figure", help="regenerate one Figure 1 panel")
     fig.add_argument("kernel", choices=KERNELS)
     fig.add_argument("--no-sim", action="store_true", help="model rows only (fast)")
@@ -192,18 +220,7 @@ def main(argv=None, out=sys.stdout) -> int:
                 file=out,
             )
         if args.stats:
-            snap = result.extra["metrics"]
-            print(file=out)
-            print("-- metrics --", file=out)
-            print(f"network msgs  : {int(snap.total('net.messages'))}", file=out)
-            print(f"network bytes : {int(snap.total('net.bytes'))}", file=out)
-            print(f"finish ctl    : {int(snap.total('finish.ctl_messages'))} msgs, "
-                  f"{int(snap.total('finish.ctl_bytes'))} bytes", file=out)
-            print(f"steals        : {int(snap.total('glb.steal_attempts'))} attempts, "
-                  f"{int(snap.total('glb.steals_ok'))} ok", file=out)
-            print(f"deaths        : {int(snap.total('finish.deaths_tolerated'))} tolerated",
-                  file=out)
-            print(snap.render(), file=out)
+            _print_metrics(result.extra["metrics"], out)
         return 0 if result.verified is not False else 1
 
     if args.command == "trace":
@@ -257,6 +274,9 @@ def main(argv=None, out=sys.stdout) -> int:
         generate(out)
         return 0
 
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+
     if args.command == "perf":
         return _cmd_perf(args, out)
 
@@ -264,6 +284,91 @@ def main(argv=None, out=sys.stdout) -> int:
         return _cmd_analyze(args, out)
 
     raise AssertionError("unreachable")
+
+
+def _print_metrics(snap, out) -> None:
+    """The ``--stats`` block shared by ``run`` and ``serve``."""
+    print(file=out)
+    print("-- metrics --", file=out)
+    print(f"network msgs  : {int(snap.total('net.messages'))}", file=out)
+    print(f"network bytes : {int(snap.total('net.bytes'))}", file=out)
+    print(f"finish ctl    : {int(snap.total('finish.ctl_messages'))} msgs, "
+          f"{int(snap.total('finish.ctl_bytes'))} bytes", file=out)
+    print(f"steals        : {int(snap.total('glb.steal_attempts'))} attempts, "
+          f"{int(snap.total('glb.steals_ok'))} ok", file=out)
+    print(f"deaths        : {int(snap.total('finish.deaths_tolerated'))} tolerated",
+          file=out)
+    depth = snap.get("serve.queue_depth", None)
+    if isinstance(depth, dict) and depth.get("count"):
+        print(f"queue depth   : max {int(depth['max'])}, mean {depth['mean']:.2f}",
+              file=out)
+    print(snap.render(), file=out)
+
+
+def _cmd_serve(args, out) -> int:
+    """Run one serving scenario.
+
+    Exit codes: 0 — scenario completed (and, with ``--audit``, the protocol
+    audit passed); 1 — jobs aborted without fault injection to blame, a place
+    death escaped the scheduler, or the audit failed; 2 — malformed scenario
+    spec or chaos spec.
+    """
+    import json as _json
+    from dataclasses import replace
+
+    from repro.errors import ServeError
+    from repro.serve import load_scenario, quick_scenario, run_scenario
+
+    try:
+        spec = load_scenario(args.scenario) if args.scenario else quick_scenario()
+        overrides = {}
+        if args.places is not None:
+            if args.places < 3:
+                raise ServeError(
+                    f"--places must be >= 3 (one control place plus a pool), "
+                    f"got {args.places}"
+                )
+            overrides["places"] = args.places
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.duration is not None:
+            if args.duration <= 0:
+                raise ServeError(f"--duration must be > 0, got {args.duration}")
+            overrides["duration"] = args.duration
+        if args.chaos is not None:
+            overrides["chaos"] = args.chaos
+        if overrides:
+            spec = replace(spec, **overrides)
+        report, outcome, rt = run_scenario(spec, trace=args.audit)
+    except ServeError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    except ChaosError as exc:
+        print(f"error: bad chaos spec: {exc}", file=out)
+        return 2
+    except DeadPlaceError as exc:
+        print(f"serve failed  : {exc}", file=out)
+        return 1
+
+    if args.json:
+        print(_json.dumps(report.to_json(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.render(), file=out)
+        print(report.summary_line(), file=out)
+    if args.stats:
+        _print_metrics(rt.obs.metrics.snapshot(), out)
+
+    rc = 0
+    if args.audit:
+        audit = audit_trace(rt.obs.trace, places=spec.places)
+        if not args.json or not audit.passed:
+            print(audit.render(), file=out)
+        if not audit.passed:
+            rc = 1
+    if rt.chaos is None and report.aborted:
+        # aborts with no fault injection mean the scheduler broke a job
+        rc = 1
+    return rc
 
 
 def _cmd_analyze(args, out) -> int:

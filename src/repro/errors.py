@@ -117,3 +117,7 @@ class GlbError(ReproError):
 
 class KernelError(ReproError):
     """A kernel was configured with invalid parameters."""
+
+
+class ServeError(ReproError):
+    """A serving scenario is malformed or violates scheduler constraints."""

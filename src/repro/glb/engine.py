@@ -12,6 +12,7 @@ from repro.glb.bag import TaskBag
 from repro.glb.config import GlbConfig
 from repro.glb.lifelines import GRAPHS
 from repro.glb.victims import victim_set
+from repro.runtime.broadcast import PlaceGroup
 from repro.runtime.runtime import ApgasRuntime
 from repro.sim.rng import RngStream
 
@@ -103,7 +104,16 @@ class GlbStats:
 
 
 class Glb:
-    """Balance a :class:`TaskBag` workload across all places of a runtime.
+    """Balance a :class:`TaskBag` workload across the places of a runtime.
+
+    ``group`` restricts the balancing fabric to an injected
+    :class:`~repro.runtime.broadcast.PlaceGroup` — workers, victim sets, and
+    lifelines all live strictly inside the group, so two Glb instances on
+    disjoint groups never exchange a message (the serving layer's isolation
+    invariant).  Internally all topology state is kept in *rank* space
+    (indices into the group) and mapped to absolute places only at messaging
+    and tracing boundaries; for the default whole-machine group rank ``i``
+    *is* place ``i``, so existing behavior is bit-identical.
 
     Usage::
 
@@ -122,6 +132,7 @@ class Glb:
         process_rate: float,
         config: Optional[GlbConfig] = None,
         resilient: Optional["GlbResilience"] = None,
+        group: Optional[PlaceGroup] = None,
     ) -> None:
         if process_rate <= 0:
             raise GlbError("process_rate must be positive (items per second)")
@@ -138,19 +149,28 @@ class Glb:
                 f"unknown lifeline graph {self.config.lifeline_graph!r}; "
                 f"choose from {sorted(GRAPHS)}"
             ) from None
-        n = rt.n_places
+        self.group = list(group) if group is not None else list(range(rt.n_places))
+        for p in self.group:
+            rt.place(p)  # validate membership against the machine
+        self._rank_of = {p: i for i, p in enumerate(self.group)}
+        if resilient is not None and self.group != list(range(rt.n_places)):
+            raise GlbError(
+                "resilient GLB requires the whole-machine place group "
+                "(the store and loot ledger key state by absolute place)"
+            )
+        n = len(self.group)
         metrics = rt.obs.metrics
         self._tracer = rt.obs.trace
         self.state = [
             _PlaceState(
                 bag=make_empty_bag(),
-                victims=victim_set(n, p, self.config.max_victims, self.config.seed),
-                lifelines=graph(n, p),
-                rng=RngStream(self.config.seed, f"glb/steal/{p}"),
+                victims=victim_set(n, i, self.config.max_victims, self.config.seed),
+                lifelines=graph(n, i),
+                rng=RngStream(self.config.seed, f"glb/steal/{self.group[i]}"),
                 metrics=metrics,
-                place=p,
+                place=self.group[i],
             )
-            for p in range(n)
+            for i in range(n)
         ]
         # counters are shared across Glb instances on the same runtime, so a
         # snapshot at construction lets stats() report this run's deltas only
@@ -178,13 +198,23 @@ class Glb:
         self.rt.run(self._main)
         return self.stats()
 
+    def main(self, ctx):
+        """The balancing program as an embeddable generator.
+
+        Serving-layer jobs run many Glb instances concurrently inside one
+        engine drain: spawn an activity anywhere and ``yield from glb.main(ctx)``
+        — the root finish opens at the calling place and work distribution
+        starts at ``group[0]``.
+        """
+        yield from self._main(ctx)
+
     def stats(self) -> GlbStats:
         """Aggregate statistics of the (completed) run, read from the registry."""
 
-        def delta(place: int, name: str):
-            return getattr(self.state[place], name).value - self._base[place][name]
+        def delta(rank: int, name: str):
+            return getattr(self.state[rank], name).value - self._base[rank][name]
 
-        n = self.rt.n_places
+        n = len(self.group)
         per_place = [int(delta(p, "processed")) for p in range(n)]
         reexecuted = int(self._res.reexecuted_items) if self._res is not None else 0
         reexec_cost = self._res.reexecuted_cost if self._res is not None else 0.0
@@ -211,13 +241,29 @@ class Glb:
             # survivors drain what remains (resilient-finish adoption)
             f.tolerate_death = True
             self._root_finish = f
-            ctx.async_(self._distribute, 0, self.rt.n_places, self.root_bag)
+            if ctx.here == self.group[0]:
+                ctx.async_(self._distribute, 0, len(self.group), self.root_bag)
+            else:
+                # embedded or non-member launch: the wave starts at rank 0
+                ctx.at_async(
+                    self.group[0], self._distribute, 0, len(self.group), self.root_bag,
+                    nbytes=self.root_bag.serialized_nbytes,
+                )
         yield f.wait()
 
+    def _rank(self, place: int) -> int:
+        return self._rank_of[place]
+
+    def _rank_dead(self, rank: int) -> bool:
+        return self.rt.is_dead(self.group[rank])
+
     def _distribute(self, ctx, lo: int, hi: int, bag: TaskBag, loot_id=None):
-        """Initial work distribution: one tree-shaped wave from the root worker."""
+        """Initial work distribution: one tree-shaped wave from the root worker.
+
+        ``lo``/``hi`` are group *ranks*; the wave lands at ``group[rank]``.
+        """
         step = 1
-        st = self.state[ctx.here]
+        st = self.state[self._rank(ctx.here)]
         if self._res is not None:
             # resilient mode: the arriving share becomes this place's durable
             # state immediately, and every part leaving below is ledger loot
@@ -246,12 +292,12 @@ class Glb:
             if part is not None and self._res is not None:
                 # the post-split snapshot must be durable before the part ships
                 yield from self._res.checkpoint(ctx, st)
-            if self.rt.is_dead(child_lo):
+            if self._rank_dead(child_lo):
                 # re-root the wave around the dead child: its share goes to
                 # the subtree's first survivor as loot (the rest of the
                 # subtree is reached through steals and lifelines)
                 target = next(
-                    (p for p in range(child_lo, child_hi) if not self.rt.is_dead(p)), None
+                    (r for r in range(child_lo, child_hi) if not self._rank_dead(r)), None
                 )
                 if part is not None:
                     if target is None:
@@ -267,28 +313,31 @@ class Glb:
                         self._c_distribute_rerouted.inc()
                         payload = part
                         if self._res is not None:
-                            lid = self._res.register_loot(ctx.here, target, part)
+                            lid = self._res.register_loot(
+                                ctx.here, self.group[target], part
+                            )
                             payload = (lid, part)
                         ctx.at_async(
-                            target, self._receive_loot, payload, nbytes=part.serialized_nbytes
+                            self.group[target], self._receive_loot, payload,
+                            nbytes=part.serialized_nbytes,
                         )
             elif part is not None:
                 lid = None
                 if self._res is not None:
-                    lid = self._res.register_loot(ctx.here, child_lo, part)
+                    lid = self._res.register_loot(ctx.here, self.group[child_lo], part)
                 ctx.at_async(
-                    child_lo, self._distribute, child_lo, child_hi, part, lid,
+                    self.group[child_lo], self._distribute, child_lo, child_hi, part, lid,
                     nbytes=part.serialized_nbytes,
                 )
             else:
-                ctx.at_async(child_lo, self._distribute, child_lo, child_hi, None)
+                ctx.at_async(self.group[child_lo], self._distribute, child_lo, child_hi, None)
             step *= 2
         yield from self._worker(ctx, None if self._res is not None else bag)
 
     # -- the worker ---------------------------------------------------------------------------
 
     def _worker(self, ctx, bag: Optional[TaskBag]):
-        st = self.state[ctx.here]
+        st = self.state[self._rank(ctx.here)]
         if bag is not None:
             st.bag.merge(bag)
         st.alive = True
@@ -310,17 +359,19 @@ class Glb:
             stole = yield from self._random_steal(ctx, st)
             if stole:
                 continue
-            # ...then lifeline requests, and death
+            # ...then lifeline requests, and death (neighbors are group ranks)
             for neighbor in list(st.lifelines):
-                if self.rt.is_dead(neighbor):
+                if self._rank_dead(neighbor):
                     continue
                 st.lifelines_sent.inc()
                 if self._tracer.enabled:
                     self._tracer.instant(
                         "glb.lifeline", "glb", ctx.here, ctx.now,
-                        thief=ctx.here, neighbor=neighbor,
+                        thief=ctx.here, neighbor=self.group[neighbor],
                     )
-                ctx.at_async(neighbor, self._lifeline_request, ctx.here)
+                ctx.at_async(
+                    self.group[neighbor], self._lifeline_request, self._rank(ctx.here)
+                )
             if not st.bag.is_empty():
                 continue  # loot landed while we were out stealing
             st.alive = False
@@ -334,22 +385,25 @@ class Glb:
             if len(st.victims) == 0:
                 return False  # repairs can exhaust the set
             victim = int(st.victims[int(st.rng.integers(0, len(st.victims)))])
-            if self.rt.is_dead(victim):
+            if self._rank_dead(victim):
                 continue  # not yet repaired out of the set
             st.steal_attempts.inc()
             if tracer.enabled:
                 tracer.instant(
-                    "glb.steal", "glb", ctx.here, ctx.now, thief=ctx.here, victim=victim
+                    "glb.steal", "glb", ctx.here, ctx.now,
+                    thief=ctx.here, victim=self.group[victim],
                 )
             try:
-                loot = yield ctx.at(victim, self._try_steal, ctx.here)
+                loot = yield ctx.at(
+                    self.group[victim], self._try_steal, self._rank(ctx.here)
+                )
             except DeadPlaceError:
                 continue  # the victim died mid-steal; move on
 
             if tracer.enabled:
                 tracer.instant(
                     "glb.steal_result", "glb", ctx.here, ctx.now,
-                    thief=ctx.here, victim=victim, ok=loot is not None,
+                    thief=ctx.here, victim=self.group[victim], ok=loot is not None,
                 )
             if loot is not None:
                 if self._res is not None:
@@ -369,8 +423,8 @@ class Glb:
     # -- handlers running at other places -----------------------------------------------------
 
     def _try_steal(self, vctx, thief: Optional[int] = None):
-        """Synchronous steal attempt (runs at the victim; round-trip pattern)."""
-        st = self.state[vctx.here]
+        """Synchronous steal attempt (runs at the victim; ``thief`` is a rank)."""
+        st = self.state[self._rank(vctx.here)]
         if st.bag.is_empty():
             return None
         if self._res is None:
@@ -383,18 +437,18 @@ class Glb:
         if loot is None:
             return None
         yield from self._res.checkpoint(vctx, st)
-        lid = self._res.register_loot(vctx.here, thief, loot)
+        lid = self._res.register_loot(vctx.here, self.group[thief], loot)
         return (lid, loot)
 
     def _lifeline_request(self, vctx, thief: int):
-        """A lifeline request: satisfy now, or remember the thief."""
-        st = self.state[vctx.here]
+        """A lifeline request (``thief`` is a rank): satisfy now, or remember."""
+        st = self.state[self._rank(vctx.here)]
         if not st.bag.is_empty():
             loot = st.bag.split()
             if loot is not None:
                 self._ship(vctx, thief, loot)
                 return
-        if thief not in st.lifeline_requests and not self.rt.is_dead(thief):
+        if thief not in st.lifeline_requests and not self._rank_dead(thief):
             st.lifeline_requests.append(thief)
 
     def _serve_lifelines(self, ctx, st: _PlaceState) -> None:
@@ -415,21 +469,24 @@ class Glb:
             # generator
             ctx.async_(self._ship_resilient, thief, loot)
             return
-        if self.rt.is_dead(thief):
-            self.state[ctx.here].bag.merge(loot)  # the thief is gone; keep the work
+        if self._rank_dead(thief):
+            # the thief is gone; keep the work
+            self.state[self._rank(ctx.here)].bag.merge(loot)
             return
         if self._tracer.enabled:
             self._tracer.instant(
                 "glb.loot", "glb", ctx.here, ctx.now,
-                src=ctx.here, thief=thief, nbytes=loot.serialized_nbytes,
+                src=ctx.here, thief=self.group[thief], nbytes=loot.serialized_nbytes,
             )
-        ctx.at_async(thief, self._receive_loot, loot, nbytes=loot.serialized_nbytes)
+        ctx.at_async(
+            self.group[thief], self._receive_loot, loot, nbytes=loot.serialized_nbytes
+        )
 
     def _ship_resilient(self, ctx, thief: int, loot: TaskBag):
-        st = self.state[ctx.here]
+        st = self.state[self._rank(ctx.here)]
         yield from self._res.checkpoint(ctx, st)  # post-split state durable
-        lid = self._res.register_loot(ctx.here, thief, loot)
-        if self.rt.is_dead(thief):
+        lid = self._res.register_loot(ctx.here, self.group[thief], loot)
+        if self._rank_dead(thief):
             # the thief died before (or while) we checkpointed: reclaim the
             # loot; the ledger keeps it exactly-once across our own death
             self._res.reclaim(lid, ctx.here)
@@ -446,13 +503,16 @@ class Glb:
         if self._tracer.enabled:
             self._tracer.instant(
                 "glb.loot", "glb", ctx.here, ctx.now,
-                src=ctx.here, thief=thief, nbytes=loot.serialized_nbytes,
+                src=ctx.here, thief=self.group[thief], nbytes=loot.serialized_nbytes,
             )
-        ctx.at_async(thief, self._receive_loot, (lid, loot), nbytes=loot.serialized_nbytes)
+        ctx.at_async(
+            self.group[thief], self._receive_loot, (lid, loot),
+            nbytes=loot.serialized_nbytes,
+        )
 
     def _checkpoint_here(self, ctx):
         """Helper activity: make the current bag durable (post-merge cover)."""
-        yield from self._res.checkpoint(ctx, self.state[ctx.here])
+        yield from self._res.checkpoint(ctx, self.state[self._rank(ctx.here)])
 
     # -- place failure ------------------------------------------------------------------------
 
@@ -463,12 +523,16 @@ class Glb:
         own lifelines (splicing it out of the graph keeps the survivors
         connected without raising anyone's degree by more than one); victim
         sets swap the dead entry for the smallest live place outside the set,
-        so the out-degree bound is preserved exactly.
+        so the out-degree bound is preserved exactly.  Deaths outside the
+        group are not this fabric's problem (the serving layer isolates them).
         """
-        st = self.state[place]
+        rank = self._rank_of.get(place)
+        if rank is None:
+            return
+        st = self.state[rank]
         st.alive = False
         st.lifeline_requests.clear()
-        self._repair_topology(place)
+        self._repair_topology(rank)
         if (
             self._res is not None
             and self._root_finish is not None
@@ -487,32 +551,36 @@ class Glb:
                 self._res.respawn_delay, lambda p=place: self._respawn(p)
             )
 
-    def _repair_topology(self, place: int, record: bool = True) -> None:
-        dead = self.rt.chaos.dead_places
-        st = self.state[place]
-        inherited = [p for p in st.lifelines if p not in dead]
-        n = self.rt.n_places
-        for p, other in enumerate(self.state):
-            if p == place or p in dead:
+    def _repair_topology(self, rank: int, record: bool = True) -> None:
+        """Splice a dead member (by group rank) out of the rank-space topology."""
+        dead = {
+            self._rank_of[p] for p in self.rt.chaos.dead_places if p in self._rank_of
+        }
+        st = self.state[rank]
+        inherited = [r for r in st.lifelines if r not in dead]
+        n = len(self.group)
+        for r, other in enumerate(self.state):
+            if r == rank or r in dead:
                 continue
-            if place in other.lifelines:
-                other.lifelines.remove(place)
+            if rank in other.lifelines:
+                other.lifelines.remove(rank)
                 for candidate in inherited:
-                    if candidate != p and candidate not in other.lifelines:
+                    if candidate != r and candidate not in other.lifelines:
                         other.lifelines.append(candidate)
                         break
                 if record:
                     self._c_lifelines_rewired.inc()
                     if self._tracer.enabled:
                         self._tracer.instant(
-                            "glb.rewire", "glb", p, self.rt.now,
-                            dead=place, lifelines=list(other.lifelines),
+                            "glb.rewire", "glb", self.group[r], self.rt.now,
+                            dead=self.group[rank],
+                            lifelines=[self.group[x] for x in other.lifelines],
                         )
-            mask = other.victims == place
+            mask = other.victims == rank
             if mask.any():
                 in_set = {int(v) for v in other.victims}
                 repl = next(
-                    (q for q in range(n) if q != p and q not in dead and q not in in_set),
+                    (q for q in range(n) if q != r and q not in dead and q not in in_set),
                     None,
                 )
                 if repl is None:
@@ -521,8 +589,8 @@ class Glb:
                     other.victims[mask] = repl
                 if record:
                     self._c_victims_repaired.inc()
-            if place in other.lifeline_requests:
-                other.lifeline_requests.remove(place)
+            if rank in other.lifeline_requests:
+                other.lifeline_requests.remove(rank)
 
     # -- elastic recovery (resilient mode) ----------------------------------------------------
 
@@ -540,7 +608,7 @@ class Glb:
 
     def _restored_worker(self, ctx):
         """Runs at the revived place: reload state from replicas and rejoin."""
-        st = self.state[ctx.here]
+        st = self.state[self._rank(ctx.here)]
         st.bag = self.make_empty_bag()
         st.lifeline_requests.clear()
         yield from self._res.restore(ctx, st)
@@ -558,16 +626,21 @@ class Glb:
         Every live place's lifelines and victim set are rebuilt from the
         pristine graph, then the repairs for the places *still* dead are
         replayed — the revived place is woven back in exactly where the
-        graph construction would have put it.
+        graph construction would have put it.  Revives of non-members are
+        ignored — they never touched this fabric's topology.
         """
-        dead = self.rt.chaos.dead_places
-        n = self.rt.n_places
-        for p in range(n):
-            if p in dead:
+        if place not in self._rank_of:
+            return
+        dead = {
+            self._rank_of[p] for p in self.rt.chaos.dead_places if p in self._rank_of
+        }
+        n = len(self.group)
+        for r in range(n):
+            if r in dead:
                 continue
-            st = self.state[p]
-            st.lifelines = list(self._graph(n, p))
-            st.victims = victim_set(n, p, self.config.max_victims, self.config.seed)
+            st = self.state[r]
+            st.lifelines = list(self._graph(n, r))
+            st.victims = victim_set(n, r, self.config.max_victims, self.config.seed)
         for d in sorted(dead):
             self._repair_topology(d, record=False)
 
@@ -577,7 +650,7 @@ class Glb:
             lid, loot = loot
             if not self._res.accept_loot(lid):
                 return  # reassigned by a recovery while in flight: drop
-        st = self.state[tctx.here]
+        st = self.state[self._rank(tctx.here)]
         if st.alive:
             st.bag.merge(loot)
             if lid is not None:

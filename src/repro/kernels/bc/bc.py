@@ -33,20 +33,26 @@ def run_bc(
     sources_per_place: Optional[int] = None,
     modeled_scale: Optional[int] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    group: Optional[PlaceGroup] = None,
 ) -> KernelResult:
     """BC on a replicated R-MAT graph, vertices randomly partitioned.
 
     ``modeled_scale`` charges compute for a larger graph than the one
     actually traversed (the at-scale benchmarks model the paper's 2^18/2^20
-    graphs); the math always runs on the real ``scale`` graph.
+    graphs); the math always runs on the real ``scale`` graph.  Vertices are
+    partitioned by group *rank*, so the centrality depends only on the
+    parameters and the group width.
     """
     if scale < 2:
         raise KernelError("scale must be at least 2")
     graph = rmat_graph(scale, edge_factor, seed)
-    n_places = rt.n_places
+    pg = PlaceGroup.world(rt) if group is None else group
+    places = list(pg)
+    n_places = len(places)
+    rank_of = {p: i for i, p in enumerate(places)}
     # random vertex partition, identical at every place
     perm = RngStream(seed, "bc/partition").permutation(graph.n)
-    team = Team(rt, list(range(n_places)))
+    team = Team(rt, places)
     results = {}
 
     modeled_n = graph.n if modeled_scale is None else (1 << modeled_scale)
@@ -55,7 +61,7 @@ def run_bc(
     work_done = {}
 
     def body(ctx):
-        p = ctx.here
+        p = rank_of[ctx.here]
         mine = perm[p :: n_places]
         if sources_per_place is not None:
             mine = mine[:sources_per_place]
@@ -68,7 +74,7 @@ def run_bc(
         results[p] = total / 2.0  # undirected: each pair counted twice
 
     def main(ctx):
-        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+        yield from broadcast_spawn(ctx, pg, body)
 
     rt.run(main)
     centrality = results[0]

@@ -20,6 +20,7 @@ from repro.harness.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.harness.results import KernelResult
 from repro.kernels.bc.brandes import _single_source_dependencies
 from repro.kernels.bc.rmat import Graph, rmat_graph
+from repro.runtime.broadcast import PlaceGroup
 from repro.runtime.runtime import ApgasRuntime
 from repro.sim.rng import RngStream
 
@@ -73,6 +74,7 @@ def run_bc_glb(
     seed: int = 0,
     glb_config: Optional[GlbConfig] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    group: Optional[PlaceGroup] = None,
 ) -> KernelResult:
     """Dynamically balanced BC; the result is identical to :func:`run_bc`."""
     if scale < 2:
@@ -92,16 +94,17 @@ def run_bc_glb(
         # one source per chunk: a single BFS is the indivisible task unit and
         # per-source costs are heavy-tailed, so finer chunks balance better
         config=glb_config or GlbConfig(chunk_items=1, prime_items=1),
+        group=group,
     )
     stats = glb.run()
     edges_per_sec = stats.total_cost / rt.now if rt.now else 0.0
     return KernelResult(
         kernel="bc-glb",
-        places=rt.n_places,
+        places=stats.places,
         sim_time=rt.now,
         value=edges_per_sec,
         unit="edges/s",
-        per_core=edges_per_sec / rt.n_places,
+        per_core=edges_per_sec / stats.places,
         verified=stats.total_processed == graph.n,
         extra={
             "centrality": total / 2.0,

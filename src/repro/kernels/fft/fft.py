@@ -55,20 +55,24 @@ def run_fft(
     seed: int = 0,
     modeled_elements_per_place: Optional[int] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    group: Optional[PlaceGroup] = None,
 ) -> KernelResult:
-    """Distributed 1D FFT of N = n1*n2 complex values over all places.
+    """Distributed 1D FFT of N = n1*n2 complex values over ``group``.
 
-    ``n1`` and ``n2`` must be divisible by the place count.  The real math
+    ``n1`` and ``n2`` must be divisible by the group width.  The real math
     runs on the (n1, n2) problem; ``modeled_elements_per_place`` charges
     compute and wire time for the paper-scale problem instead (2 GB/place).
     """
-    p = rt.n_places
+    pg = PlaceGroup.world(rt) if group is None else group
+    places = list(pg)
+    rank_of = {pl: i for i, pl in enumerate(places)}
+    p = len(places)
     if n1 % p or n2 % p:
         raise KernelError(f"n1={n1} and n2={n2} must be divisible by places={p}")
     N = n1 * n2
     rpp1, rpp2 = n1 // p, n2 // p
     elems = N // p if modeled_elements_per_place is None else modeled_elements_per_place
-    team = Team(rt, list(range(p)))
+    team = Team(rt, places)
     rng = RngStream(seed, "fft/input")
     x = (rng.uniform(-1, 1, size=N) + 1j * rng.uniform(-1, 1, size=N)).astype(np.complex128)
     outputs = {}
@@ -90,7 +94,7 @@ def run_fft(
         return out
 
     def body(ctx):
-        place = ctx.here
+        place = rank_of[ctx.here]
         local = x.reshape(n1, n2)[place * rpp1 : (place + 1) * rpp1].copy()
         # phase 1: global transpose -> rows are original columns
         local = yield from transpose(ctx, local, rpp2, n1)
@@ -111,7 +115,7 @@ def run_fft(
         outputs[place] = local.reshape(-1)
 
     def main(ctx):
-        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+        yield from broadcast_spawn(ctx, pg, body)
 
     rt.run(main)
     result = np.concatenate([outputs[q] for q in range(p)])

@@ -41,8 +41,12 @@ def run_hpl(
     modeled_N: Optional[int] = None,
     modeled_NB: int = 360,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    group: Optional[PlaceGroup] = None,
 ) -> KernelResult:
-    """Factor a random N x N system over all places; returns flop/s.
+    """Factor a random N x N system over ``group``; returns flop/s.
+
+    The process grid is laid out over group *ranks* and mapped to absolute
+    places at every communication boundary.
 
     ``N`` must be a multiple of ``NB``; an even block-cyclic layout is not
     required — trailing counts just become uneven, as in real HPL.
@@ -54,9 +58,12 @@ def run_hpl(
     ``modeled_NB`` (default 360), since each simulated step stands for
     ``s*NB/modeled_NB`` paper panels.
     """
-    grid = grid or default_grid(rt.n_places)
-    if grid.places != rt.n_places:
-        raise KernelError(f"grid {grid.P}x{grid.Q} does not match {rt.n_places} places")
+    pg = PlaceGroup.world(rt) if group is None else group
+    members = list(pg)
+    rank_of = {pl: i for i, pl in enumerate(members)}
+    grid = grid or default_grid(len(members))
+    if grid.places != len(members):
+        raise KernelError(f"grid {grid.P}x{grid.Q} does not match {len(members)} places")
     if N % NB:
         raise KernelError("N must be a multiple of NB")
     nblk = N // NB
@@ -75,9 +82,17 @@ def run_hpl(
     all_swaps: list = []
     step_swaps: dict[int, list] = {}
 
-    world = Team(rt, list(range(rt.n_places)))
-    row_teams = {pi: Team(rt, grid.row_places(pi)) for pi in range(grid.P)} if grid.Q > 1 else {}
-    col_teams = {pj: Team(rt, grid.col_places(pj)) for pj in range(grid.Q)} if grid.P > 1 else {}
+    world = Team(rt, members)
+    row_teams = (
+        {pi: Team(rt, [members[r] for r in grid.row_places(pi)]) for pi in range(grid.P)}
+        if grid.Q > 1
+        else {}
+    )
+    col_teams = (
+        {pj: Team(rt, [members[r] for r in grid.col_places(pj)]) for pj in range(grid.Q)}
+        if grid.P > 1
+        else {}
+    )
 
     def dgemm_rate_for(place: int) -> float:
         octant = rt.topology.octant_of(place)
@@ -103,22 +118,22 @@ def run_hpl(
         return None  # the row data lands in local storage; no compute
 
     def body(ctx):
-        me = ctx.here
+        me = rank_of[ctx.here]
         pi, pj = grid.coords_of(me)
-        rate = dgemm_rate_for(me)
+        rate = dgemm_rate_for(ctx.here)
         rteam = row_teams.get(pi)
         cteam = col_teams.get(pj)
         for k in range(nblk):
             k0 = k * NB
             rows_below = N - k0
-            diag = grid.owner_of_block(k, k)
+            diag = members[grid.owner_of_block(k, k)]
             panel_share = int(bscale * rows_below * NB * 8) // grid.P  # one place's slice
 
             # -- panel: gather to the diagonal owner, recursive factorization,
             #    pivot search over all rows below, redistribution -------------
             swaps = None
             if pj == k % grid.Q:
-                if me == diag:
+                if ctx.here == diag:
                     swaps = step_math(k)
                     yield ctx.compute(flops=pscale * NB * rows_below, flop_rate=rate)
                 if cteam is not None:
@@ -126,7 +141,7 @@ def run_hpl(
 
             # -- broadcast panel + pivots along process rows -------------------
             if rteam is not None:
-                row_root = grid.place_of(pi, k % grid.Q)
+                row_root = members[grid.place_of(pi, k % grid.Q)]
                 swaps = yield rteam.broadcast(ctx, swaps, root=row_root, nbytes=panel_share)
             elif swaps is None:
                 swaps = step_swaps[k]
@@ -141,7 +156,7 @@ def run_hpl(
                             mem_bytes=2 * row_bytes, mem_bw=rt.config.place_stream_bandwidth
                         )
                 elif pi in (pr1, pr2):
-                    partner = grid.place_of(pr2 if pi == pr1 else pr1, pj)
+                    partner = members[grid.place_of(pr2 if pi == pr1 else pr1, pj)]
                     with ctx.finish(Pragma.FINISH_ASYNC) as f:
                         ctx.at_async(partner, swap_recv, nbytes=row_bytes)
                     yield f.wait()
@@ -156,7 +171,7 @@ def run_hpl(
             if cteam is not None:
                 u_share = int(bscale * max(1, (N - k0 - NB) // grid.Q) * NB * 8)
                 yield cteam.broadcast(
-                    ctx, None, root=grid.place_of(k % grid.P, pj), nbytes=u_share
+                    ctx, None, root=members[grid.place_of(k % grid.P, pj)], nbytes=u_share
                 )
 
             # -- trailing rank-NB update (local DGEMMs) --------------------------
@@ -169,7 +184,7 @@ def run_hpl(
         yield world.barrier(ctx)
 
     def main(ctx):
-        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+        yield from broadcast_spawn(ctx, pg, body)
 
     rt.run(main)
     residual = reconstruction_residual(A0, A, all_swaps)
@@ -178,11 +193,11 @@ def run_hpl(
     rate = flops / rt.now
     return KernelResult(
         kernel="hpl",
-        places=rt.n_places,
+        places=len(members),
         sim_time=rt.now,
         value=rate,
         unit="flop/s",
-        per_core=rate / rt.n_places,
+        per_core=rate / len(members),
         verified=bool(residual < 1e-12),
         extra={"residual": residual, "grid": (grid.P, grid.Q), "N": N, "NB": NB},
     )

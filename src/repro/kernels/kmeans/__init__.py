@@ -2,6 +2,7 @@
 
 from repro.kernels.kmeans.kmeans import (
     assign_and_accumulate,
+    build_kmeans,
     generate_points,
     initial_centroids,
     kmeans_reference,
@@ -10,6 +11,7 @@ from repro.kernels.kmeans.kmeans import (
 
 __all__ = [
     "assign_and_accumulate",
+    "build_kmeans",
     "generate_points",
     "initial_centroids",
     "kmeans_reference",

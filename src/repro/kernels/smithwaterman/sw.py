@@ -90,6 +90,75 @@ def safe_overlap(short_len: int, match: int = MATCH, gap: int = GAP) -> int:
     return short_len + (short_len * match) // max(1, gap)
 
 
+def build_smith_waterman(
+    rt: ApgasRuntime,
+    short_len: int = 4000,
+    long_per_place: int = 40_000,
+    iterations: int = 5,
+    seed: int = 0,
+    actual_short: Optional[int] = None,
+    actual_long: Optional[int] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    group: Optional[PlaceGroup] = None,
+):
+    """Build the Smith-Waterman program over ``group``; ``(main, finalize)``.
+
+    Fragments are sliced by group *rank* and the long sequence is sized by
+    the group width, so the best score depends only on the parameters and
+    the width.
+    """
+    if min(short_len, long_per_place, iterations) < 1:
+        raise KernelError("sequence lengths and iterations must be positive")
+    m = min(short_len, 64) if actual_short is None else actual_short
+    frag = min(long_per_place, 256) if actual_long is None else actual_long
+    overlap = safe_overlap(m)
+    pg = PlaceGroup.world(rt) if group is None else group
+    places = list(pg)
+    n_places = len(places)
+    rank_of = {p: i for i, p in enumerate(places)}
+    short = random_sequence(seed, "short", m)
+    long_seq = random_sequence(seed, "long", frag * n_places)
+    team = Team(rt, places)
+    bests = {}
+    # the calibrated cell rate was derived from the paper's run times with
+    # cells = short * long (its modest fragment overlap is folded into the
+    # rate), so the time model charges the same convention
+    cells_modeled = short_len * long_per_place
+
+    def body(ctx):
+        rank = rank_of[ctx.here]
+        octant = rt.topology.octant_of(ctx.here)
+        crowd = len(rt.topology.places_on_octant(octant))
+        rate = calibration.sw_rate(rt.config, crowd)
+        lo = max(0, rank * frag - overlap)
+        fragment = long_seq[lo : (rank + 1) * frag]
+        best = 0
+        for _ in range(iterations):
+            best = sw_score(short, fragment)
+            yield ctx.compute(seconds=cells_modeled / rate)
+        global_best = yield team.allreduce(ctx, best, op=max)
+        bests[rank] = global_best
+
+    def main(ctx):
+        yield from broadcast_spawn(ctx, pg, body)
+
+    def finalize(elapsed: Optional[float] = None) -> KernelResult:
+        t = rt.now if elapsed is None else elapsed
+        global_best = bests[0]
+        return KernelResult(
+            kernel="smithwaterman",
+            places=n_places,
+            sim_time=t,
+            value=t,
+            unit="s",
+            per_core=t,
+            verified=all(b == global_best for b in bests.values()),
+            extra={"best_score": global_best, "short": short, "long": long_seq},
+        )
+
+    return main, finalize
+
+
 def run_smith_waterman(
     rt: ApgasRuntime,
     short_len: int = 4000,
@@ -99,53 +168,23 @@ def run_smith_waterman(
     actual_short: Optional[int] = None,
     actual_long: Optional[int] = None,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    group: Optional[PlaceGroup] = None,
 ) -> KernelResult:
     """Weak-scaling Smith-Waterman; the paper's sizes are the defaults.
 
     The *actual* sequence lengths bound the real DP at scale while time is
     charged for the modeled sizes.
     """
-    if min(short_len, long_per_place, iterations) < 1:
-        raise KernelError("sequence lengths and iterations must be positive")
-    m = min(short_len, 64) if actual_short is None else actual_short
-    frag = min(long_per_place, 256) if actual_long is None else actual_long
-    overlap = safe_overlap(m)
-    n_places = rt.n_places
-    short = random_sequence(seed, "short", m)
-    long_seq = random_sequence(seed, "long", frag * n_places)
-    team = Team(rt, list(range(n_places)))
-    bests = {}
-    # the calibrated cell rate was derived from the paper's run times with
-    # cells = short * long (its modest fragment overlap is folded into the
-    # rate), so the time model charges the same convention
-    cells_modeled = short_len * long_per_place
-
-    def body(ctx):
-        p = ctx.here
-        octant = rt.topology.octant_of(p)
-        crowd = len(rt.topology.places_on_octant(octant))
-        rate = calibration.sw_rate(rt.config, crowd)
-        lo = max(0, p * frag - overlap)
-        fragment = long_seq[lo : (p + 1) * frag]
-        best = 0
-        for _ in range(iterations):
-            best = sw_score(short, fragment)
-            yield ctx.compute(seconds=cells_modeled / rate)
-        global_best = yield team.allreduce(ctx, best, op=max)
-        bests[p] = global_best
-
-    def main(ctx):
-        yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
-
-    rt.run(main)
-    global_best = bests[0]
-    return KernelResult(
-        kernel="smithwaterman",
-        places=n_places,
-        sim_time=rt.now,
-        value=rt.now,
-        unit="s",
-        per_core=rt.now,
-        verified=all(b == global_best for b in bests.values()),
-        extra={"best_score": global_best, "short": short, "long": long_seq},
+    main, finalize = build_smith_waterman(
+        rt,
+        short_len=short_len,
+        long_per_place=long_per_place,
+        iterations=iterations,
+        seed=seed,
+        actual_short=actual_short,
+        actual_long=actual_long,
+        calibration=calibration,
+        group=group,
     )
+    rt.run(main)
+    return finalize()

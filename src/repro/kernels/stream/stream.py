@@ -29,7 +29,7 @@ def triad(a: np.ndarray, b: np.ndarray, c: np.ndarray, alpha: float) -> None:
     np.add(a, b, out=a)
 
 
-def run_stream(
+def build_stream(
     rt: ApgasRuntime,
     elements_per_place: int,
     iterations: int = 10,
@@ -38,22 +38,24 @@ def run_stream(
     verify: bool = True,
     resilient: bool = False,
     respawn_delay: float = 2e-3,
-) -> KernelResult:
-    """Weak-scaling Stream Triad over all places of ``rt``.
+    group: Optional[PlaceGroup] = None,
+):
+    """Build the Stream program over ``group`` (default: the whole machine).
 
-    ``elements_per_place`` sizes the *modeled* arrays (time charges);
-    ``actual_elements`` (default: capped at 65,536) sizes the real arrays the
-    kernel actually computes on and verifies — so at-scale runs do not
-    allocate terabytes.
-
-    With ``resilient`` each triad round is a checkpoint epoch.  The arrays
-    are recomputable from their init formulas and the triad is idempotent,
-    so recovery re-*initializes* a revived place's partition instead of
-    restoring bytes from replicas — only a tiny partition descriptor lives
-    in the store.
+    Returns ``(main, finalize)``: ``main`` is an embeddable activity body
+    (the serving layer spawns many of these inside one engine drain) and
+    ``finalize()`` computes the :class:`KernelResult` once it has run.
+    Arrays are initialized by group *rank*, so the result depends only on
+    the parameters and the group width — not on which places ran it.
     """
     if elements_per_place < 1 or iterations < 1:
         raise KernelError("need at least one element and one iteration")
+    pg = PlaceGroup.world(rt) if group is None else group
+    places = list(pg)
+    n_places = len(places)
+    rank_of = {p: i for i, p in enumerate(places)}
+    if resilient and places != list(range(rt.n_places)):
+        raise KernelError("resilient stream requires the whole-machine place group")
     real_n = min(elements_per_place, 65_536) if actual_elements is None else actual_elements
     cfg = rt.config
     alloc = CongruentAllocator(rt, large_pages=True)
@@ -68,7 +70,7 @@ def run_stream(
         a = alloc.alloc(place, shape=(real_n,))
         b = alloc.alloc(place, shape=(real_n,))
         c = alloc.alloc(place, shape=(real_n,))
-        b.data[:] = 1.0 + place
+        b.data[:] = 1.0 + rank_of[place]
         c.data[:] = 2.0
         arrays[place] = (a, b, c, bw)
 
@@ -123,21 +125,63 @@ def run_stream(
             check(ctx.here)
 
         def main(ctx):
-            yield from broadcast_spawn(ctx, PlaceGroup.world(rt), body)
+            yield from broadcast_spawn(ctx, pg, body)
 
+    def finalize(elapsed: Optional[float] = None) -> KernelResult:
+        t = rt.now if elapsed is None else elapsed
+        total_bytes = BYTES_PER_ELEMENT * elements_per_place * iterations * n_places
+        rate = total_bytes / t if t > 0 else 0.0
+        checksum = checksum_bytes(
+            *(np.ascontiguousarray(arrays[p][0].data).tobytes() for p in places if p in arrays)
+        )
+        return KernelResult(
+            kernel="stream",
+            places=n_places,
+            sim_time=t,
+            value=rate,
+            unit="B/s",
+            per_core=rate / n_places,
+            verified=(not failures) if verify else None,
+            extra={"failures": failures, "iterations": iterations, "checksum": checksum},
+        )
+
+    return main, finalize
+
+
+def run_stream(
+    rt: ApgasRuntime,
+    elements_per_place: int,
+    iterations: int = 10,
+    alpha: float = 3.0,
+    actual_elements: Optional[int] = None,
+    verify: bool = True,
+    resilient: bool = False,
+    respawn_delay: float = 2e-3,
+    group: Optional[PlaceGroup] = None,
+) -> KernelResult:
+    """Weak-scaling Stream Triad over ``group`` (default: all places of ``rt``).
+
+    ``elements_per_place`` sizes the *modeled* arrays (time charges);
+    ``actual_elements`` (default: capped at 65,536) sizes the real arrays the
+    kernel actually computes on and verifies — so at-scale runs do not
+    allocate terabytes.
+
+    With ``resilient`` each triad round is a checkpoint epoch.  The arrays
+    are recomputable from their init formulas and the triad is idempotent,
+    so recovery re-*initializes* a revived place's partition instead of
+    restoring bytes from replicas — only a tiny partition descriptor lives
+    in the store.
+    """
+    main, finalize = build_stream(
+        rt,
+        elements_per_place,
+        iterations=iterations,
+        alpha=alpha,
+        actual_elements=actual_elements,
+        verify=verify,
+        resilient=resilient,
+        respawn_delay=respawn_delay,
+        group=group,
+    )
     rt.run(main)
-    total_bytes = BYTES_PER_ELEMENT * elements_per_place * iterations * rt.n_places
-    rate = total_bytes / rt.now
-    checksum = checksum_bytes(
-        *(np.ascontiguousarray(arrays[p][0].data).tobytes() for p in sorted(arrays))
-    )
-    return KernelResult(
-        kernel="stream",
-        places=rt.n_places,
-        sim_time=rt.now,
-        value=rate,
-        unit="B/s",
-        per_core=rate / rt.n_places,
-        verified=(not failures) if verify else None,
-        extra={"failures": failures, "iterations": iterations, "checksum": checksum},
-    )
+    return finalize()

@@ -3,7 +3,7 @@
 from repro.kernels.uts.rng import Sha1Rng, SplitMixRng, make_rng
 from repro.kernels.uts.tree import UtsBag, UtsParams
 from repro.kernels.uts.sequential import sequential_count
-from repro.kernels.uts.uts import run_uts
+from repro.kernels.uts.uts import build_uts, run_uts
 
 __all__ = [
     "Sha1Rng",
@@ -12,5 +12,6 @@ __all__ = [
     "UtsBag",
     "UtsParams",
     "sequential_count",
+    "build_uts",
     "run_uts",
 ]

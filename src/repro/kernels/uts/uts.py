@@ -15,10 +15,11 @@ from repro.harness.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.harness.results import KernelResult, checksum_bytes
 from repro.kernels.uts.tree import UtsBag, UtsParams
 from repro.resilient import GlbResilience, ResilientStore
+from repro.runtime.broadcast import PlaceGroup
 from repro.runtime.runtime import ApgasRuntime
 
 
-def run_uts(
+def build_uts(
     rt: ApgasRuntime,
     depth: int,
     b0: float = 4.0,
@@ -30,19 +31,12 @@ def run_uts(
     calibration: Calibration = DEFAULT_CALIBRATION,
     resilient: bool = False,
     respawn_delay: float = 2e-3,
-) -> KernelResult:
-    """Traverse one geometric tree across all places of ``rt``.
+    group: Optional[PlaceGroup] = None,
+):
+    """Build the UTS program over ``group``; returns ``(main, finalize)``.
 
-    Returns nodes/s aggregate and per core; ``extra`` carries the GLB
-    statistics and the exact node count.
-
-    ``time_dilation``: the paper's runs last 90-200 s — around 10^8 nodes per
-    place — which a Python tree expansion cannot reach wall-clock.  With
-    dilation k, each node is charged k times its calibrated cost, so a tree
-    k times smaller reproduces the paper's work-to-latency ratio exactly (the
-    steal/lifeline event structure is unchanged, only stretched).  Reported
-    rates are scaled back by k.  Used by the at-scale benchmarks and
-    documented in EXPERIMENTS.md.
+    The balancing fabric (workers, victim sets, lifelines) lives strictly
+    inside the group; the node count depends only on the tree parameters.
     """
     params = UtsParams(b0=b0, depth=depth, seed=seed, rng_mode=rng_mode)
     config = glb_config or GlbConfig(chunk_items=4096)
@@ -63,23 +57,74 @@ def run_uts(
         process_rate=effective_rate,
         config=config,
         resilient=res,
+        group=group,
     )
-    stats: GlbStats = glb.run()
-    rate = stats.total_processed / rt.now * time_dilation if rt.now > 0 else 0.0
-    return KernelResult(
-        kernel="uts",
-        places=rt.n_places,
-        sim_time=rt.now,
-        value=rate,
-        unit="nodes/s",
-        per_core=rate / rt.n_places,
-        verified=None,  # cross-checked against sequential_count in tests
-        extra={
-            "nodes": stats.total_processed,
-            "checksum": checksum_bytes(str(stats.total_processed).encode()),
-            "glb": stats,
-            "efficiency": stats.efficiency(effective_rate),
-            "params": params,
-            "time_dilation": time_dilation,
-        },
+
+    def finalize(elapsed: Optional[float] = None) -> KernelResult:
+        t = rt.now if elapsed is None else elapsed
+        stats: GlbStats = glb.stats()
+        rate = stats.total_processed / t * time_dilation if t > 0 else 0.0
+        return KernelResult(
+            kernel="uts",
+            places=stats.places,
+            sim_time=t,
+            value=rate,
+            unit="nodes/s",
+            per_core=rate / stats.places,
+            verified=None,  # cross-checked against sequential_count in tests
+            extra={
+                "nodes": stats.total_processed,
+                "checksum": checksum_bytes(str(stats.total_processed).encode()),
+                "glb": stats,
+                "efficiency": stats.efficiency(effective_rate),
+                "params": params,
+                "time_dilation": time_dilation,
+            },
+        )
+
+    return glb.main, finalize
+
+
+def run_uts(
+    rt: ApgasRuntime,
+    depth: int,
+    b0: float = 4.0,
+    seed: int = 19,
+    rng_mode: str = "splitmix",
+    glb_config: Optional[GlbConfig] = None,
+    steal_all_intervals: bool = True,
+    time_dilation: float = 1.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    resilient: bool = False,
+    respawn_delay: float = 2e-3,
+    group: Optional[PlaceGroup] = None,
+) -> KernelResult:
+    """Traverse one geometric tree across the places of ``group``.
+
+    Returns nodes/s aggregate and per core; ``extra`` carries the GLB
+    statistics and the exact node count.
+
+    ``time_dilation``: the paper's runs last 90-200 s — around 10^8 nodes per
+    place — which a Python tree expansion cannot reach wall-clock.  With
+    dilation k, each node is charged k times its calibrated cost, so a tree
+    k times smaller reproduces the paper's work-to-latency ratio exactly (the
+    steal/lifeline event structure is unchanged, only stretched).  Reported
+    rates are scaled back by k.  Used by the at-scale benchmarks and
+    documented in EXPERIMENTS.md.
+    """
+    main, finalize = build_uts(
+        rt,
+        depth,
+        b0=b0,
+        seed=seed,
+        rng_mode=rng_mode,
+        glb_config=glb_config,
+        steal_all_intervals=steal_all_intervals,
+        time_dilation=time_dilation,
+        calibration=calibration,
+        resilient=resilient,
+        respawn_delay=respawn_delay,
+        group=group,
     )
+    rt.run(main)
+    return finalize()

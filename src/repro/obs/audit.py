@@ -116,6 +116,7 @@ def audit_trace(trace: Union[Tracer, Iterable[TraceEvent]], places: int) -> Audi
     report.checks.append(_check_exactly_once(events))
     report.checks.append(_check_retry_recovery(events))
     report.checks.append(_check_epoch_consistency(events))
+    report.checks.append(_check_serve_isolation(events))
     return report
 
 
@@ -390,6 +391,79 @@ def _check_epoch_consistency(events: list) -> AuditCheck:
         expected="ordered commits; restores only to committed epochs",
         actual=f"{sum(len(v) for v in commits.values())} commits over "
         f"{len(commits)} scopes conform"
+        if not violations
+        else f"{len(violations)} violation(s)",
+        detail="; ".join(violations[:3]),
+    )
+
+
+# -- serving isolation -------------------------------------------------------------
+
+#: protocol instants that carry a peer place: (event name -> two place args)
+_SERVE_GLB_PEERS = {
+    "glb.steal": ("thief", "victim"),
+    "glb.steal_result": ("thief", "victim"),
+    "glb.lifeline": ("thief", "neighbor"),
+    "glb.loot": ("src", "thief"),
+}
+
+
+def _check_serve_isolation(events: list) -> AuditCheck:
+    """No cross-job leaks between the scheduler's disjoint place partitions.
+
+    Each ``serve.job_begin``/``serve.job_end`` pair defines an ownership
+    window over the job's places.  The check fails if (a) two windows overlap
+    on a place — the scheduler double-booked it — or (b) a GLB protocol
+    message or network transfer connects places owned by *different* jobs at
+    that instant.  The control place and unowned places are exempt: spawns
+    from place 0 and finish control traffic home to it are how jobs start and
+    terminate, not leaks between them.
+    """
+    begins = [e for e in events if e.name == "serve.job_begin"]
+    if not begins:
+        return AuditCheck(
+            name="serve.isolation", passed=None, detail="no serving jobs in trace"
+        )
+    end_ts = {e.id: e.ts for e in events if e.name == "serve.job_end"}
+    per_place: dict[int, list] = {}
+    for b in begins:
+        t1 = end_ts.get(b.id, math.inf)
+        for p in b.args["places"]:
+            per_place.setdefault(p, []).append((b.ts, t1, b.id))
+    violations = []
+    for p, spans in sorted(per_place.items()):
+        spans.sort()
+        for (_s0, e0, j0), (s1, _e1, j1) in zip(spans, spans[1:]):
+            if s1 < e0:
+                violations.append(f"place {p} owned by jobs {j0} and {j1} at once")
+
+    def owner(place: int, ts: float):
+        owners = [
+            jid for t0, t1, jid in per_place.get(place, ()) if t0 <= ts <= t1
+        ]
+        # a boundary instant can match the job ending and the one beginning;
+        # only an unambiguous owner participates in the leak checks
+        return owners[0] if len(owners) == 1 else None
+
+    for e in events:
+        peers = _SERVE_GLB_PEERS.get(e.name)
+        if peers is not None:
+            a, b = owner(e.args[peers[0]], e.ts), owner(e.args[peers[1]], e.ts)
+            if a is not None and b is not None and a != b:
+                violations.append(
+                    f"{e.name} between job {a} and job {b} at t={e.ts:.6g}"
+                )
+        elif e.name == "net.transfer":
+            a, b = owner(e.args["src"], e.ts), owner(e.args["dst"], e.ts)
+            if a is not None and b is not None and a != b:
+                violations.append(
+                    f"net.transfer from job {a} to job {b} at t={e.ts:.6g}"
+                )
+    return AuditCheck(
+        name="serve.isolation",
+        passed=not violations,
+        expected="disjoint place partitions; no cross-job GLB or network traffic",
+        actual=f"{len(begins)} job windows clean"
         if not violations
         else f"{len(violations)} violation(s)",
         detail="; ".join(violations[:3]),

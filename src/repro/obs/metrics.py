@@ -15,6 +15,7 @@ run is bit-for-bit identical to an uninstrumented one.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
@@ -76,10 +77,25 @@ class Gauge:
         return f"<Gauge {self.name}{self.labels or ''} = {self.value}>"
 
 
-class Histogram:
-    """Streaming summary (count/total/min/max) of an observed quantity."""
+#: retained observations per histogram; past this the summary stays exact but
+#: quantiles are computed over the first SAMPLE_CAP samples only (documented
+#: bound — serving latencies are thousands of observations, far below it)
+SAMPLE_CAP = 65_536
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max")
+#: the quantiles every histogram snapshot reports (the serving SLO set)
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max) plus p50/p95/p99 quantiles.
+
+    Observations are retained (up to :data:`SAMPLE_CAP`) so snapshots can
+    report exact order-statistic quantiles; count/total/min/max stay exact
+    regardless.  Retention is a plain list append — deterministic, no
+    sampling RNG — so an instrumented run replays bit-identically.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "samples")
 
     def __init__(self, name: str, labels: dict) -> None:
         self.name = name
@@ -88,6 +104,7 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.samples: list[float] = []
 
     def observe(self, x: float) -> None:
         self.count += 1
@@ -96,23 +113,47 @@ class Histogram:
             self.min = x
         if x > self.max:
             self.max = x
+        if len(self.samples) < SAMPLE_CAP:
+            self.samples.append(x)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile (0 <= q <= 1) of the retained samples.
+
+        Nearest-rank on the sorted samples: ``sorted[ceil(q*n) - 1]`` — p50 of
+        [1..100] is 50, p99 is 99.  Returns None when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q!r}")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
     @property
     def value(self) -> dict:
-        """Snapshot form of the summary."""
+        """Snapshot form of the summary, including the SLO quantiles."""
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0}
-        return {
+            return {
+                "count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0,
+                "p50": None, "p95": None, "p99": None,
+            }
+        out = {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        for q in QUANTILES:
+            out[f"p{int(q * 100)}"] = ordered[max(1, math.ceil(q * n)) - 1]
+        return out
 
 
 class _Null:
@@ -134,6 +175,9 @@ class _Null:
 
     def observe(self, x: float) -> None:
         pass
+
+    def quantile(self, q: float) -> None:
+        return None
 
 
 _NULL = _Null()
@@ -190,6 +234,15 @@ class MetricsSnapshot:
             value = s.value
             if isinstance(value, float) and value == int(value):
                 value = int(value)
+            elif isinstance(value, dict):
+                # histogram summary: compact count/mean + SLO quantile form
+                parts = []
+                for k in ("count", "mean", "p50", "p95", "p99"):
+                    v = value.get(k)
+                    if v is None:
+                        continue
+                    parts.append(f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}")
+                value = " ".join(parts)
             rows.append((s.name + label_txt, value))
         if not rows:
             return "(no metrics)"

@@ -172,6 +172,13 @@ class ApgasRuntime:
         """True once fault injection failed ``place`` (always False without)."""
         return self.chaos is not None and self.chaos.is_dead(place)
 
+    def live_activities(self, place: int) -> int:
+        """Activities currently hosted at ``place``.
+
+        The serving scheduler polls this to drain stragglers of a failed job
+        before handing the job's places to the next tenant."""
+        return len(self._procs_at.get(place, ()))
+
     # -- running a program ------------------------------------------------------------
 
     def run(
@@ -195,7 +202,12 @@ class ApgasRuntime:
             if self.is_dead(0):
                 raise DeadPlaceError(0, detected_by="run", detail="the root place failed")
             raise ApgasError("main activity did not complete")
-        return activity.process.done.value
+        result = activity.process.done.value
+        if root.failed is not None:
+            # a place death escaped main uncaught and was delivered to the
+            # root finish; surface it exactly as X10's main would
+            raise root.failed
+        return result
 
     # -- spawning --------------------------------------------------------------------
 
@@ -325,6 +337,19 @@ class ApgasRuntime:
                 # joining — exactly the silence the finish layer must detect
                 vanished = True
                 raise
+            except DeadPlaceError as exc:
+                # Structured delivery: a place-death error escaping an
+                # activity belongs to the governing finish, not the engine.
+                # If the finish already failed (its collective or remote peer
+                # died at kill time), the waiters hold the error and this is
+                # an absorbed straggler.  Otherwise — e.g. a survivor whose
+                # own finish had no stake at the dead place, like a broadcast
+                # root whose subtree died — fail the finish now so its
+                # waiters re-raise, letting the enclosing scope decide
+                # whether the death is fatal.  Either way, fall through to
+                # the straggler join below.
+                if finish.failed is None:
+                    finish._fail(exc)
             finally:
                 if not vanished:
                     if tracer.enabled:

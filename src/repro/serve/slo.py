@@ -1,0 +1,211 @@
+"""SLO reporting: latency quantiles, goodput, queue depth.
+
+The report is computed from the scheduler's job records through the same
+:class:`~repro.obs.metrics.Histogram` machinery the live registry uses, so a
+CLI run, a test, and a dashboard all agree on what "p99" means (nearest-rank
+on the raw sample set — exact for the sample counts a serving run produces).
+
+``to_json`` emits a versioned schema that CI gates on, and ``digest`` folds
+every job's identity, timing, and result value into one hash: two runs of the
+same scenario are bit-identical exactly when their digests match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.obs.metrics import QUANTILES, Histogram
+from repro.serve.scheduler import ServeOutcome
+
+SCHEMA_VERSION = 1
+
+#: every key ``to_json`` must emit (CI validates the emitted report with this)
+SCHEMA_KEYS = (
+    "schema_version",
+    "scenario",
+    "seed",
+    "places",
+    "duration",
+    "makespan",
+    "jobs",
+    "completed",
+    "aborted",
+    "rejected",
+    "starved",
+    "goodput_jobs_per_s",
+    "latency",
+    "queue_depth",
+    "tenants",
+    "digest",
+)
+
+TENANT_KEYS = ("jobs", "completed", "aborted", "rejected", "starved", "latency")
+LATENCY_KEYS = ("p50", "p95", "p99")
+
+
+def _latency_summary(jobs) -> dict:
+    h = Histogram("serve.job_latency", {})
+    for job in jobs:
+        if job.status == "ok" and job.latency is not None:
+            h.observe(job.latency)
+    return {f"p{int(q * 100)}": h.quantile(q) for q in QUANTILES}
+
+
+@dataclass
+class SloReport:
+    """One run's service-level summary (see :func:`build_report`)."""
+
+    scenario: str
+    seed: int
+    places: int
+    duration: float
+    makespan: float
+    jobs: int
+    completed: int
+    aborted: int
+    rejected: int
+    starved: int
+    goodput_jobs_per_s: float
+    latency: dict
+    queue_depth: dict
+    tenants: dict
+    digest: str = ""
+
+    def to_json(self) -> dict:
+        out = {"schema_version": SCHEMA_VERSION}
+        for key in SCHEMA_KEYS[1:]:
+            out[key] = getattr(self, key)
+        return out
+
+    def render(self) -> str:
+        def fmt(v) -> str:
+            return "n/a" if v is None else f"{v * 1e3:.3f} ms"
+
+        lines = [
+            f"scenario      : {self.scenario} (seed {self.seed}, {self.places} places)",
+            f"makespan      : {self.makespan:.6f} s simulated",
+            f"jobs          : {self.jobs} offered; {self.completed} ok, "
+            f"{self.aborted} aborted, {self.rejected} rejected, {self.starved} starved",
+            f"goodput       : {self.goodput_jobs_per_s:.1f} jobs/s",
+            f"latency       : p50 {fmt(self.latency['p50'])}, "
+            f"p95 {fmt(self.latency['p95'])}, p99 {fmt(self.latency['p99'])}",
+            f"queue depth   : max {self.queue_depth['max']}, "
+            f"mean {self.queue_depth['mean']:.2f}",
+        ]
+        for name in sorted(self.tenants):
+            t = self.tenants[name]
+            lines.append(
+                f"  tenant {name:<12}: {t['completed']}/{t['jobs']} ok, "
+                f"p95 {fmt(t['latency']['p95'])}"
+            )
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        def ms(v) -> str:
+            return "n/a" if v is None else f"{v * 1e3:.3f}ms"
+
+        return (
+            f"serve: jobs={self.jobs} ok={self.completed} aborted={self.aborted} "
+            f"rejected={self.rejected} starved={self.starved} "
+            f"p50={ms(self.latency['p50'])} p95={ms(self.latency['p95'])} "
+            f"p99={ms(self.latency['p99'])} "
+            f"goodput={self.goodput_jobs_per_s:.1f}jobs/s"
+        )
+
+
+def digest(outcome: ServeOutcome) -> str:
+    """A replay fingerprint: same scenario + seed => same digest."""
+    h = hashlib.sha256()
+    for job in sorted(outcome.jobs, key=lambda j: j.job_id):
+        value = "" if job.result is None else f"{job.result.value:.12g}"
+        checksum = ""
+        if job.result is not None:
+            checksum = str(job.result.extra.get("checksum", ""))
+        h.update(
+            "|".join(
+                (
+                    str(job.job_id),
+                    job.tenant,
+                    job.kernel,
+                    job.status,
+                    f"{job.request.arrival:.12g}",
+                    "" if job.t_start is None else f"{job.t_start:.12g}",
+                    "" if job.t_end is None else f"{job.t_end:.12g}",
+                    str(len(job.places)),
+                    value,
+                    checksum,
+                )
+            ).encode()
+        )
+        h.update(b"\n")
+    return h.hexdigest()[:16]
+
+
+def build_report(outcome: ServeOutcome, metrics=None) -> SloReport:
+    """Fold an outcome (plus the run's metrics registry) into an SLO report."""
+    jobs = outcome.jobs
+    completed = [j for j in jobs if j.status == "ok"]
+    makespan = outcome.makespan
+    depth_max, depth_mean = 0, 0.0
+    if metrics is not None:
+        h = metrics.histogram("serve.queue_depth")
+        if h.count:
+            depth_max = int(h.max)
+            depth_mean = h.total / h.count
+    tenants = {}
+    for name in sorted({j.tenant for j in jobs}):
+        mine = [j for j in jobs if j.tenant == name]
+        tenants[name] = {
+            "jobs": len(mine),
+            "completed": sum(1 for j in mine if j.status == "ok"),
+            "aborted": sum(1 for j in mine if j.status == "aborted"),
+            "rejected": sum(1 for j in mine if j.status == "rejected"),
+            "starved": sum(1 for j in mine if j.status == "starved"),
+            "latency": _latency_summary(mine),
+        }
+    return SloReport(
+        scenario=outcome.spec.name,
+        seed=outcome.spec.seed,
+        places=outcome.spec.places,
+        duration=outcome.spec.duration,
+        makespan=makespan,
+        jobs=len(jobs),
+        completed=len(completed),
+        aborted=sum(1 for j in jobs if j.status == "aborted"),
+        rejected=sum(1 for j in jobs if j.status == "rejected"),
+        starved=sum(1 for j in jobs if j.status == "starved"),
+        goodput_jobs_per_s=len(completed) / makespan if makespan > 0 else 0.0,
+        latency=_latency_summary(jobs),
+        queue_depth={"max": depth_max, "mean": depth_mean},
+        tenants=tenants,
+        digest=digest(outcome),
+    )
+
+
+def validate_report(data) -> None:
+    """CI's schema gate: raise :class:`ServeError` unless ``data`` is a
+    complete version-1 SLO report (e.g. parsed from ``repro serve --json``)."""
+    if isinstance(data, str):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"SLO report is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ServeError(f"SLO report must be an object, got {type(data).__name__}")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise ServeError(
+            f"SLO schema_version {data.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    missing = [k for k in SCHEMA_KEYS if k not in data]
+    if missing:
+        raise ServeError(f"SLO report is missing keys: {missing}")
+    for key in LATENCY_KEYS:
+        if key not in data["latency"]:
+            raise ServeError(f"SLO report latency block is missing {key!r}")
+    for name, tenant in data["tenants"].items():
+        for key in TENANT_KEYS:
+            if key not in tenant:
+                raise ServeError(f"SLO tenant {name!r} is missing {key!r}")

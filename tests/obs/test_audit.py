@@ -298,3 +298,86 @@ def test_epoch_consistency_flags_duplicate_glb_version():
     check = report.check("resilient.epoch_consistency")
     assert check.passed is False
     assert "committed twice" in check.detail
+
+
+# -- serve isolation ---------------------------------------------------------------
+
+
+def _job(tr, jid, places, t0, t1=None, tenant="a", kernel="stream"):
+    tr.instant(
+        "serve.job_begin", "serve", 0, t0, id=jid,
+        tenant=tenant, kernel=kernel, places=list(places),
+    )
+    if t1 is not None:
+        tr.instant(
+            "serve.job_end", "serve", 0, t1, id=jid,
+            tenant=tenant, kernel=kernel, status="ok", places=list(places),
+        )
+
+
+def test_serve_isolation_skips_without_serving_jobs():
+    tr = Tracer(enabled=True)
+    tr.instant("net.transfer", "network", 0, 0.0, src=0, dst=1, hops=1)
+    report = audit_trace(tr, places=4)
+    assert report.check("serve.isolation").skipped
+
+
+def test_serve_isolation_passes_on_disjoint_partitions():
+    tr = Tracer(enabled=True)
+    _job(tr, 0, [1, 2], 0.0, 1.0)
+    _job(tr, 1, [3, 4], 0.0, 1.0)  # concurrent but disjoint
+    _job(tr, 2, [1, 2], 2.0, 3.0)  # same places, later window
+    tr.instant("glb.steal", "glb", 1, 0.5, thief=1, victim=2)  # within job 0
+    tr.instant("net.transfer", "network", 0, 0.5, src=0, dst=3, hops=1)  # control
+    report = audit_trace(tr, places=8)
+    assert report.check("serve.isolation").passed is True
+
+
+def test_serve_isolation_flags_double_booked_place():
+    tr = Tracer(enabled=True)
+    _job(tr, 0, [1, 2], 0.0, 2.0)
+    _job(tr, 1, [2, 3], 1.0, 3.0)  # place 2 owned by both over [1, 2]
+    check = audit_trace(tr, places=8).check("serve.isolation")
+    assert check.passed is False
+    assert "place 2 owned by jobs 0 and 1" in check.detail
+
+
+def test_serve_isolation_flags_cross_job_steal():
+    tr = Tracer(enabled=True)
+    _job(tr, 0, [1, 2], 0.0, 2.0)
+    _job(tr, 1, [3, 4], 0.0, 2.0)
+    tr.instant("glb.steal", "glb", 3, 1.0, thief=3, victim=1)  # job 1 -> job 0
+    check = audit_trace(tr, places=8).check("serve.isolation")
+    assert check.passed is False
+    assert "glb.steal between job" in check.detail
+
+
+def test_serve_isolation_flags_cross_job_transfer():
+    tr = Tracer(enabled=True)
+    _job(tr, 0, [1, 2], 0.0, 2.0)
+    _job(tr, 1, [3, 4], 0.0, 2.0)
+    tr.instant("net.transfer", "network", 1, 1.0, src=1, dst=4, hops=1)
+    check = audit_trace(tr, places=8).check("serve.isolation")
+    assert check.passed is False
+    assert "net.transfer from job 0 to job 1" in check.detail
+
+
+def test_serve_isolation_exempts_unowned_and_boundary_places():
+    tr = Tracer(enabled=True)
+    _job(tr, 0, [1, 2], 0.0, 1.0)
+    _job(tr, 1, [1, 2], 1.0, 2.0)  # back-to-back reuse of the same places
+    # traffic to an unowned place and traffic exactly on the handover
+    # boundary (ambiguous owner) are both exempt
+    tr.instant("net.transfer", "network", 1, 0.5, src=1, dst=7, hops=1)
+    tr.instant("net.transfer", "network", 1, 1.0, src=1, dst=2, hops=1)
+    report = audit_trace(tr, places=8)
+    assert report.check("serve.isolation").passed is True
+
+
+def test_serve_isolation_open_window_extends_to_end_of_trace():
+    tr = Tracer(enabled=True)
+    _job(tr, 0, [1, 2], 0.0)  # no job_end: crashed mid-run, still owns places
+    _job(tr, 1, [2, 3], 5.0, 6.0)
+    check = audit_trace(tr, places=8).check("serve.isolation")
+    assert check.passed is False
+    assert "place 2" in check.detail

@@ -100,3 +100,66 @@ def test_render_prefix_filter():
     text = m.snapshot().render(prefix="net.")
     assert "net.messages" in text
     assert "glb.steals" not in text
+
+
+def test_histogram_quantiles_nearest_rank_exact():
+    m = MetricsRegistry()
+    h = m.histogram("lat.q")
+    for x in range(100, 0, -1):  # insertion order must not matter
+        h.observe(float(x))
+    assert h.quantile(0.50) == 50.0
+    assert h.quantile(0.95) == 95.0
+    assert h.quantile(0.99) == 99.0
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(1.0) == 100.0
+
+
+def test_histogram_quantile_single_sample_and_empty():
+    m = MetricsRegistry()
+    h = m.histogram("one")
+    assert h.quantile(0.99) is None
+    h.observe(7.0)
+    assert h.quantile(0.5) == 7.0
+    assert h.quantile(0.99) == 7.0
+
+
+def test_histogram_quantile_rejects_out_of_range():
+    m = MetricsRegistry()
+    h = m.histogram("bad")
+    h.observe(1.0)
+    with pytest.raises(ObsError):
+        h.quantile(1.5)
+    with pytest.raises(ObsError):
+        h.quantile(-0.1)
+
+
+def test_histogram_snapshot_value_carries_slo_quantiles():
+    m = MetricsRegistry()
+    h = m.histogram("slo", tenant="a")
+    for x in (5.0, 1.0, 3.0, 2.0, 4.0):
+        h.observe(x)
+    v = m.snapshot().get("slo", tenant="a")
+    assert v["count"] == 5
+    assert v["p50"] == 3.0
+    assert v["p95"] == 5.0 and v["p99"] == 5.0
+    empty = m.histogram("slo", tenant="b").value
+    assert empty["count"] == 0 and empty["p50"] is None
+
+
+def test_histogram_labels_keep_series_independent():
+    m = MetricsRegistry()
+    m.histogram("wait", tenant="a").observe(1.0)
+    m.histogram("wait", tenant="b").observe(9.0)
+    snap = m.snapshot()
+    assert snap.get("wait", tenant="a")["max"] == 1.0
+    assert snap.get("wait", tenant="b")["max"] == 9.0
+
+
+def test_histogram_renders_summary_line():
+    m = MetricsRegistry()
+    h = m.histogram("render.me")
+    for x in (1.0, 2.0, 3.0):
+        h.observe(x)
+    text = m.snapshot().render()
+    assert "render.me" in text
+    assert "p50" in text and "p99" in text

@@ -1,0 +1,124 @@
+"""CLI: ``repro serve`` happy paths, error paths, and the report schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ServeError
+from repro.serve import validate_report
+from repro.serve.slo import SCHEMA_VERSION
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_serve_quick_scenario_flags_only():
+    code, text = run_cli("serve", "--places", "8", "--seed", "1", "--duration", "0.02")
+    assert code == 0
+    assert "serve:" in text
+    assert "p50=" in text and "p99=" in text and "goodput=" in text
+
+
+def test_serve_example_scenario_file():
+    code, text = run_cli("serve", "examples/serve_scenario.json")
+    assert code == 0
+    assert "analytics" in text and "dashboard" in text
+
+
+def test_serve_json_validates_and_is_replayable():
+    argv = ("serve", "--places", "8", "--seed", "2", "--duration", "0.02", "--json")
+    code, text = run_cli(*argv)
+    assert code == 0
+    data = json.loads(text)
+    validate_report(data)  # the CI schema gate accepts it
+    assert data["schema_version"] == SCHEMA_VERSION
+    code2, text2 = run_cli(*argv)
+    assert code2 == 0
+    assert json.loads(text2)["digest"] == data["digest"]
+
+
+def test_serve_json_with_audit():
+    code, text = run_cli(
+        "serve", "--places", "8", "--seed", "3", "--duration", "0.02",
+        "--json", "--audit",
+    )
+    assert code == 0
+    json.loads(text)  # audit output must not corrupt the JSON document
+
+
+def test_serve_audit_renders_isolation_check():
+    code, text = run_cli(
+        "serve", "--places", "8", "--seed", "4", "--duration", "0.02", "--audit"
+    )
+    assert code == 0
+    assert "serve.isolation" in text
+
+
+def test_serve_stats_prints_queue_depth():
+    code, text = run_cli(
+        "serve", "--places", "8", "--seed", "5", "--duration", "0.02", "--stats"
+    )
+    assert code == 0
+    assert "-- metrics --" in text
+    assert "queue depth" in text
+    assert "serve.job_latency" in text
+
+
+def test_serve_missing_scenario_file_exits_2():
+    code, text = run_cli("serve", "/no/such/scenario.json")
+    assert code == 2
+    assert "error:" in text
+
+
+def test_serve_malformed_scenario_exits_2(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"tenants": []}))
+    code, text = run_cli("serve", str(p))
+    assert code == 2
+    assert "error:" in text
+
+
+def test_serve_invalid_json_exits_2(tmp_path):
+    p = tmp_path / "broken.json"
+    p.write_text("{not json")
+    code, text = run_cli("serve", str(p))
+    assert code == 2
+    assert "error:" in text
+
+
+def test_serve_too_few_places_exits_2():
+    code, text = run_cli("serve", "--places", "2")
+    assert code == 2
+    assert "error:" in text
+
+
+def test_serve_bad_duration_exits_2():
+    code, text = run_cli("serve", "--duration", "0")
+    assert code == 2
+    assert "error:" in text
+
+
+def test_serve_bad_chaos_spec_exits_2():
+    code, text = run_cli("serve", "--places", "8", "--chaos", "gibberish")
+    assert code == 2
+    assert "error:" in text
+
+
+def test_serve_chaos_killing_place_zero_exits_2():
+    code, text = run_cli("serve", "--places", "8", "--chaos", "seed=1,kill=0@0.01")
+    assert code == 2
+    assert "control place" in text
+
+
+def test_validate_report_rejects_bad_documents():
+    with pytest.raises(ServeError):
+        validate_report("{not json")
+    with pytest.raises(ServeError):
+        validate_report({"schema_version": SCHEMA_VERSION})  # missing keys
+    with pytest.raises(ServeError):
+        validate_report([])

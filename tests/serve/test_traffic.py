@@ -1,0 +1,92 @@
+"""Seeded open-loop traffic generation: determinism and statistical shape."""
+
+from repro.serve import generate_traffic, parse_scenario
+
+
+def spec_of(tenants, seed=0, duration=0.2, places=16):
+    return parse_scenario(
+        {"seed": seed, "places": places, "duration": duration, "tenants": tenants}
+    )
+
+
+ONE = [{"name": "a", "rate": 300.0, "kernel_mix": {"stream": 0.5, "uts": 0.5}}]
+TWO = ONE + [{"name": "b", "rate": 200.0, "kernel_mix": {"kmeans": 1.0}}]
+
+
+def test_same_seed_same_schedule():
+    a = generate_traffic(spec_of(TWO, seed=7))
+    b = generate_traffic(spec_of(TWO, seed=7))
+    assert a == b  # JobRequest is a frozen dataclass: full structural equality
+
+
+def test_different_seed_different_schedule():
+    a = generate_traffic(spec_of(TWO, seed=7))
+    b = generate_traffic(spec_of(TWO, seed=8))
+    assert [r.arrival for r in a] != [r.arrival for r in b]
+
+
+def test_arrivals_sorted_ids_sequential_within_window():
+    reqs = generate_traffic(spec_of(TWO, seed=3, duration=0.1))
+    assert [r.job_id for r in reqs] == list(range(len(reqs)))
+    arrivals = [r.arrival for r in reqs]
+    assert arrivals == sorted(arrivals)
+    assert all(0 < t < 0.1 for t in arrivals)
+
+
+def test_kernel_mix_only_draws_listed_kernels():
+    reqs = generate_traffic(spec_of(TWO, seed=1))
+    by_tenant = {}
+    for r in reqs:
+        by_tenant.setdefault(r.tenant, set()).add(r.kernel)
+    assert by_tenant["a"] <= {"stream", "uts"}
+    assert by_tenant["b"] == {"kmeans"}
+
+
+def test_mix_proportions_roughly_respected():
+    tenants = [
+        {"name": "a", "rate": 2000.0, "kernel_mix": {"stream": 0.9, "uts": 0.1}}
+    ]
+    reqs = generate_traffic(spec_of(tenants, seed=5, duration=0.2))
+    stream = sum(1 for r in reqs if r.kernel == "stream")
+    assert len(reqs) > 100
+    assert stream / len(reqs) > 0.75  # ~0.9 with generous slack
+
+
+def test_rate_scales_job_count():
+    slow = [{"name": "a", "rate": 100.0, "kernel_mix": {"uts": 1.0}}]
+    fast = [{"name": "a", "rate": 1000.0, "kernel_mix": {"uts": 1.0}}]
+    n_slow = len(generate_traffic(spec_of(slow, seed=11)))
+    n_fast = len(generate_traffic(spec_of(fast, seed=11)))
+    assert n_fast > 3 * n_slow
+
+
+def test_adding_a_tenant_leaves_others_arrivals_alone():
+    """Per-tenant RNG streams: traffic composes without interference."""
+    only_a = generate_traffic(spec_of(ONE, seed=9))
+    both = generate_traffic(spec_of(TWO, seed=9))
+    a_alone = [(r.arrival, r.kernel) for r in only_a]
+    a_with_b = [(r.arrival, r.kernel) for r in both if r.tenant == "a"]
+    assert a_alone == a_with_b
+
+
+def test_max_jobs_caps_a_tenant():
+    capped = [
+        {"name": "a", "rate": 5000.0, "max_jobs": 7, "kernel_mix": {"uts": 1.0}}
+    ]
+    reqs = generate_traffic(spec_of(capped, seed=2))
+    assert len(reqs) == 7
+
+
+def test_requests_carry_footprints_and_seed():
+    spec = parse_scenario(
+        {
+            "seed": 4,
+            "duration": 0.05,
+            "tenants": [{"name": "a", "rate": 500.0, "kernel_mix": {"stream": 1}}],
+            "kernels": {"stream": {"places_min": 3, "places_max": 5}},
+        }
+    )
+    reqs = generate_traffic(spec)
+    assert reqs
+    assert all(r.places_min == 3 and r.places_max == 5 for r in reqs)
+    assert all(r.seed == 4 for r in reqs)
