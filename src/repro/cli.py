@@ -54,6 +54,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
     run.add_argument("--resilient", action="store_true", help=resilient_help)
+    run.add_argument(
+        "--backend",
+        choices=["sim", "procs"],
+        default=None,
+        help="execution backend for the portable program: 'sim' (discrete-event "
+        "simulator) or 'procs' (one OS process per place, real sockets); "
+        "default runs the full simulator kernel instead",
+    )
+    run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for --backend procs (kills and reaps on expiry)",
+    )
+
+    conform = sub.add_parser(
+        "conform",
+        help="differential conformance: run one portable kernel on the simulator "
+        "and on real processes, and require identical results",
+    )
+    conform.add_argument("kernel", choices=KERNELS)
+    conform.add_argument("--places", type=int, default=4)
+    conform.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the procs run",
+    )
 
     trace = sub.add_parser("trace", help="run one kernel with event tracing and audit the trace")
     trace.add_argument("kernel", choices=KERNELS)
@@ -171,6 +198,8 @@ def main(argv=None, out=sys.stdout) -> int:
         return 0
 
     if args.command == "run":
+        if args.backend is not None:
+            return _run_backend(args, out)
         try:
             result = simulate(
                 args.kernel, args.places, chaos=args.chaos, resilient=args.resilient
@@ -222,6 +251,19 @@ def main(argv=None, out=sys.stdout) -> int:
         if args.stats:
             _print_metrics(result.extra["metrics"], out)
         return 0 if result.verified is not False else 1
+
+    if args.command == "conform":
+        from repro.xrt.conformance import run_conformance
+
+        try:
+            report = run_conformance(
+                args.kernel, args.places, deadline=args.deadline
+            )
+        except KernelError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(report.render(), file=out)
+        return 0 if report.conformant else 1
 
     if args.command == "trace":
         try:
@@ -284,6 +326,59 @@ def main(argv=None, out=sys.stdout) -> int:
         return _cmd_analyze(args, out)
 
     raise AssertionError("unreachable")
+
+
+def _run_backend(args, out) -> int:
+    """``repro run <kernel> --backend {sim,procs}``: one portable-program run."""
+    from repro.errors import ProcsError, ProcsTimeoutError
+    from repro.xrt.backend import get_backend
+
+    if args.chaos or args.resilient:
+        print(
+            "error: --chaos/--resilient model the simulated transport and do not "
+            "apply to --backend runs",
+            file=out,
+        )
+        return 2
+    try:
+        if args.backend == "procs":
+            backend = get_backend("procs", deadline=args.deadline)
+        else:
+            backend = get_backend(args.backend)
+        run = backend.run(args.kernel, args.places)
+    except KernelError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    except ProcsTimeoutError as exc:
+        print(f"kernel        : {args.kernel}", file=out)
+        print(f"places        : {args.places}", file=out)
+        print(f"timed out     : {exc}", file=out)
+        return 1
+    except (ProcsError, DeadPlaceError) as exc:
+        print(f"kernel        : {args.kernel}", file=out)
+        print(f"places        : {args.places}", file=out)
+        print(f"failed        : {exc}", file=out)
+        return 1
+    print(f"kernel        : {run.kernel}", file=out)
+    print(f"places        : {run.places}", file=out)
+    print(f"backend       : {run.backend}", file=out)
+    sim_time = run.extra.get("sim_time")
+    if sim_time is not None:
+        print(f"simulated time: {sim_time:.6f} s", file=out)
+    print(f"wall time     : {run.wall_time:.3f} s", file=out)
+    ctl = ", ".join(f"{k}={v}" for k, v in sorted(run.ctl_by_pragma.items()))
+    print(f"finish ctl    : {ctl}", file=out)
+    if run.backend == "procs":
+        print(
+            f"routed        : {run.extra['messages_routed']} messages, "
+            f"{run.extra['bytes_routed']} bytes",
+            file=out,
+        )
+    nodes = run.result.get("nodes") if isinstance(run.result, dict) else None
+    if nodes is not None:
+        print(f"nodes         : {nodes}", file=out)
+    print(f"checksum      : {run.checksum}", file=out)
+    return 0
 
 
 def _print_metrics(snap, out) -> None:

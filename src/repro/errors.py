@@ -121,3 +121,15 @@ class KernelError(ReproError):
 
 class ServeError(ReproError):
     """A serving scenario is malformed or violates scheduler constraints."""
+
+
+class ProcsError(ReproError):
+    """The multi-process backend failed (child crash, protocol violation)."""
+
+
+class ProcsTimeoutError(ProcsError):
+    """A multi-process run exceeded its wall-clock deadline.
+
+    The launcher terminates and reaps every child place before raising, so a
+    hung program costs one deadline, never an orphaned process tree.
+    """

@@ -80,6 +80,23 @@ def simulate(
     return result
 
 
+def run_portable(kernel: str, places: int, backend: str = "sim", **params):
+    """Run the *portable* program for ``kernel`` on an execution backend.
+
+    Unlike :func:`simulate` — which runs the full simulator kernels with
+    modeled machine physics — this drives the backend-blind programs of
+    :mod:`repro.kernels.portable` through the execution seam
+    (:mod:`repro.xrt.backend`), on the simulator or on one OS process per
+    place.  Returns a :class:`~repro.xrt.backend.BackendRun`.
+    """
+    from repro.xrt.backend import get_backend
+
+    deadline = params.pop("deadline", None)
+    if backend == "procs" and deadline is not None:
+        return get_backend("procs", deadline=deadline).run(kernel, places, **params)
+    return get_backend(backend).run(kernel, places, **params)
+
+
 def _stream(rt, **kw):
     from repro.kernels.stream import run_stream
 

@@ -1,0 +1,385 @@
+"""Portable APGAS programs for seven of the eight kernels (UTS has its own
+module, :mod:`repro.kernels.portable.uts_program`).
+
+Every program here is *backend-blind*: it uses only the picklable ``ctx``
+subset (module-level worker functions, plain-data messages, ``ctx.store``)
+plus the collectives of :mod:`repro.kernels.portable.lib`, so the identical
+program text runs on the discrete-event simulator and on real OS processes.
+The numerical cores are imported from the corresponding simulator kernels —
+the physics is shared, only the orchestration is rewritten portably.
+
+Determinism contract (what the conformance suite asserts): for a fixed seed
+and place count, the returned result — including every floating-point bit of
+the checksum — is identical on every backend.  See ``lib`` for how reductions
+keep FP combination order fixed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.harness.results import checksum_bytes
+from repro.kernels.portable.lib import allreduce, bcast, gather, reduce
+from repro.runtime.finish.pragmas import Pragma
+from repro.sim.rng import RngStream
+
+#: nominal per-chunk compute charge for the simulator backend (the procs
+#: backend ignores it: there, the real CPU time is the real cost)
+_TICK = 1e-6
+
+
+def _digest(*arrays) -> bytes:
+    h = hashlib.sha256()
+    for arr in arrays:
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.digest()
+
+
+def _rank_checksum(digests: dict) -> str:
+    """Combine per-place digests in rank order into one stable checksum."""
+    return checksum_bytes(*(digests[place] for place in sorted(digests)))
+
+
+def spmd(ctx, worker, params: dict, pragma: Pragma = Pragma.FINISH_SPMD):
+    """Run ``worker(ctx, params)`` once at every place under ``pragma``.
+
+    The paper's dominant pattern: one remote activity per place, no stray
+    subactivities outside nested finishes.  Use ``yield from spmd(...)``.
+    """
+    with ctx.finish(pragma) as f:
+        for place in ctx.places():
+            if place == ctx.here:
+                ctx.async_(worker, params)
+            else:
+                ctx.at_async(place, worker, params)
+    yield f.wait()
+    return ctx.store.pop("portable:result")
+
+
+# -- STREAM ---------------------------------------------------------------------------
+
+
+def stream_worker(ctx, p: dict):
+    rng = RngStream(p["seed"], f"portable/stream/{ctx.here}")
+    n = p["n_per_place"]
+    a = rng.uniform(0.0, 1.0, size=n)
+    b = rng.uniform(0.0, 1.0, size=n)
+    c = rng.uniform(0.0, 1.0, size=n)
+    from repro.kernels.stream.stream import triad
+
+    for _ in range(p["iterations"]):
+        yield ctx.compute(seconds=_TICK)
+        triad(a, b, c, p["alpha"])
+        a, c = c, a  # ping-pong so every iteration changes the inputs
+    digests = yield from gather(ctx, "stream", _digest(a, b, c))
+    if ctx.here == 0:
+        ctx.store["portable:result"] = {
+            "checksum": _rank_checksum(digests),
+            "n_total": n * ctx.n_places,
+            "iterations": p["iterations"],
+        }
+
+
+def stream_main(ctx, **params):
+    return (yield from spmd(ctx, stream_worker, params))
+
+
+# -- RandomAccess ---------------------------------------------------------------------
+
+
+def ra_worker(ctx, p: dict):
+    from repro.kernels.randomaccess.hpcc_rng import stream_slice_fast
+
+    me, P = ctx.here, ctx.n_places
+    size = 1 << p["log2_table"]
+    lo, hi = size * me // P, size * (me + 1) // P
+    table = np.arange(lo, hi, dtype=np.uint64)
+    updates = p["updates_per_place"]
+    yield ctx.compute(seconds=_TICK)
+    values = stream_slice_fast(me * updates, updates)
+    index = (values & np.uint64(size - 1)).astype(np.int64)
+    owner = index * P // size
+    # one bulk exchange: everyone sends one (possibly empty) batch to every
+    # other place, so receive counts are deterministic; XOR commutes, so
+    # arrival order cannot leak into the table bits
+    for q in range(P):
+        mask = owner == q
+        batch = (index[mask], values[mask])
+        if q == me:
+            mine = batch
+        else:
+            ctx.send(q, "ra:upd", batch)
+    np.bitwise_xor.at(table, mine[0] - lo, mine[1])  # .at: duplicate indices all land
+    for _ in range(P - 1):
+        idx, val = yield ctx.recv("ra:upd")
+        np.bitwise_xor.at(table, idx - lo, val)
+    digests = yield from gather(ctx, "ra", _digest(table))
+    if me == 0:
+        ctx.store["portable:result"] = {
+            "checksum": _rank_checksum(digests),
+            "table_size": size,
+            "updates": updates * P,
+        }
+
+
+def ra_main(ctx, **params):
+    # the paper's pragma for RandomAccess: an irregular communication graph
+    return (yield from spmd(ctx, ra_worker, params, pragma=Pragma.FINISH_DENSE))
+
+
+# -- FFT (six-step with a real all-to-all transpose) ----------------------------------
+
+
+def fft_worker(ctx, p: dict):
+    me, P = ctx.here, ctx.n_places
+    n1, n2 = p["n1"], p["n2"]
+    N = n1 * n2
+    rng = RngStream(p["seed"], "portable/fft")
+    x = rng.uniform(-1.0, 1.0, size=N) + 1j * rng.uniform(-1.0, 1.0, size=N)
+    # step 1+2: this place's rows of B = x.reshape(n1,n2).T, FFT'd + twiddled
+    r0, r1 = n2 * me // P, n2 * (me + 1) // P
+    B = x.reshape(n1, n2).T[r0:r1].copy()
+    yield ctx.compute(seconds=_TICK)
+    B = np.fft.fft(B, axis=1)
+    k2 = np.arange(r0, r1)[:, None]
+    j1 = np.arange(n1)[None, :]
+    B *= np.exp(-2j * np.pi * (k2 * j1) / N)
+    # step 3: the distributed transpose — a genuine all-to-all
+    d0, d1 = n1 * me // P, n1 * (me + 1) // P
+    for q in range(P):
+        q0, q1 = n1 * q // P, n1 * (q + 1) // P
+        if q == me:
+            own = B[:, q0:q1]
+        else:
+            ctx.send(q, "fft:a2a", (me, B[:, q0:q1]))
+    D = np.empty((d1 - d0, n2), dtype=np.complex128)
+    D[:, r0:r1] = own.T
+    for _ in range(P - 1):
+        sender, block = yield ctx.recv("fft:a2a")
+        s0, s1 = n2 * sender // P, n2 * (sender + 1) // P
+        D[:, s0:s1] = block.T
+    # step 4: row FFTs of D; the result rows ARE the transform (column-major)
+    yield ctx.compute(seconds=_TICK)
+    D = np.fft.fft(D, axis=1)
+    blocks = yield from gather(ctx, "fft", (d0, D))
+    if me == 0:
+        full = np.vstack([blocks[q][1] for q in sorted(blocks)])
+        X = full.T.reshape(-1)  # X[j2*n1 + j1] = D[j1, j2]
+        ctx.store["portable:result"] = {
+            "checksum": checksum_bytes(_digest(X)),
+            "n": N,
+            "spectrum": X,
+        }
+
+
+def fft_main(ctx, **params):
+    # all-to-all transpose traffic: the dense-communication pragma
+    return (yield from spmd(ctx, fft_worker, params, pragma=Pragma.FINISH_DENSE))
+
+
+# -- HPL (block-cyclic right-looking LU) ----------------------------------------------
+
+
+def _hpl_matrix(seed: int, n: int) -> np.ndarray:
+    rng = RngStream(seed, "portable/hpl")
+    return rng.uniform(-0.5, 0.5, size=(n, n))
+
+
+def hpl_worker(ctx, p: dict):
+    from scipy.linalg import solve_triangular
+
+    from repro.kernels.hpl.lu import panel_factor
+
+    me, P = ctx.here, ctx.n_places
+    n, nb = p["n"], p["nb"]
+    A = _hpl_matrix(p["seed"], n)
+    nblocks = n // nb
+    owned = [bk for bk in range(nblocks) if bk % P == me]
+    all_swaps = []
+    for bk in range(nblocks):
+        k0 = bk * nb
+        owner = bk % P
+        if me == owner:
+            yield ctx.compute(seconds=_TICK)
+            swaps = panel_factor(A, k0, nb)
+            payload = (swaps, A[k0:, k0 : k0 + nb].copy())
+        else:
+            payload = None
+        swaps, panel = yield from bcast(ctx, f"lu{bk}", payload, root=owner)
+        all_swaps.extend(swaps)
+        if me != owner:
+            # replay the pivot swaps on this place's columns, then install
+            # the factored panel (its own columns of it were stale anyway)
+            for r1, r2 in swaps:
+                A[[r1, r2]] = A[[r2, r1]]
+            A[k0:, k0 : k0 + nb] = panel
+        L11 = A[k0 : k0 + nb, k0 : k0 + nb]
+        trailing = [bj for bj in owned if bj > bk]
+        if trailing:
+            yield ctx.compute(seconds=_TICK)
+        for bj in trailing:
+            c0, c1 = bj * nb, (bj + 1) * nb
+            A[k0 : k0 + nb, c0:c1] = solve_triangular(
+                L11, A[k0 : k0 + nb, c0:c1], lower=True, unit_diagonal=True
+            )
+            A[k0 + nb :, c0:c1] -= A[k0 + nb :, k0 : k0 + nb] @ A[k0 : k0 + nb, c0:c1]
+    mine = {bk: A[:, bk * nb : (bk + 1) * nb] for bk in owned}
+    blocks = yield from gather(ctx, "hpl", mine)
+    if me == 0:
+        LU = np.empty((n, n))
+        for place_blocks in blocks.values():
+            for bk, cols in place_blocks.items():
+                LU[:, bk * nb : (bk + 1) * nb] = cols
+        from repro.kernels.hpl.lu import reconstruction_residual
+
+        residual = reconstruction_residual(_hpl_matrix(p["seed"], n), LU, all_swaps)
+        ctx.store["portable:result"] = {
+            "checksum": checksum_bytes(_digest(LU), repr(all_swaps).encode()),
+            "residual": residual,
+            "n": n,
+        }
+
+
+def hpl_main(ctx, **params):
+    return (yield from spmd(ctx, hpl_worker, params))
+
+
+# -- KMeans ---------------------------------------------------------------------------
+
+
+def kmeans_worker(ctx, p: dict):
+    from repro.kernels.kmeans.kmeans import (
+        assign_and_accumulate,
+        generate_points,
+        initial_centroids,
+        update_centroids,
+    )
+
+    me = ctx.here
+    points = generate_points(p["seed"], me, p["n_per_place"], p["dim"])
+    seeds = initial_centroids(p["seed"], p["k"], p["dim"]) if me == 0 else None
+    centroids = yield from bcast(ctx, "km:init", seeds)
+    for it in range(p["iterations"]):
+        yield ctx.compute(seconds=_TICK)
+        sums, counts = assign_and_accumulate(points, centroids)
+        sums, counts = yield from allreduce(
+            ctx, f"km:{it}", (sums, counts), _kmeans_add
+        )
+        centroids = update_centroids(centroids, sums, counts)
+    if me == 0:
+        ctx.store["portable:result"] = {
+            "checksum": checksum_bytes(_digest(centroids)),
+            "centroids": centroids,
+            "k": p["k"],
+        }
+
+
+def _kmeans_add(x, y):
+    return x[0] + y[0], x[1] + y[1]
+
+
+def kmeans_main(ctx, **params):
+    return (yield from spmd(ctx, kmeans_worker, params))
+
+
+# -- Smith-Waterman -------------------------------------------------------------------
+
+
+def sw_worker(ctx, p: dict):
+    from repro.kernels.smithwaterman.sw import random_sequence, safe_overlap, sw_score
+
+    me, P = ctx.here, ctx.n_places
+    target = random_sequence(p["seed"], "target", p["target_len"])
+    query = random_sequence(p["seed"], "query", p["query_len"])
+    overlap = safe_overlap(len(query))
+    lo = len(target) * me // P
+    hi = min(len(target), len(target) * (me + 1) // P + overlap)
+    yield ctx.compute(seconds=_TICK)
+    local_best = int(sw_score(query, target[lo:hi]))
+    best = yield from reduce(ctx, "sw", local_best, max)
+    if me == 0:
+        ctx.store["portable:result"] = {
+            "checksum": checksum_bytes(str(best).encode()),
+            "score": best,
+        }
+
+
+def _sw_local_check(ctx, p: dict):
+    """FINISH_LOCAL leg: hash the query at home (no remote activity)."""
+    from repro.kernels.smithwaterman.sw import random_sequence
+
+    yield ctx.compute(seconds=_TICK)
+    query = random_sequence(p["seed"], "query", p["query_len"])
+    ctx.store["sw:query_digest"] = _digest(query).hex()
+
+
+def _sw_notify(ctx, home: int):
+    """FINISH_ASYNC leg: a single remote activity, acked via mailbox."""
+    yield ctx.compute(seconds=_TICK)
+    ctx.send(home, "sw:ack", ("ok", ctx.here))
+
+
+def _sw_probe(ctx, home: int):
+    """FINISH_HERE first leg: runs remotely, spawns the return leg home."""
+    yield ctx.compute(seconds=_TICK)
+    ctx.at_async(home, _sw_probe_return)
+
+
+def _sw_probe_return(ctx):
+    """FINISH_HERE second leg: terminates at home (its join costs no message)."""
+    yield ctx.compute(seconds=_TICK)
+    ctx.store["sw:probe_returned"] = True
+
+
+def sw_main(ctx, **params):
+    result = yield from spmd(ctx, sw_worker, params)
+    # exercise the remaining pragmas so the conformance suite covers every
+    # finish protocol: LOCAL (zero messages), ASYNC (one remote join),
+    # HERE (a round trip whose home leg joins for free)
+    far = ctx.n_places - 1
+    with ctx.finish(Pragma.FINISH_LOCAL) as f:
+        ctx.async_(_sw_local_check, params)
+    yield f.wait()
+    with ctx.finish(Pragma.FINISH_ASYNC) as f:
+        ctx.at_async(far, _sw_notify, ctx.here)
+    yield f.wait()
+    yield ctx.recv("sw:ack")
+    with ctx.finish(Pragma.FINISH_HERE) as f:
+        ctx.at_async(far, _sw_probe, ctx.here)
+    yield f.wait()
+    result["query_digest"] = ctx.store.pop("sw:query_digest")
+    result["probe_returned"] = ctx.store.pop("sw:probe_returned")
+    return result
+
+
+# -- Betweenness centrality -----------------------------------------------------------
+
+
+def bc_worker(ctx, p: dict):
+    from repro.kernels.bc.brandes import brandes_betweenness
+    from repro.kernels.bc.rmat import rmat_graph
+
+    me, P = ctx.here, ctx.n_places
+    graph = rmat_graph(p["scale"], edge_factor=p["edge_factor"], seed=p["seed"])
+    lo, hi = graph.n * me // P, graph.n * (me + 1) // P
+    yield ctx.compute(seconds=_TICK)
+    partial = brandes_betweenness(graph, sources=range(lo, hi))
+    total = yield from reduce(ctx, "bc", partial, _bc_add)
+    if me == 0:
+        centrality = total / 2.0  # undirected halving, as in the full-source path
+        ctx.store["portable:result"] = {
+            "checksum": checksum_bytes(_digest(centrality)),
+            "centrality": centrality,
+            "n": graph.n,
+            "m": graph.m,
+        }
+
+
+def _bc_add(x, y):
+    return x + y
+
+
+def bc_main(ctx, **params):
+    return (yield from spmd(ctx, bc_worker, params))

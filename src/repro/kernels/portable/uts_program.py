@@ -1,0 +1,160 @@
+"""Portable UTS: interval work stealing over plain messages.
+
+The tree and its compact interval representation come straight from
+:mod:`repro.kernels.uts.tree` — a :class:`~repro.kernels.uts.tree.UtsBag` is
+plain picklable data, so stolen loot ships over a real socket unchanged.
+What this module adds is a backend-blind balancing protocol (the simulator's
+GLB fabric passes live objects through its transport, so it cannot cross a
+process boundary):
+
+* every place runs one worker activity that alternates between draining its
+  bag one chunk at a time and polling a control mailbox;
+* idle places steal round-robin: a ``steal`` request is always answered,
+  with ``loot`` (half of every interval — the paper's refined policy) or
+  ``empty``;
+* termination is a count-based double wave: a token circulates the ring
+  accumulating (loot sent, loot received, everyone idle); the root declares
+  termination after two consecutive waves that are balanced, all-idle, and
+  identical — at that point no loot can be in flight.  The root then
+  broadcasts ``stop`` and gathers per-place node counts.
+
+The total node count is invariant under any steal interleaving (intervals
+are conserved, only ownership moves), so both backends — and the paper's GLB
+runs with the same tree parameters — agree on the count and therefore on the
+checksum.
+"""
+
+from __future__ import annotations
+
+from repro.harness.results import checksum_bytes
+from repro.kernels.uts.tree import UtsBag, UtsParams
+
+#: nodes visited between mailbox polls (also the cooperative-yield grain)
+CHUNK = 512
+
+#: idle backoff between steal rounds: virtual on the simulator, real
+#: (sub-millisecond) on procs — keeps an idle place from hammering the wires
+_IDLE_BACKOFF = 5e-4
+
+
+def uts_worker(ctx, p: dict):
+    me, P = ctx.here, ctx.n_places
+    params = UtsParams(
+        b0=p["b0"], depth=p["depth"], seed=p["seed"], rng_mode=p["rng_mode"]
+    )
+    bag = UtsBag.root(params) if me == 0 else UtsBag(params)
+    processed = 0
+    loot_sent = 0
+    loot_recv = 0
+    awaiting_reply = False
+    victim_offset = 1
+    held_token = None
+    prev_wave = None
+    stop = False
+    # single-place runs need no protocol at all
+    if P == 1:
+        while not bag.is_empty():
+            processed += bag.process(CHUNK)
+            yield ctx.compute(seconds=_IDLE_BACKOFF)
+        ctx.store["portable:result"] = _result(processed)
+        return
+
+    if me == 0:
+        held_token = (0, 0, True)  # the root injects the first wave when idle
+
+    while not stop:
+        # 1. drain control messages
+        while True:
+            ok, msg = ctx.try_recv("uts:ctl")
+            if not ok:
+                break
+            kind = msg[0]
+            if kind == "steal":
+                thief = msg[1]
+                loot = None if bag.is_empty() else bag.split()
+                if loot is None:
+                    ctx.send(thief, "uts:ctl", ("empty",))
+                else:
+                    loot_sent += 1
+                    ctx.send(
+                        thief, "uts:ctl",
+                        ("loot", loot.intervals, loot._bootstrap),
+                    )
+            elif kind == "loot":
+                loot_recv += 1
+                awaiting_reply = False
+                stolen = UtsBag(params, intervals=msg[1], bootstrap_nodes=msg[2])
+                bag.merge(stolen)
+            elif kind == "empty":
+                awaiting_reply = False
+            elif kind == "token":
+                held_token = msg[1]
+            elif kind == "stop":
+                stop = True
+        if stop:
+            break
+        # 2. work if there is any
+        if not bag.is_empty():
+            processed += bag.process(CHUNK)
+            yield ctx.compute(seconds=_IDLE_BACKOFF)
+            continue
+        # 3. idle: advance the termination wave if we hold the token
+        if held_token is not None:
+            sent_acc, recv_acc, all_idle = held_token
+            held_token = None
+            if me == 0:
+                wave = (sent_acc, recv_acc, all_idle)
+                balanced = all_idle and sent_acc == recv_acc
+                if balanced and wave == prev_wave:
+                    for q in range(1, P):
+                        ctx.send(q, "uts:ctl", ("stop",))
+                    stop = True
+                    break
+                prev_wave = wave if balanced else None
+                ctx.send(1, "uts:ctl", ("token", (loot_sent, loot_recv, True)))
+            else:
+                token = (sent_acc + loot_sent, recv_acc + loot_recv, all_idle)
+                ctx.send((me + 1) % P, "uts:ctl", ("token", token))
+        # 4. idle: try to steal (one outstanding request at a time)
+        if not awaiting_reply:
+            victim = (me + victim_offset) % P
+            victim_offset = victim_offset % (P - 1) + 1
+            if victim != me:
+                awaiting_reply = True
+                ctx.send(victim, "uts:ctl", ("steal", me))
+        yield ctx.sleep(_IDLE_BACKOFF)
+
+    counts = yield from _gather_counts(ctx, processed)
+    if me == 0:
+        total = sum(counts.values())
+        ctx.store["portable:result"] = _result(total, per_place=counts)
+
+
+def _gather_counts(ctx, processed: int):
+    me, P = ctx.here, ctx.n_places
+    if me != 0:
+        ctx.send(0, "uts:counts", (me, processed))
+        return None
+    counts = {0: processed}
+    for _ in range(P - 1):
+        place, n = yield ctx.recv("uts:counts")
+        counts[place] = n
+    return counts
+
+
+def _result(total: int, per_place=None) -> dict:
+    return {
+        "checksum": checksum_bytes(str(total).encode()),
+        "nodes": total,
+        # underscore prefix: per-run diagnostic, excluded from conformance —
+        # steal interleavings (and thus work placement) are backend-variant
+        "_per_place": per_place or {0: total},
+    }
+
+
+def uts_main(ctx, **params):
+    from repro.kernels.portable.programs import spmd
+    from repro.runtime.finish.pragmas import Pragma
+
+    # the paper's refined configuration runs UTS under FINISH_DENSE
+    return (yield from spmd(ctx, uts_worker, params, pragma=Pragma.FINISH_DENSE))

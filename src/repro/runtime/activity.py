@@ -114,6 +114,17 @@ class ActivityContext:
     def n_places(self) -> int:
         return self.rt.n_places
 
+    @property
+    def store(self) -> dict:
+        """Place-local named state: a plain dict private to ``here``.
+
+        Portable programs keep per-place partitions and partial results in it
+        instead of capturing closures, so the same program text runs whether
+        the place is simulated (one shared heap) or a real OS process (a real
+        private heap).  Keys are program-chosen strings.
+        """
+        return self.rt.place(self.here).store
+
     # -- compute -------------------------------------------------------------------
 
     def compute(

@@ -53,6 +53,10 @@ class PlaceRuntime:
         )
         self.monitor = Monitor()
         self._mailboxes: Dict[str, Store] = {}
+        #: place-local named state (``ctx.store``) — the portable programs'
+        #: per-place heap, mirroring what a real place process keeps in its
+        #: own address space (the procs backend gives each place a real one)
+        self.store: Dict[str, object] = {}
         #: number of activities started here (diagnostics / load metrics)
         self.activities_run = 0
 

@@ -105,6 +105,10 @@ class ApgasRuntime:
         self.config = config if config is not None else MachineConfig()
         self.obs = obs if obs is not None else Observability()
         self.engine = Engine()
+        #: the scheduling seam (see :mod:`repro.xrt.backend`): this runtime's
+        #: clock is the virtual-time engine itself; the procs backend swaps a
+        #: wall-clock loop into the same slot
+        self.clock = self.engine
         self.obs.observe_engine(self.engine)
         self.topology = Topology(self.config, places)
         if chaos is None:

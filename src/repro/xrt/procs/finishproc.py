@@ -1,0 +1,161 @@
+"""Distributed finish for the procs backend.
+
+The protocol is the message-level shape of the simulator's finish family
+(:mod:`repro.runtime.finish`), carried over real sockets:
+
+* All termination state lives at the **home** place (:class:`HomeFinish`):
+  a pending-activity counter, incremented per fork and decremented per join.
+* Fork bookkeeping is **uncounted**: a local fork updates the counter
+  directly; a remote place forks by sending a FORK notice, mirroring the
+  simulator where fork bookkeeping rides inside the spawn message itself.
+* Each **remote join is exactly one control message** (a JOIN frame to home),
+  counted under the finish's pragma — the same per-pragma accounting rule as
+  every simulator protocol at conformance scale (home-local joins are free;
+  FINISH_LOCAL never has remote activities; FINISH_DENSE's octant routing
+  degenerates to direct-to-home below 33 places, i.e. one octant).
+
+Causal safety of the counter: all frames traverse the single place-0 router,
+and a FORK notice is enqueued *before* the SPAWN it covers, so it reaches
+home before any JOIN that spawn can produce — the counter can never touch
+zero while an unannounced activity is live.
+
+Identity is ``fid = (home_place, seq)`` with a per-process sequence, so
+nested finishes opened anywhere in the computation never collide.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.errors import PragmaError
+from repro.runtime.finish.pragmas import Pragma
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.xrt.procs.runtime import ProcsRuntime
+
+Fid = Tuple[int, int]
+
+
+class HomeFinish:
+    """The home-side finish: owns the pending counter and the wait event."""
+
+    def __init__(self, prt: "ProcsRuntime", pragma: Pragma, name: str = "") -> None:
+        self.prt = prt
+        self.home = prt.place_id
+        self.pragma = pragma
+        self.fid: Fid = (self.home, prt.next_finish_seq())
+        self.name = name or f"{pragma.value}#{self.fid}"
+        self.pending = 0
+        self.total_forks = 0
+        self.remote_joins = 0
+        self._event = SimEvent(name=f"{self.name}.wait")
+        # parity with the simulator's metrics: opening a finish registers its
+        # pragma in the per-pragma ctl counts even if it never sends one
+        prt.ctl_by_pragma.setdefault(pragma.value, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HomeFinish {self.name} pending={self.pending}>"
+
+    # -- the governing-finish interface used by the runtime ---------------------
+
+    def validate_fork(self, src: int, dst: int) -> None:
+        if self.pragma is Pragma.FINISH_ASYNC and self.total_forks >= 1:
+            raise PragmaError(
+                f"{self.name}: FINISH_ASYNC governs a single activity, "
+                "but a second one was spawned"
+            )
+        if self.pragma is Pragma.FINISH_HERE:
+            if self.total_forks >= 2:
+                raise PragmaError(
+                    f"{self.name}: FINISH_HERE governs a round trip (two activities)"
+                )
+            if self.total_forks == 1 and dst != self.home:
+                raise PragmaError(
+                    f"{self.name}: FINISH_HERE's second activity must return to "
+                    f"the home place {self.home}, not {dst}"
+                )
+        if self.pragma is Pragma.FINISH_LOCAL and dst != self.home:
+            raise PragmaError(
+                f"{self.name}: FINISH_LOCAL cannot govern a remote activity "
+                f"(spawn to place {dst}, home is {self.home})"
+            )
+
+    def on_fork(self, src: int, dst: int) -> None:
+        self.validate_fork(src, dst)
+        self.total_forks += 1
+        self.pending += 1
+
+    def on_remote_fork(self) -> None:
+        """A FORK notice arrived from a remote place."""
+        self.total_forks += 1
+        self.pending += 1
+
+    def on_join(self, place: int) -> None:
+        """A home-local activity terminated (no message, no ctl count)."""
+        self._arrive()
+
+    def on_remote_join(self) -> None:
+        """A JOIN frame arrived (already counted by the sender)."""
+        self.remote_joins += 1
+        self._arrive()
+
+    def _arrive(self) -> None:
+        self.pending -= 1
+        if self.pending < 0:
+            raise PragmaError(f"{self.name}: more joins than forks")
+        if self.pending == 0 and not self._event.fired:
+            self._event.trigger()
+
+    def wait(self) -> SimEvent:
+        """The quiescence event: yield it to block until every fork joined."""
+        if self.pending == 0 and not self._event.fired:
+            self._event.trigger()
+        return self._event
+
+    def fail(self, exc: BaseException) -> None:
+        """Abort the finish (child place died): waiters re-raise ``exc``."""
+        if not self._event.fired:
+            self._event.fail(exc)
+
+
+class ProxyFinish:
+    """A remote place's lightweight handle on a finish homed elsewhere.
+
+    Holds no termination state: forks send an (uncounted) FORK notice ahead
+    of the spawn; joins send the one counted JOIN control message.
+    """
+
+    __slots__ = ("prt", "fid", "pragma_value", "home")
+
+    def __init__(self, prt: "ProcsRuntime", fid: Fid, pragma_value: str, home: int) -> None:
+        self.prt = prt
+        self.fid = fid
+        self.pragma_value = pragma_value
+        self.home = home
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProxyFinish {self.fid} home={self.home}>"
+
+    def on_fork(self, src: int, dst: int) -> None:
+        self.prt.send_fork_notice(self.home, self.fid, self.pragma_value)
+
+    def on_join(self, place: int) -> None:
+        # the counted control message: one per remotely terminating activity
+        self.prt.send_join(self.home, self.fid, self.pragma_value)
+
+    def wait(self) -> SimEvent:  # pragma: no cover - portable programs wait at home
+        raise PragmaError(
+            f"finish {self.fid} can only be waited on at its home place {self.home}"
+        )
+
+
+def resolve_finish(prt: "ProcsRuntime", fid: Fid, pragma_value: str, home: int):
+    """The governing finish for an activity arriving with ``(fid, pragma, home)``."""
+    if home == prt.place_id:
+        return prt.finishes[fid]
+    proxies: Dict[Fid, ProxyFinish] = prt.proxies
+    proxy = proxies.get(fid)
+    if proxy is None:
+        proxy = proxies[fid] = ProxyFinish(prt, fid, pragma_value, home)
+    return proxy

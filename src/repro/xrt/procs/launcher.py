@@ -1,0 +1,272 @@
+"""Launch and supervise one OS process per place.
+
+Place 0 is the calling process itself: it is simultaneously the launcher,
+the control rank running ``main``, and the star router every child-to-child
+frame passes through.  Children are forked (``multiprocessing`` fork
+context, so the program and its modules are inherited, not re-imported) and
+each holds exactly one socketpair back to place 0.
+
+Lifecycle::
+
+    fork children -> run main under the root finish -> root quiesces
+      -> EXIT to every child -> children reply DONE (with their per-place
+         control-message counts) and exit -> reap -> report
+
+Failure containment:
+
+* a child's uncaught exception sends a CRASH frame; place 0 raises
+  :class:`~repro.errors.ProcsError` carrying the child's traceback;
+* an unexpected EOF (a child died without a word) raises
+  :class:`~repro.errors.DeadPlaceError` for that place;
+* a wall-clock ``deadline`` bounds the whole run: exceeded, the launcher
+  raises :class:`~repro.errors.ProcsTimeoutError`;
+* *every* path through the finally block terminates, then kills, then joins
+  each child — no exit leaves orphan processes behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeadPlaceError, PlaceError, ProcsError
+from repro.runtime.finish.pragmas import Pragma
+from repro.xrt.procs import wire
+from repro.xrt.procs.loop import PlaceLoop
+from repro.xrt.procs.runtime import ProcsRuntime
+
+#: default wall-clock budget for one run (conformance programs finish in
+#: well under a second; the margin absorbs loaded CI machines)
+DEFAULT_DEADLINE = 60.0
+
+#: how long shutdown waits for a child to exit before escalating
+_REAP_GRACE = 2.0
+
+
+@dataclass
+class ProcsReport:
+    """Everything one multi-process run reports back."""
+
+    kernel: str
+    places: int
+    #: the program's return value (plain data incl. ``checksum``)
+    result: Any
+    wall_time: float
+    #: finish control messages summed across every place, by pragma value
+    ctl_by_pragma: Dict[str, int] = field(default_factory=dict)
+    #: frames and bytes that crossed place 0's sockets (both directions)
+    messages_routed: int = 0
+    bytes_routed: int = 0
+    per_place: Dict[int, dict] = field(default_factory=dict)
+
+
+class _RouterLoop(PlaceLoop):
+    """Place 0's loop: also the star router for child-to-child frames."""
+
+    def __init__(self, deadline: Optional[float]) -> None:
+        super().__init__(deadline=deadline)
+        self.conn_for: Dict[int, wire.Conn] = {}
+
+    def route(self, frame: wire.Frame) -> None:
+        dst = frame[2]
+        conn = self.conn_for.get(dst)
+        if conn is None:
+            raise PlaceError(f"no route to place {dst}")
+        conn.send_frame(frame)
+
+    def on_frame(self, conn: wire.Conn, frame: wire.Frame) -> None:
+        if frame[2] == 0:
+            self.dispatch(frame)
+        else:
+            self.route(frame)
+
+
+def run_procs_program(
+    kernel,
+    places: int,
+    params: Optional[dict] = None,
+    deadline: float = DEFAULT_DEADLINE,
+) -> ProcsReport:
+    """Run one portable program with one OS process per place.
+
+    ``kernel`` is a portable kernel name (resolved through
+    :func:`repro.kernels.portable.build_program`) or directly a program
+    callable ``main(ctx)``; ``main`` runs at place 0 under the root finish.
+    Returns once every place exited and is reaped.
+    """
+    if places < 1:
+        raise PlaceError(f"need at least one place, got {places}")
+    params = dict(params or {})
+    if callable(kernel):
+        main, kernel_name = kernel, getattr(kernel, "__name__", "program")
+    else:
+        from repro.kernels.portable import build_program
+
+        main = build_program(kernel, places, **params)
+        kernel_name = kernel
+
+    t0 = time.perf_counter()
+    mp = multiprocessing.get_context("fork")
+    loop = _RouterLoop(deadline=deadline)
+    children: List = []
+    parent_ends: List[socket.socket] = []
+    try:
+        for place in range(1, places):
+            psock, csock = socket.socketpair()
+            # the child inherits every parent-side end created so far (fork
+            # copies fds); it closes them first thing, or sibling-death EOF
+            # detection would be defeated by the surviving copies
+            # children carry a *longer* deadline: the parent's watchdog is the
+            # canonical one (it raises ProcsTimeoutError and reaps); a child's
+            # own deadline is only a backstop for a vanished parent
+            proc = mp.Process(
+                target=_child_main,
+                args=(place, places, csock, list(parent_ends) + [psock],
+                      deadline * 2 + 5.0),
+                daemon=True,
+                name=f"place-{place}",
+            )
+            proc.start()
+            csock.close()
+            parent_ends.append(psock)
+            children.append(proc)
+            conn = wire.Conn(psock, peer=place)
+            loop.conn_for[place] = conn
+            loop.add_conn(conn)
+
+        prt = ProcsRuntime(loop, place_id=0, n_places=places)
+        prt.send_frame = loop.route
+
+        done_reports: Dict[int, dict] = {}
+        state = {"draining": False}
+
+        def on_done(src: int, payload) -> None:
+            done_reports[src] = payload
+            if len(done_reports) == places - 1:
+                loop.stop()
+
+        def on_crash(src: int, payload) -> None:
+            raise ProcsError(f"place {src} crashed:\n{payload}")
+
+        def on_eof(conn: wire.Conn) -> None:
+            if conn.peer in done_reports:
+                return  # it reported and exited; silence is expected now
+            raise DeadPlaceError(conn.peer, detected_by="procs launcher",
+                                 detail="connection closed before DONE")
+
+        loop.register_handler(wire.DONE, on_done)
+        loop.register_handler(wire.CRASH, on_crash)
+        loop.on_eof = on_eof
+
+        root = prt.open_finish(Pragma.DEFAULT, name="root")
+        main_process = prt.spawn_local(main, (), root, name="main")
+
+        def on_quiesce(_event) -> None:
+            state["draining"] = True
+            if places == 1:
+                loop.stop()
+                return
+            for place, conn in loop.conn_for.items():
+                conn.send_frame((wire.EXIT, 0, place, None))
+
+        root.wait().add_callback(on_quiesce)
+
+        loop.run()
+
+        result = main_process.done.value if main_process.done.fired else None
+        ctl: Dict[str, int] = dict(prt.ctl_by_pragma)
+        per_place = {0: {"ctl_by_pragma": dict(prt.ctl_by_pragma),
+                         "activities_run": prt.activities_run}}
+        for place, payload in done_reports.items():
+            per_place[place] = payload
+            for pragma, count in payload.get("ctl_by_pragma", {}).items():
+                ctl[pragma] = ctl.get(pragma, 0) + count
+        messages = sum(c.frames_sent + c.decoder.frames_decoded
+                       for c in loop.conn_for.values())
+        nbytes = sum(c.bytes_sent + c.decoder.bytes_fed
+                     for c in loop.conn_for.values())
+        return ProcsReport(
+            kernel=kernel_name,
+            places=places,
+            result=result,
+            wall_time=time.perf_counter() - t0,
+            ctl_by_pragma=ctl,
+            messages_routed=messages,
+            bytes_routed=nbytes,
+            per_place=per_place,
+        )
+    finally:
+        loop.close()
+        _reap(children)
+
+
+def _reap(children) -> None:
+    """Make every child exit: join, then terminate, then kill — in order."""
+    deadline = time.monotonic() + _REAP_GRACE
+    for proc in children:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for escalate in ("terminate", "kill"):
+        stragglers = [p for p in children if p.is_alive()]
+        if not stragglers:
+            break
+        for proc in stragglers:
+            getattr(proc, escalate)()
+        for proc in stragglers:
+            proc.join(timeout=_REAP_GRACE)
+    for proc in children:
+        proc.join()  # all dead by now; collect exit status
+
+
+# -- the child side ------------------------------------------------------------------
+
+
+def _child_main(
+    place: int,
+    n_places: int,
+    sock: socket.socket,
+    inherited: List[socket.socket],
+    deadline: float,
+) -> None:  # pragma: no cover - runs in forked children
+    for s in inherited:
+        try:
+            s.close()
+        except OSError:
+            pass
+    loop = PlaceLoop(deadline=deadline)
+    conn = wire.Conn(sock, peer=0)
+    loop.add_conn(conn)
+    prt = ProcsRuntime(loop, place_id=place, n_places=n_places)
+    prt.send_frame = conn.send_frame
+
+    def on_exit(src: int, payload) -> None:
+        conn.send_frame((wire.DONE, place, 0, {
+            "ctl_by_pragma": dict(prt.ctl_by_pragma),
+            "activities_run": prt.activities_run,
+        }))
+        loop.stop()
+
+    loop.register_handler(wire.EXIT, on_exit)
+    # parent gone -> nothing to report to; just leave
+    loop.on_eof = lambda _conn: loop.stop()
+
+    code = 0
+    try:
+        loop.run()
+        conn.flush_blocking(_REAP_GRACE)
+    except BaseException:  # noqa: BLE001 - everything becomes a CRASH frame
+        code = 1
+        try:
+            conn.send_frame((wire.CRASH, place, 0, traceback.format_exc()))
+            conn.flush_blocking(_REAP_GRACE)
+        except Exception:
+            pass
+    finally:
+        conn.close()
+    # skip atexit/multiprocessing teardown: the parent owns supervision, and
+    # a forked child flushing inherited buffers would duplicate output
+    os._exit(code)

@@ -1,0 +1,190 @@
+"""PlaceLoop: the wall-clock implementation of the Clock seam.
+
+One of these runs per place process.  It provides the same scheduling surface
+as the discrete-event :class:`~repro.sim.engine.Engine` — ``now``,
+``schedule``, ``call_soon``, the ``_fire`` variants, and the blocked-process
+registry — so :class:`~repro.sim.process.Process`,
+:class:`~repro.sim.store.Store`, and :class:`~repro.sim.events.SimEvent` run
+on it unmodified.  On top of that it pumps this place's socket(s): readable
+frames are dispatched to registered handlers, writable buffers are drained.
+
+The loop interleaves callback batches with socket polls so a program that
+spins on cooperative yields (``yield None`` / zero timeouts) cannot starve
+message delivery, and a message storm cannot starve timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import selectors
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ProcsTimeoutError
+from repro.xrt.backend import WallClock
+from repro.xrt.procs.wire import Conn, Frame
+
+#: callbacks run between socket polls — small enough that a ready-queue storm
+#: still services I/O promptly, large enough that the poll syscall amortizes
+_BATCH = 128
+
+#: longest sleep when fully idle; bounds deadline-check latency
+_IDLE_WAIT = 0.05
+
+
+class _TimerHandle:
+    """Cancellation token for :meth:`PlaceLoop.schedule`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class PlaceLoop:
+    """A wall-clock scheduler + socket pump for one place process."""
+
+    def __init__(self, deadline: Optional[float] = None) -> None:
+        self._clock = WallClock()
+        #: absolute wall deadline (seconds on this clock); exceeded -> raise
+        self._deadline = deadline
+        self._ready: deque[Callable[[], None]] = deque()
+        self._timers: list = []  # heap of (due, seq, handle, callback)
+        self._timer_seq = 0
+        self._selector = selectors.DefaultSelector()
+        self._conns: List[Conn] = []
+        self._handlers: Dict[str, Callable[[int, object], None]] = {}
+        self._blocked: set = set()
+        self._stopped = False
+        #: set when a connection hits EOF; the launcher/child decides severity
+        self.on_eof: Optional[Callable[[Conn], None]] = None
+
+    # -- the Clock interface (what Process/Store/SimEvent need) ----------------
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    def call_soon_fire(self, callback: Callable[[], None]) -> None:
+        self._ready.append(callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> _TimerHandle:
+        handle = _TimerHandle()
+        self._ready.append(lambda: None if handle.cancelled else callback())
+        return handle
+
+    def schedule_fire(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay <= 0:
+            self._ready.append(callback)
+            return
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (self.now + delay, self._timer_seq, None, callback))
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _TimerHandle:
+        handle = _TimerHandle()
+        if delay <= 0:
+            self._ready.append(lambda: None if handle.cancelled else callback())
+            return handle
+        self._timer_seq += 1
+        heapq.heappush(self._timers, (self.now + delay, self._timer_seq, handle, callback))
+        return handle
+
+    def _note_blocked(self, process) -> None:
+        self._blocked.add(process)
+
+    def _note_unblocked(self, process) -> None:
+        self._blocked.discard(process)
+
+    # -- sockets ----------------------------------------------------------------
+
+    def add_conn(self, conn: Conn) -> None:
+        self._conns.append(conn)
+        self._selector.register(conn.sock, selectors.EVENT_READ, conn)
+
+    def register_handler(self, kind: str, handler: Callable[[int, object], None]) -> None:
+        """``handler(src, payload)`` is invoked for each arriving frame of ``kind``."""
+        self._handlers[kind] = handler
+
+    def dispatch(self, frame: Frame) -> None:
+        """Deliver one frame addressed to this place."""
+        kind, src, _dst, payload = frame
+        handler = self._handlers.get(kind)
+        if handler is None:
+            raise RuntimeError(f"no handler for frame kind {kind!r}")
+        handler(src, payload)
+
+    # -- running ----------------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def _poll(self, timeout: float) -> None:
+        # re-arm write interest to match each connection's buffer state
+        for conn in self._conns:
+            if conn.eof:
+                continue
+            events = selectors.EVENT_READ
+            if conn.wants_write:
+                events |= selectors.EVENT_WRITE
+            self._selector.modify(conn.sock, events, conn)
+        for key, mask in self._selector.select(timeout):
+            conn: Conn = key.data
+            if mask & selectors.EVENT_WRITE:
+                conn.pump_write()
+            if mask & selectors.EVENT_READ:
+                for frame in conn.pump_read():
+                    self.on_frame(conn, frame)
+                if conn.eof:
+                    self._selector.unregister(conn.sock)
+                    if self.on_eof is not None:
+                        self.on_eof(conn)
+
+    def on_frame(self, conn: Conn, frame: Frame) -> None:
+        """Route or dispatch one decoded frame (overridden by the router)."""
+        self.dispatch(frame)
+
+    def _fire_due_timers(self) -> None:
+        now = self.now
+        while self._timers and self._timers[0][0] <= now:
+            _due, _seq, handle, callback = heapq.heappop(self._timers)
+            if handle is not None and handle.cancelled:
+                continue
+            self._ready.append(callback)
+
+    def run(self) -> None:
+        """Run until :meth:`stop`; raises on deadline or a crashed activity."""
+        while not self._stopped:
+            self._fire_due_timers()
+            # a bounded batch so ready-queue churn cannot starve the sockets
+            for _ in range(min(len(self._ready), _BATCH)):
+                self._ready.popleft()()
+                if self._stopped:
+                    return
+            if self._deadline is not None and self.now > self._deadline:
+                raise ProcsTimeoutError(
+                    f"place loop exceeded its {self._deadline:.1f}s deadline "
+                    f"({len(self._blocked)} process(es) blocked)"
+                )
+            if self._ready:
+                timeout = 0.0
+            elif self._timers:
+                timeout = min(max(0.0, self._timers[0][0] - self.now), _IDLE_WAIT)
+            else:
+                timeout = _IDLE_WAIT
+            self._poll(timeout)
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conn.close()
+        self._selector.close()

@@ -1,0 +1,380 @@
+"""Per-process place runtime and the APGAS ``ctx`` surface for procs.
+
+:class:`ProcsContext` implements the *portable* subset of
+:class:`~repro.runtime.activity.ActivityContext` — the part whose arguments
+are plain picklable data — with identical semantics, so a portable program
+body cannot tell which backend is driving it.  Activities are the same
+generator :class:`~repro.sim.process.Process` machinery as the simulator,
+scheduled by the wall-clock :class:`~repro.xrt.procs.loop.PlaceLoop` instead
+of the virtual-time engine.
+
+Differences under the hood, invisible to programs:
+
+* ``ctx.compute(...)`` charges no wall time — it is a cooperative yield point
+  (the real CPU cost *is* the compute).  ``ctx.sleep`` sleeps real seconds.
+* Remote operations pickle their function (by module reference) and
+  arguments; place-local state lives in ``ctx.store``, a genuinely private
+  per-process heap.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import ApgasError, PlaceError, ProcsError
+from repro.runtime.finish.pragmas import Pragma
+from repro.runtime.place import Monitor
+from repro.sim.events import SimEvent
+from repro.sim.process import Process, Timeout
+from repro.sim.store import Store
+from repro.xrt.procs import wire
+from repro.xrt.procs.finishproc import Fid, HomeFinish, resolve_finish
+from repro.xrt.procs.loop import PlaceLoop
+
+
+class ProcsActivity:
+    """One asynchronous task at this place (procs counterpart of Activity)."""
+
+    __slots__ = ("place", "fn", "args", "name", "finish_stack", "process")
+
+    def __init__(self, place: int, fn: Callable, args: tuple, finish, name: str = "") -> None:
+        self.place = place
+        self.fn = fn
+        self.args = args
+        self.name = name or f"{getattr(fn, '__name__', 'activity')}@{place}"
+        self.finish_stack = [finish]
+        self.process: Optional[Process] = None
+
+    @property
+    def current_finish(self):
+        return self.finish_stack[-1]
+
+
+class ProcsFinishScope:
+    """``with ctx.finish(...) as f:`` for the procs backend."""
+
+    def __init__(self, ctx: "ProcsContext", pragma: Pragma, name: str) -> None:
+        self._ctx = ctx
+        self._pragma = pragma
+        self._name = name
+        self._finish: Optional[HomeFinish] = None
+
+    def __enter__(self) -> HomeFinish:
+        self._finish = self._ctx.prt.open_finish(self._pragma, self._name)
+        self._ctx.activity.finish_stack.append(self._finish)
+        return self._finish
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        popped = self._ctx.activity.finish_stack.pop()
+        if popped is not self._finish:
+            raise ApgasError("finish scopes closed out of order")
+
+
+class ProcsRuntime:
+    """The APGAS runtime of one place process."""
+
+    def __init__(self, loop: PlaceLoop, place_id: int, n_places: int) -> None:
+        self.loop = loop
+        self.place_id = place_id
+        self.n_places = n_places
+        #: ``ctx.store`` — this process's private per-place heap
+        self.store: dict = {}
+        self.monitor = Monitor()
+        self._mailboxes: dict[str, Store] = {}
+        self.finishes: dict[Fid, HomeFinish] = {}
+        self.proxies: dict = {}
+        self._finish_seq = itertools.count()
+        self._reply_seq = itertools.count()
+        self._pending_replies: dict[int, SimEvent] = {}
+        #: finish control messages *sent from this process*, by pragma value;
+        #: the launcher sums these across places into the run report
+        self.ctl_by_pragma: dict[str, int] = {}
+        self.activities_run = 0
+        #: installed by the launcher / child bootstrap: ``fn(frame)`` hands a
+        #: frame to the transport (direct conn at children, routing at place 0)
+        self.send_frame: Callable[[wire.Frame], None] = _unwired
+        for kind, handler in (
+            (wire.SPAWN, self._on_spawn),
+            (wire.FORK, self._on_fork),
+            (wire.JOIN, self._on_join),
+            (wire.EVAL, self._on_eval),
+            (wire.REPLY, self._on_reply),
+            (wire.ITEM, self._on_item),
+        ):
+            loop.register_handler(kind, handler)
+
+    # -- small helpers -----------------------------------------------------------
+
+    def next_finish_seq(self) -> int:
+        return next(self._finish_seq)
+
+    def mailbox(self, name: str) -> Store:
+        box = self._mailboxes.get(name)
+        if box is None:
+            box = self._mailboxes[name] = Store(name=f"p{self.place_id}:{name}")
+        return box
+
+    def _check_place(self, place: int) -> None:
+        if not 0 <= place < self.n_places:
+            raise PlaceError(f"place {place} outside 0..{self.n_places - 1}")
+
+    def open_finish(self, pragma: Pragma, name: str = "") -> HomeFinish:
+        fin = HomeFinish(self, pragma, name)
+        self.finishes[fin.fid] = fin
+        return fin
+
+    # -- finish control messages -------------------------------------------------
+
+    def send_fork_notice(self, home: int, fid: Fid, pragma_value: str) -> None:
+        # uncounted: the sim's fork bookkeeping rides inside the spawn message
+        self.send_frame((wire.FORK, self.place_id, home, (fid, pragma_value)))
+
+    def send_join(self, home: int, fid: Fid, pragma_value: str) -> None:
+        self.ctl_by_pragma[pragma_value] = self.ctl_by_pragma.get(pragma_value, 0) + 1
+        self.send_frame((wire.JOIN, self.place_id, home, (fid, pragma_value)))
+
+    # -- spawning ----------------------------------------------------------------
+
+    def spawn_local(self, fn: Callable, args: tuple, finish, name: str = "") -> Process:
+        finish.on_fork(self.place_id, self.place_id)
+        return self._start_activity(fn, args, finish, name)
+
+    def spawn_remote(self, dst: int, fn: Callable, args: tuple, finish, name: str = "") -> None:
+        self._check_place(dst)
+        if dst == self.place_id:
+            self.spawn_local(fn, args, finish, name)
+            return
+        # fork first (local count at home, FORK notice from elsewhere), then
+        # the spawn; the router preserves this order end-to-end
+        finish.on_fork(self.place_id, dst)
+        fid, pragma_value, home = _finish_identity(finish)
+        self.send_frame((wire.SPAWN, self.place_id, dst, (fn, args, fid, pragma_value, home, name)))
+
+    def _start_activity(self, fn: Callable, args: tuple, finish, name: str = "") -> Process:
+        activity = ProcsActivity(self.place_id, fn, args, finish, name)
+        ctx = ProcsContext(self, activity)
+        self.activities_run += 1
+
+        def runner():
+            body = fn(ctx, *args)
+            if hasattr(body, "send"):
+                result = yield from body
+            else:
+                result = body
+                yield Timeout(0.0)
+            finish.on_join(self.place_id)
+            return result
+
+        activity.process = Process(self.loop, runner(), name=activity.name)
+        return activity.process
+
+    # -- remote evaluation (ctx.at) ----------------------------------------------
+
+    def remote_eval(self, dst: int, fn: Callable, args: tuple) -> SimEvent:
+        self._check_place(dst)
+        event = SimEvent(name=f"at({dst}).reply")
+        if dst == self.place_id:
+            self._eval_into(fn, args, event)
+            return event
+        reply_id = next(self._reply_seq)
+        self._pending_replies[reply_id] = event
+        self.send_frame((wire.EVAL, self.place_id, dst, (fn, args, reply_id)))
+        return event
+
+    def _eval_into(self, fn: Callable, args: tuple, event: SimEvent) -> None:
+        """Run ``fn`` as a detached subtask; bridge its outcome into ``event``."""
+        activity = ProcsActivity(self.place_id, fn, args, _NO_FINISH, name=f"eval:{getattr(fn, '__name__', 'fn')}")
+        ctx = ProcsContext(self, activity)
+
+        def runner():
+            body = fn(ctx, *args)
+            if hasattr(body, "send"):
+                return (yield from body)
+            yield Timeout(0.0)
+            return body
+
+        process = Process(self.loop, runner(), name=activity.name)
+
+        def _bridge(done: SimEvent) -> None:
+            try:
+                value = done.value
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+                event.fail(exc)
+                return
+            event.trigger(value)
+
+        process.bookkeeping_callbacks += 1  # the bridge consumes crashes
+        process.done.add_callback(_bridge)
+
+    # -- messaging ----------------------------------------------------------------
+
+    def send_item(self, dst: int, mailbox: str, item: Any) -> None:
+        self._check_place(dst)
+        if dst == self.place_id:
+            self.mailbox(mailbox).put(item)
+            return
+        self.send_frame((wire.ITEM, self.place_id, dst, (mailbox, item)))
+
+    # -- frame handlers ------------------------------------------------------------
+
+    def _on_spawn(self, src: int, payload) -> None:
+        fn, args, fid, pragma_value, home, name = payload
+        finish = resolve_finish(self, fid, pragma_value, home)
+        self._start_activity(fn, args, finish, name)
+
+    def _on_fork(self, src: int, payload) -> None:
+        fid, _pragma_value = payload
+        self.finishes[fid].on_remote_fork()
+
+    def _on_join(self, src: int, payload) -> None:
+        fid, _pragma_value = payload
+        self.finishes[fid].on_remote_join()
+
+    def _on_eval(self, src: int, payload) -> None:
+        fn, args, reply_id = payload
+        event = SimEvent(name=f"eval#{reply_id}")
+        event.add_callback(lambda ev: self._send_reply(src, reply_id, ev))
+        self._eval_into(fn, args, event)
+
+    def _send_reply(self, dst: int, reply_id: int, event: SimEvent) -> None:
+        try:
+            value, is_error = event.value, False
+        except BaseException as exc:  # noqa: BLE001 - shipped back to the caller
+            value, is_error = exc, True
+        try:
+            self.send_frame((wire.REPLY, self.place_id, dst, (reply_id, value, is_error)))
+        except Exception:
+            # unpicklable result/exception: degrade to a description-only error
+            fallback = ProcsError(f"unpicklable remote-eval outcome: {value!r}")
+            self.send_frame((wire.REPLY, self.place_id, dst, (reply_id, fallback, True)))
+
+    def _on_reply(self, src: int, payload) -> None:
+        reply_id, value, is_error = payload
+        event = self._pending_replies.pop(reply_id)
+        if is_error:
+            event.fail(value)
+        else:
+            event.trigger(value)
+
+    def _on_item(self, src: int, payload) -> None:
+        mailbox, item = payload
+        self.mailbox(mailbox).put(item)
+
+
+def _unwired(frame) -> None:
+    raise ProcsError("runtime not wired to a transport (send_frame unset)")
+
+
+def _finish_identity(finish) -> tuple:
+    """(fid, pragma_value, home) for either a HomeFinish or a ProxyFinish."""
+    if isinstance(finish, HomeFinish):
+        return finish.fid, finish.pragma.value, finish.home
+    return finish.fid, finish.pragma_value, finish.home
+
+
+class _NoFinish:
+    """Governs detached eval subtasks: ctx.at never involves a finish."""
+
+    def on_fork(self, src: int, dst: int) -> None:  # pragma: no cover - unused
+        pass
+
+    def on_join(self, place: int) -> None:
+        pass
+
+
+_NO_FINISH = _NoFinish()
+
+
+class ProcsContext:
+    """The APGAS API handed to activities in a place process.
+
+    Method-for-method compatible with the portable subset of
+    :class:`~repro.runtime.activity.ActivityContext`.
+    """
+
+    __slots__ = ("prt", "activity")
+
+    def __init__(self, prt: ProcsRuntime, activity: ProcsActivity) -> None:
+        self.prt = prt
+        self.activity = activity
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def here(self) -> int:
+        return self.activity.place
+
+    @property
+    def engine(self):
+        return self.prt.loop
+
+    @property
+    def now(self) -> float:
+        return self.prt.loop.now
+
+    def places(self) -> range:
+        return range(self.prt.n_places)
+
+    @property
+    def n_places(self) -> int:
+        return self.prt.n_places
+
+    @property
+    def store(self) -> dict:
+        return self.prt.store
+
+    # -- compute -------------------------------------------------------------------
+
+    def compute(self, seconds=None, flops=None, flop_rate=None,
+                mem_bytes=None, mem_bw=None) -> Timeout:
+        """A cooperative yield point: real CPU time is the real cost here, so
+        the modeled charge is not re-applied as wall sleep."""
+        return Timeout(0.0)
+
+    def sleep(self, seconds: float) -> Timeout:
+        return Timeout(seconds)
+
+    # -- spawning ----------------------------------------------------------------
+
+    def async_(self, fn: Callable, *args: Any, name: str = "") -> None:
+        self.prt.spawn_local(fn, args, self.activity.current_finish, name)
+
+    def at_async(self, place: int, fn: Callable, *args: Any,
+                 nbytes: Optional[int] = None, name: str = "") -> None:
+        self.prt.spawn_remote(place, fn, args, self.activity.current_finish, name)
+
+    def at(self, place: int, fn: Callable, *args: Any,
+           nbytes: Optional[int] = None) -> SimEvent:
+        return self.prt.remote_eval(place, fn, args)
+
+    # -- finish ---------------------------------------------------------------------
+
+    def finish(self, pragma: Pragma = Pragma.DEFAULT, name: str = "") -> ProcsFinishScope:
+        return ProcsFinishScope(self, pragma, name)
+
+    @property
+    def current_finish(self):
+        return self.activity.current_finish
+
+    # -- messaging ----------------------------------------------------------------
+
+    def send(self, place: int, mailbox: str, item: Any, nbytes: Optional[int] = None) -> None:
+        self.prt.send_item(place, mailbox, item)
+
+    def recv(self, mailbox: str):
+        return self.prt.mailbox(mailbox).get()
+
+    def try_recv(self, mailbox: str):
+        return self.prt.mailbox(mailbox).try_get()
+
+    # -- atomic / when ----------------------------------------------------------------
+
+    def atomic(self, fn: Callable[[], Any]) -> Any:
+        result = fn()
+        self.prt.monitor.notify_all()
+        return result
+
+    def when(self, predicate: Callable[[], bool]):
+        while not predicate():
+            yield self.prt.monitor.wait()

@@ -1,0 +1,130 @@
+"""Framed, non-blocking socket connections and the procs message kinds.
+
+Every message between place processes is one frame (see
+:func:`repro.xrt.serialization.encode_frame`) holding a 4-tuple
+``(kind, src, dst, payload)``.  Topology is a star: each child place holds one
+connection to place 0, which routes child-to-child frames by ``dst``.  A
+single router gives a useful causal guarantee for the finish protocol: a FORK
+notice enqueued before the SPAWN it covers is *delivered* to the home place
+before any JOIN that spawn can produce.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, List, Tuple
+
+from repro.xrt.serialization import FrameDecoder, encode_frame
+
+# -- message kinds ---------------------------------------------------------------
+
+#: remote spawn: payload (fn, args, fid, pragma_value, home, name)
+SPAWN = "spawn"
+#: finish fork notice to the home place (uncounted bookkeeping; the sim's
+#: equivalent rides inside the spawn message): payload (fid, pragma_value)
+FORK = "fork"
+#: finish join — the counted control message: payload (fid, pragma_value)
+JOIN = "join"
+#: blocking remote evaluation: payload (fn, args, reply_id)
+EVAL = "eval"
+#: evaluation result: payload (reply_id, value, is_error)
+REPLY = "reply"
+#: mailbox delivery: payload (mailbox, item)
+ITEM = "item"
+#: place 0 -> child: the program is over, report and exit: payload None
+EXIT = "exit"
+#: child -> place 0: final per-place report: payload dict
+DONE = "done"
+#: child -> place 0: uncaught exception: payload formatted traceback str
+CRASH = "crash"
+
+Frame = Tuple[str, int, int, Any]
+
+
+class Conn:
+    """One framed connection, non-blocking in both directions.
+
+    Reads go through a :class:`FrameDecoder` so partial frames are handled in
+    exactly one place; writes append to an outbound buffer that the owning
+    loop drains whenever the socket is writable.  Neither side can deadlock
+    the pair: a frame is never written with a blocking call.
+    """
+
+    __slots__ = ("sock", "peer", "decoder", "_out", "bytes_sent", "frames_sent", "eof")
+
+    def __init__(self, sock: socket.socket, peer: int) -> None:
+        sock.setblocking(False)
+        self.sock = sock
+        #: the place on the other end (from place 0's view; -1 means "router")
+        self.peer = peer
+        self.decoder = FrameDecoder()
+        self._out = bytearray()
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self.eof = False
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    # -- sending ---------------------------------------------------------------
+
+    def send_frame(self, frame: Frame) -> None:
+        """Queue one frame; actual bytes move when the socket is writable."""
+        data = encode_frame(frame)
+        self._out.extend(data)
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+
+    @property
+    def wants_write(self) -> bool:
+        return bool(self._out)
+
+    def pump_write(self) -> None:
+        """Push buffered bytes out; stops at the first would-block."""
+        while self._out:
+            try:
+                sent = self.sock.send(self._out)
+            except (BlockingIOError, InterruptedError):
+                return
+            if sent == 0:  # pragma: no cover - send() raises rather than 0
+                return
+            del self._out[:sent]
+
+    def flush_blocking(self, timeout: float) -> None:
+        """Best-effort synchronous drain (shutdown paths only)."""
+        self.sock.settimeout(timeout)
+        try:
+            while self._out:
+                sent = self.sock.send(self._out)
+                del self._out[:sent]
+        except OSError:
+            self._out.clear()
+        finally:
+            try:
+                self.sock.setblocking(False)
+            except OSError:
+                pass
+
+    # -- receiving -------------------------------------------------------------
+
+    def pump_read(self) -> List[Frame]:
+        """Read whatever is available; return the frames completed by it."""
+        frames: List[Frame] = []
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                return frames
+            except (ConnectionResetError, OSError):
+                self.eof = True
+                return frames
+            if not chunk:
+                self.eof = True
+                return frames
+            frames.extend(self.decoder.feed(chunk))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close on a dead fd
+            pass

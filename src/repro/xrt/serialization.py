@@ -1,17 +1,43 @@
-"""Payload size estimation for `at` captures and active messages.
+"""Serialization: payload size estimation and the real wire format.
 
 The X10 compiler analyzes the bodies of ``at`` statements to identify
-inter-place data dependencies and serializes the captured data.  The simulator
-needs only the *size* of that serialized data; this module estimates it for
-the Python values kernels actually ship around.
+inter-place data dependencies and serializes the captured data.  This module
+serves both execution backends:
+
+* The **simulator** needs only the *size* of the serialized data —
+  :func:`estimate_nbytes` estimates it for the Python values kernels actually
+  ship around.
+* The **procs backend** (:mod:`repro.xrt.procs`) ships the data for real:
+  :func:`encode_frame` / :class:`FrameDecoder` implement the authoritative
+  wire format — a 4-byte big-endian length prefix followed by a pickled
+  payload — including reassembly of frames that arrive split across an
+  arbitrary number of partial socket reads.
+
+Where the estimate and the wire format disagree, **the wire format is
+authoritative**: :func:`wire_nbytes` measures the real encoding, and
+:func:`estimate_nbytes` charges nested containers a per-container envelope so
+that nesting a payload can never make its estimate *shrink* relative to the
+standalone estimate (the historical nested-tuple inconsistency).
 """
 
 from __future__ import annotations
 
+import pickle
+import struct
+
 import numpy as np
+
+from repro.errors import TransportError
 
 _SCALAR_BYTES = 8
 _OVERHEAD_BYTES = 16  # per-message envelope (type ids, finish id, etc.)
+
+#: every nested container pays its own envelope on the wire (pickle emits
+#: per-container markers); the estimate mirrors that so
+#: ``estimate_nbytes((x,)) >= estimate_nbytes(x)`` holds for any ``x``
+_NESTED_OVERHEAD = 16
+
+# -- size estimation (the simulator's view) -------------------------------------
 
 
 def estimate_nbytes(obj) -> int:
@@ -19,7 +45,9 @@ def estimate_nbytes(obj) -> int:
 
     NumPy arrays count their buffer; containers recurse; scalars count one
     machine word.  Objects can opt in by exposing a ``serialized_nbytes``
-    attribute (used by work items in the GLB queues).
+    attribute (used by work items in the GLB queues).  Nested containers are
+    charged a per-container envelope, matching the authoritative wire format
+    (:func:`wire_nbytes`), so an estimate is monotone under nesting.
     """
     if type(obj) is tuple:
         # the dominant payload shape — argument tuples of scalars and Nones —
@@ -33,10 +61,13 @@ def estimate_nbytes(obj) -> int:
                 break
         else:
             return total
-    return _OVERHEAD_BYTES + _estimate(obj)
+    return _OVERHEAD_BYTES + _estimate(obj, nested=False)
 
 
-def _estimate(obj) -> int:
+def _estimate(obj, nested: bool = True) -> int:
+    # top-level containers are covered by estimate_nbytes's envelope; every
+    # container *below* the top level pays its own (wire-format parity)
+    envelope = _NESTED_OVERHEAD if nested else 0
     if obj is None:
         return 0
     custom = getattr(obj, "serialized_nbytes", None)
@@ -51,8 +82,83 @@ def _estimate(obj) -> int:
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
     if isinstance(obj, dict):
-        return sum(_estimate(k) + _estimate(v) for k, v in obj.items())
+        return envelope + sum(_estimate(k) + _estimate(v) for k, v in obj.items())
     if isinstance(obj, (list, tuple, set, frozenset)):
-        return sum(_estimate(item) for item in obj)
+        return envelope + sum(_estimate(item) for item in obj)
     # unknown object: charge a conservative flat cost
     return 64
+
+
+# -- the authoritative wire format (the procs backend's view) --------------------
+
+#: length-prefix header: 4-byte big-endian unsigned frame length
+_HEADER = struct.Struct("!I")
+HEADER_BYTES = _HEADER.size
+
+#: refuse absurd frames: a corrupted length prefix must fail loudly, not
+#: allocate gigabytes (64 MiB is far above any conformance payload)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(obj) -> bytes:
+    """Encode one message as a self-delimiting frame: length prefix + pickle."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def wire_nbytes(obj) -> int:
+    """Actual size of ``obj`` on the wire (header + pickle) — authoritative."""
+    return HEADER_BYTES + len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over a byte stream.
+
+    Feed arbitrary chunks (single bytes, half headers, many frames at once);
+    complete decoded messages come out in order.  This is the receive side of
+    :func:`encode_frame` and the only place the procs backend parses bytes,
+    so partial-read handling lives in exactly one spot.
+    """
+
+    __slots__ = ("_buf", "_need", "bytes_fed", "frames_decoded")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        #: payload length of the frame under assembly (None: reading header)
+        self._need: int | None = None
+        self.bytes_fed = 0
+        self.frames_decoded = 0
+
+    def feed(self, data: bytes) -> list:
+        """Absorb ``data``; return every message completed by it (maybe none)."""
+        self.bytes_fed += len(data)
+        self._buf.extend(data)
+        out = []
+        while True:
+            if self._need is None:
+                if len(self._buf) < HEADER_BYTES:
+                    break
+                (self._need,) = _HEADER.unpack(bytes(self._buf[:HEADER_BYTES]))
+                del self._buf[:HEADER_BYTES]
+                if self._need > MAX_FRAME_BYTES:
+                    raise TransportError(
+                        f"incoming frame claims {self._need} bytes "
+                        f"(> MAX_FRAME_BYTES {MAX_FRAME_BYTES}): corrupt stream"
+                    )
+            if len(self._buf) < self._need:
+                break
+            payload = bytes(self._buf[: self._need])
+            del self._buf[: self._need]
+            self._need = None
+            out.append(pickle.loads(payload))
+            self.frames_decoded += 1
+        return out
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)

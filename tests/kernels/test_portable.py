@@ -1,0 +1,160 @@
+"""The portable kernel programs, validated against reference implementations.
+
+These run on the simulator backend only (one process, tier-1), checking that
+the backend-blind rewrites of :mod:`repro.kernels.portable` compute the same
+answers as the sequential reference cores — so the differential conformance
+suite (sim vs procs) chases a *correct* target, not merely a consistent one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.harness.runner import run_portable
+from repro.kernels.portable import PORTABLE_KERNELS, build_program
+from repro.sim.rng import RngStream
+
+PLACES = 4
+
+
+def _run(kernel: str, places: int = PLACES, **params):
+    return run_portable(kernel, places, backend="sim", **params)
+
+
+# -- registry ----------------------------------------------------------------------
+
+
+def test_registry_covers_all_eight_kernels():
+    assert PORTABLE_KERNELS == sorted(
+        ["stream", "randomaccess", "fft", "hpl", "uts", "kmeans", "smithwaterman", "bc"]
+    )
+
+
+def test_build_program_rejects_unknown_kernel_and_params():
+    with pytest.raises(KernelError, match="choose from"):
+        build_program("linpack", 4)
+    with pytest.raises(KernelError):
+        build_program("stream", 4, warp_factor=9)
+
+
+@pytest.mark.parametrize("kernel", PORTABLE_KERNELS)
+def test_every_program_runs_and_reports_a_checksum(kernel):
+    run = _run(kernel, **({"depth": 5} if kernel == "uts" else {}))
+    assert run.backend == "sim"
+    assert run.checksum
+    # every program opens the root finish plus at least one SPMD/DENSE finish
+    assert sum(run.ctl_by_pragma.values()) > 0
+
+
+# -- per-kernel reference checks ---------------------------------------------------
+
+
+def test_uts_count_matches_sequential_reference():
+    from repro.kernels.uts import sequential_count
+    from repro.kernels.uts.tree import UtsParams
+
+    run = _run("uts", depth=6)
+    expected = sequential_count(UtsParams(depth=6, b0=4.0, seed=19))
+    assert run.result["nodes"] == expected
+    assert sum(run.result["_per_place"].values()) == expected
+
+
+def test_uts_count_invariant_across_place_counts():
+    totals = {p: _run("uts", places=p, depth=5).result["nodes"] for p in (1, 3, 4)}
+    assert len(set(totals.values())) == 1
+
+
+def test_kmeans_matches_sequential_reference():
+    from repro.kernels.kmeans.kmeans import (
+        generate_points,
+        initial_centroids,
+        kmeans_reference,
+    )
+
+    run = _run("kmeans")
+    p = {"n_per_place": 256, "dim": 4, "k": 8, "iterations": 5, "seed": 3}
+    points = np.vstack(
+        [generate_points(p["seed"], place, p["n_per_place"], p["dim"]) for place in range(PLACES)]
+    )
+    expected = kmeans_reference(points, initial_centroids(p["seed"], p["k"], p["dim"]), p["iterations"])
+    np.testing.assert_allclose(run.result["centroids"], expected, rtol=1e-10, atol=1e-12)
+
+
+def test_smithwaterman_matches_full_sequence_reference():
+    from repro.kernels.smithwaterman.sw import random_sequence, sw_score_reference
+
+    run = _run("smithwaterman")
+    target = random_sequence(13, "target", 512)
+    query = random_sequence(13, "query", 32)
+    assert run.result["score"] == sw_score_reference(query, target)
+    assert run.result["probe_returned"] is True
+
+
+def test_smithwaterman_score_invariant_across_place_counts():
+    scores = {p: _run("smithwaterman", places=p).result["score"] for p in (2, 4)}
+    assert len(set(scores.values())) == 1
+
+
+def test_fft_matches_numpy_spectrum():
+    run = _run("fft")
+    rng = RngStream(5, "portable/fft")
+    n = 16 * 16
+    x = rng.uniform(-1.0, 1.0, size=n) + 1j * rng.uniform(-1.0, 1.0, size=n)
+    np.testing.assert_allclose(run.result["spectrum"], np.fft.fft(x), rtol=1e-9, atol=1e-9)
+
+
+def test_hpl_reconstruction_residual_is_tiny():
+    run = _run("hpl")
+    assert run.result["n"] == 64
+    assert run.result["residual"] < 1e-10
+
+
+def test_bc_matches_full_source_brandes():
+    from repro.kernels.bc.brandes import brandes_betweenness
+    from repro.kernels.bc.rmat import rmat_graph
+
+    run = _run("bc")
+    graph = rmat_graph(7, edge_factor=8, seed=2)
+    expected = brandes_betweenness(graph, sources=range(graph.n)) / 2.0
+    np.testing.assert_allclose(run.result["centrality"], expected, rtol=1e-10, atol=1e-12)
+
+
+def test_randomaccess_matches_direct_xor_replay():
+    from repro.kernels.randomaccess.hpcc_rng import stream_slice_fast
+
+    run = _run("randomaccess", places=1)
+    size, updates = 1 << 12, 2048
+    table = np.arange(size, dtype=np.uint64)
+    values = stream_slice_fast(0, updates)
+    np.bitwise_xor.at(table, (values & np.uint64(size - 1)).astype(np.int64), values)
+    import hashlib
+
+    from repro.harness.results import checksum_bytes
+
+    digest = hashlib.sha256(np.ascontiguousarray(table).tobytes()).digest()
+    assert run.checksum == checksum_bytes(digest)
+
+
+def test_stream_is_deterministic_for_a_fixed_seed():
+    a, b = _run("stream"), _run("stream")
+    assert a.checksum == b.checksum
+    assert _run("stream", seed=99).checksum != a.checksum
+
+
+# -- finish-pragma accounting on the simulator -------------------------------------
+
+
+def test_spmd_programs_count_one_join_per_remote_place():
+    run = _run("stream")
+    assert run.ctl_by_pragma["finish_spmd"] == PLACES - 1
+    assert run.ctl_by_pragma["default"] == 0  # the root finish is home-only
+
+
+def test_smithwaterman_exercises_every_pragma():
+    ctl = _run("smithwaterman").ctl_by_pragma
+    assert set(ctl) == {"default", "finish_spmd", "finish_local", "finish_async", "finish_here"}
+    assert ctl["finish_local"] == 0
+    assert ctl["finish_async"] == 1
+    assert ctl["finish_here"] == 1

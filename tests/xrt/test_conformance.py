@@ -1,0 +1,78 @@
+"""Differential conformance: sim vs procs, all eight kernels (satellite 1).
+
+Each test runs the same portable program on the discrete-event simulator and
+on real OS processes and asserts bit-identical results, equal checksums, and
+equal per-pragma finish control-message counts (see
+:mod:`repro.xrt.conformance` for exactly what is and is not compared).
+
+These fork real place processes, so they carry the ``procs`` marker and run
+in the dedicated ``xrt-procs`` CI job rather than the tier-1 gate
+(``pytest -m procs tests/xrt`` runs them locally).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.portable import PORTABLE_KERNELS
+from repro.xrt.conformance import assert_conformant, run_conformance
+
+pytestmark = pytest.mark.procs
+
+PLACES = 4
+DEADLINE = 90.0
+
+#: per-kernel parameter overrides to keep the multi-process runs snappy;
+#: unlisted kernels run the registry defaults
+_SMALL = {
+    "uts": {"depth": 6},
+}
+
+
+@pytest.mark.parametrize("kernel", PORTABLE_KERNELS)
+def test_kernel_conformant_sim_vs_procs(kernel):
+    report = assert_conformant(
+        kernel, PLACES, deadline=DEADLINE, **_SMALL.get(kernel, {})
+    )
+    sim, procs = report.runs
+    assert sim.backend == "sim" and procs.backend == "procs"
+    assert sim.checksum  # a kernel without a checksum would vacuously pass
+    # the procs run really crossed process boundaries
+    assert procs.extra["messages_routed"] > 0
+
+
+def test_conformance_covers_every_finish_pragma():
+    """Across the suite, every finish protocol must see real traffic on both
+    backends — smithwaterman alone exercises LOCAL, ASYNC, and HERE."""
+    report = assert_conformant("smithwaterman", PLACES, deadline=DEADLINE)
+    ctl = report.runs[0].ctl_by_pragma
+    assert ctl["finish_local"] == 0  # never remote, never a message
+    assert ctl["finish_async"] == 1  # one remote activity, one join
+    assert ctl["finish_here"] == 1  # remote leg joins; home leg is free
+    assert ctl["finish_spmd"] == PLACES - 1
+
+
+def test_conformance_detects_divergence():
+    """The differ itself must not be vacuous: different params must FAIL."""
+    report = run_conformance("stream", PLACES, backends=("sim",), seed=11)
+    other = run_conformance("stream", PLACES, backends=("sim",), seed=12)
+    report.runs.append(other.runs[0])
+    from repro.xrt.conformance import ConformanceReport, deep_equal
+
+    diffs = deep_equal(report.runs[0].result, report.runs[1].result)
+    assert diffs  # the two seeds genuinely differ...
+    rebuilt = ConformanceReport("stream", PLACES, report.runs, diffs)
+    assert not rebuilt.conformant
+    assert "FAIL" in rebuilt.render()
+
+
+def test_uts_totals_invariant_under_real_stealing():
+    """Node totals are checked against the sequential tree count, so the
+    procs run agreeing means stealing over real sockets lost nothing."""
+    from repro.kernels.uts import sequential_count
+    from repro.kernels.uts.tree import UtsParams
+
+    report = assert_conformant("uts", PLACES, deadline=DEADLINE, depth=6)
+    expected = sequential_count(UtsParams(depth=6, b0=4.0, seed=19))
+    for run in report.runs:
+        assert run.result["nodes"] == expected

@@ -1,0 +1,286 @@
+"""In-process tests of the procs backend's building blocks.
+
+Everything here runs inside the test process (the one multi-place component
+exercised is ``places=1``, where the launcher forks nothing), so these tests
+run in the tier-1 gate and give the loop / finish / runtime code coverage
+that forked children cannot report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlaceError, PragmaError, ProcsError, ProcsTimeoutError
+from repro.runtime.finish.pragmas import Pragma
+from repro.xrt.backend import WallClock, get_backend
+from repro.xrt.procs import run_procs_program
+from repro.xrt.procs.finishproc import HomeFinish, ProxyFinish, resolve_finish
+from repro.xrt.procs.loop import PlaceLoop
+from repro.xrt.procs.runtime import ProcsRuntime
+
+# -- the wall clock ----------------------------------------------------------------
+
+
+def test_wall_clock_starts_near_zero_and_advances():
+    clock = WallClock()
+    first = clock.now
+    assert 0.0 <= first < 1.0
+    assert clock.now >= first
+
+
+# -- PlaceLoop scheduling ----------------------------------------------------------
+
+
+def _drain(loop):
+    """Run the loop until something calls stop()."""
+    loop.run()
+
+
+def test_loop_call_soon_runs_in_order():
+    loop = PlaceLoop()
+    seen = []
+    loop.call_soon_fire(lambda: seen.append(1))
+    loop.call_soon_fire(lambda: seen.append(2))
+    loop.call_soon_fire(loop.stop)
+    _drain(loop)
+    assert seen == [1, 2]
+
+
+def test_loop_timers_fire_in_due_order():
+    loop = PlaceLoop()
+    seen = []
+    loop.schedule_fire(0.02, lambda: seen.append("later"))
+    loop.schedule_fire(0.005, lambda: (seen.append("sooner"), loop.schedule_fire(0.03, loop.stop)))
+    _drain(loop)
+    assert seen == ["sooner", "later"]
+
+
+def test_loop_timer_cancellation():
+    loop = PlaceLoop()
+    seen = []
+    handle = loop.schedule(0.005, lambda: seen.append("cancelled"))
+    loop.schedule(0.01, lambda: seen.append("kept"))
+    loop.schedule(0.03, loop.stop)
+    handle.cancel()
+    _drain(loop)
+    assert seen == ["kept"]
+
+
+def test_loop_call_soon_cancellation():
+    loop = PlaceLoop()
+    seen = []
+    handle = loop.call_soon(lambda: seen.append("cancelled"))
+    handle.cancel()
+    loop.call_soon_fire(loop.stop)
+    _drain(loop)
+    assert seen == []
+
+
+def test_loop_nonpositive_delay_runs_immediately():
+    loop = PlaceLoop()
+    seen = []
+    loop.schedule_fire(0.0, lambda: seen.append("zero"))
+    loop.schedule_fire(-1.0, lambda: seen.append("negative"))
+    loop.call_soon_fire(loop.stop)
+    _drain(loop)
+    assert seen == ["zero", "negative"]
+
+
+def test_loop_deadline_raises_procs_timeout():
+    loop = PlaceLoop(deadline=0.05)
+    with pytest.raises(ProcsTimeoutError):
+        loop.run()  # nothing to do: idles straight into the deadline
+
+
+def test_loop_dispatch_without_handler_is_an_error():
+    loop = PlaceLoop()
+    with pytest.raises(RuntimeError, match="no handler"):
+        loop.dispatch(("mystery", 1, 0, None))
+
+
+def test_loop_blocked_registry():
+    loop = PlaceLoop()
+    loop._note_blocked("p1")
+    loop._note_blocked("p1")
+    loop._note_unblocked("p1")
+    loop._note_unblocked("never-blocked")  # discard, not remove
+    assert not loop._blocked
+
+
+# -- finish protocol state machines ------------------------------------------------
+
+
+def _runtime(place_id: int = 0, n_places: int = 4) -> ProcsRuntime:
+    return ProcsRuntime(PlaceLoop(), place_id=place_id, n_places=n_places)
+
+
+def test_home_finish_counts_and_quiesces():
+    prt = _runtime()
+    fin = HomeFinish(prt, Pragma.FINISH_SPMD)
+    for dst in range(4):
+        fin.on_fork(0, dst)
+    assert fin.pending == fin.total_forks == 4
+    fin.on_join(0)  # home-local join: free
+    for _ in range(3):
+        fin.on_remote_join()
+    assert fin.pending == 0
+    assert fin.remote_joins == 3
+    assert fin.wait().fired
+
+
+def test_home_finish_registers_pragma_at_zero():
+    prt = _runtime()
+    HomeFinish(prt, Pragma.FINISH_DENSE)
+    assert prt.ctl_by_pragma == {"finish_dense": 0}
+
+
+def test_home_finish_empty_wait_fires_immediately():
+    fin = HomeFinish(_runtime(), Pragma.DEFAULT)
+    assert fin.wait().fired
+
+
+def test_finish_async_rejects_second_fork():
+    fin = HomeFinish(_runtime(), Pragma.FINISH_ASYNC)
+    fin.on_fork(0, 2)
+    with pytest.raises(PragmaError, match="single activity"):
+        fin.on_fork(0, 3)
+
+
+def test_finish_here_requires_return_home():
+    fin = HomeFinish(_runtime(), Pragma.FINISH_HERE)
+    fin.on_fork(0, 2)
+    with pytest.raises(PragmaError, match="return"):
+        fin.on_fork(2, 3)  # second leg must come home to place 0
+    fin.on_fork(2, 0)
+    with pytest.raises(PragmaError, match="round trip"):
+        fin.on_fork(0, 1)
+
+
+def test_finish_local_rejects_remote_spawn():
+    fin = HomeFinish(_runtime(), Pragma.FINISH_LOCAL)
+    fin.on_fork(0, 0)
+    with pytest.raises(PragmaError, match="remote"):
+        fin.on_fork(0, 1)
+
+
+def test_more_joins_than_forks_is_a_protocol_error():
+    fin = HomeFinish(_runtime(), Pragma.DEFAULT)
+    fin.on_fork(0, 0)
+    fin.on_join(0)
+    with pytest.raises(PragmaError, match="more joins"):
+        fin.on_join(0)
+
+
+def test_proxy_finish_sends_fork_then_counted_join():
+    prt = _runtime(place_id=2)
+    sent = []
+    prt.send_frame = sent.append
+    proxy = ProxyFinish(prt, fid=(0, 5), pragma_value="finish_dense", home=0)
+    proxy.on_fork(2, 3)
+    proxy.on_join(2)
+    kinds = [frame[0] for frame in sent]
+    assert kinds == ["fork", "join"]
+    assert all(frame[1] == 2 and frame[2] == 0 for frame in sent)
+    # only the JOIN is a counted control message
+    assert prt.ctl_by_pragma == {"finish_dense": 1}
+
+
+def test_proxy_finish_cannot_be_waited_on():
+    proxy = ProxyFinish(_runtime(place_id=1), fid=(0, 0), pragma_value="default", home=0)
+    with pytest.raises(PragmaError, match="home place"):
+        proxy.wait()
+
+
+def test_resolve_finish_home_vs_proxy():
+    prt = _runtime(place_id=0)
+    fin = prt.open_finish(Pragma.DEFAULT)
+    assert resolve_finish(prt, fin.fid, "default", home=0) is fin
+
+    remote = _runtime(place_id=3)
+    proxy = resolve_finish(remote, fin.fid, "default", home=0)
+    assert isinstance(proxy, ProxyFinish)
+    # resolving the same fid again reuses the proxy
+    assert resolve_finish(remote, fin.fid, "default", home=0) is proxy
+
+
+def test_finish_ids_never_collide():
+    prt = _runtime()
+    fids = {prt.open_finish(Pragma.DEFAULT).fid for _ in range(10)}
+    assert len(fids) == 10
+
+
+# -- runtime wiring ----------------------------------------------------------------
+
+
+def test_unwired_runtime_refuses_to_send():
+    prt = _runtime()
+    with pytest.raises(ProcsError, match="not wired"):
+        prt.send_item(1, "box", "item")
+
+
+def test_send_item_checks_place_bounds():
+    prt = _runtime(n_places=2)
+    with pytest.raises(PlaceError):
+        prt.send_item(5, "box", "item")
+
+
+def test_local_send_item_skips_the_wire():
+    prt = _runtime()  # send_frame still unwired: a local put must not need it
+    prt.send_item(0, "box", "payload")
+    ok, item = prt.mailbox("box").try_get()
+    assert ok and item == "payload"
+
+
+def test_get_backend_unknown_name():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("mpi")
+
+
+def test_run_procs_rejects_zero_places():
+    with pytest.raises(PlaceError):
+        run_procs_program("stream", places=0)
+
+
+# -- a full single-place run (launcher + loop + runtime, no children) --------------
+
+
+def _single_place_main(ctx):
+    """Exercises nested finish, local spawn, mailboxes, sleep, and at()."""
+    with ctx.finish(Pragma.FINISH_LOCAL) as f:
+        ctx.async_(_single_place_child, 21)
+    yield f.wait()
+    yield ctx.sleep(0.001)
+    doubled = yield ctx.at(0, _single_place_eval, 5)
+    ok, stored = ctx.try_recv("answers")
+    assert ok
+    return {"checksum": "local", "stored": stored, "doubled": doubled,
+            "now": ctx.now, "places": list(ctx.places())}
+
+
+def _single_place_child(ctx, value):
+    yield ctx.compute(seconds=1.0)  # cooperative yield; charges no wall time
+    ctx.send(0, "answers", value * 2)
+
+
+def _single_place_eval(ctx, x):
+    return x * 2
+
+
+def test_single_place_run_completes_in_process():
+    report = run_procs_program(_single_place_main, places=1, deadline=10.0)
+    assert report.places == 1
+    assert report.result["stored"] == 42
+    assert report.result["doubled"] == 10
+    assert report.result["places"] == [0]
+    assert report.messages_routed == 0  # no children, nothing on a wire
+    # root DEFAULT finish and the nested LOCAL finish both registered, free
+    assert report.ctl_by_pragma == {"default": 0, "finish_local": 0}
+
+
+def test_single_place_kernel_by_name():
+    report = run_procs_program(
+        "stream", places=1, params={"n_per_place": 256, "iterations": 2}, deadline=10.0
+    )
+    assert report.kernel == "stream"
+    assert report.result["n_total"] == 256
+    assert report.result["checksum"]
