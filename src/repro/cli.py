@@ -24,6 +24,7 @@ from repro.harness.reporting import si
 from repro.harness.runner import KERNELS, simulate
 from repro.harness.tables import render_table1, render_table2, table1, table2
 from repro.obs import audit_trace
+from repro.sim import ENGINES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,9 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
         "by respawning the place and re-executing only the lost epoch"
     )
 
+    engine_help = (
+        "event core: 'slotted' (preallocated slot arrays, the default) or "
+        "'classic' (per-event objects); both produce bit-identical runs"
+    )
+
     run = sub.add_parser("run", help="simulate one kernel at one scale")
     run.add_argument("kernel", choices=KERNELS)
     run.add_argument("--places", type=int, default=32)
+    run.add_argument("--engine", choices=sorted(ENGINES), default=None, help=engine_help)
     run.add_argument(
         "--stats", action="store_true", help="print the metrics snapshot after the result"
     )
@@ -85,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="run one kernel with event tracing and audit the trace")
     trace.add_argument("kernel", choices=KERNELS)
     trace.add_argument("--places", type=int, default=32)
+    trace.add_argument("--engine", choices=sorted(ENGINES), default=None, help=engine_help)
     trace.add_argument("--chaos", default=None, metavar="SPEC", help=chaos_help)
     trace.add_argument("--resilient", action="store_true", help=resilient_help)
     trace.add_argument("--out", default=None, help="trace output path (default trace_<kernel>_<places>)")
@@ -202,7 +210,8 @@ def main(argv=None, out=sys.stdout) -> int:
             return _run_backend(args, out)
         try:
             result = simulate(
-                args.kernel, args.places, chaos=args.chaos, resilient=args.resilient
+                args.kernel, args.places, chaos=args.chaos, resilient=args.resilient,
+                engine=args.engine,
             )
         except ChaosError as exc:
             print(f"error: bad --chaos spec: {exc}", file=out)
@@ -269,7 +278,7 @@ def main(argv=None, out=sys.stdout) -> int:
         try:
             result = simulate(
                 args.kernel, args.places, trace=True, chaos=args.chaos,
-                resilient=args.resilient,
+                resilient=args.resilient, engine=args.engine,
             )
         except ChaosError as exc:
             print(f"error: bad --chaos spec: {exc}", file=out)
@@ -340,11 +349,18 @@ def _run_backend(args, out) -> int:
             file=out,
         )
         return 2
+    if args.engine is not None and args.backend == "procs":
+        print(
+            "error: --engine selects the simulator's event core and does not "
+            "apply to --backend procs",
+            file=out,
+        )
+        return 2
     try:
         if args.backend == "procs":
             backend = get_backend("procs", deadline=args.deadline)
         else:
-            backend = get_backend(args.backend)
+            backend = get_backend(args.backend, engine=args.engine)
         run = backend.run(args.kernel, args.places)
     except KernelError as exc:
         print(f"error: {exc}", file=out)
@@ -518,9 +534,8 @@ def _cmd_perf(args, out) -> int:
         write_results,
     )
 
-    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
-    if not 0.0 <= tolerance < 1.0:
-        print(f"error: --tolerance must be in [0, 1), got {tolerance}", file=out)
+    if args.tolerance is not None and not 0.0 <= args.tolerance < 1.0:
+        print(f"error: --tolerance must be in [0, 1), got {args.tolerance}", file=out)
         return 2
     if args.repeats < 1:
         print(f"error: --repeats must be >= 1, got {args.repeats}", file=out)
@@ -553,22 +568,34 @@ def _cmd_perf(args, out) -> int:
             repeats=args.repeats,
             log=lambda msg: print(msg, file=out),
         )
-        print(render_results(results, baselines.get(suite)), file=out)
+        base = baselines.get(suite)
+        print(render_results(results, base.results if base else None), file=out)
         path = os.path.join(args.out_dir, f"BENCH_{suite}.json")
-        write_results(path, suite, results, quick=args.quick)
+        # each suite gates (and re-serializes) at its own tolerance; --tolerance
+        # overrides for this invocation only
+        if args.tolerance is not None:
+            tolerance = args.tolerance
+        elif base is not None:
+            tolerance = base.tolerance
+        else:
+            tolerance = DEFAULT_TOLERANCE
+        write_results(path, suite, results, quick=args.quick, tolerance=tolerance)
         print(f"  -> {path}", file=out)
         if args.check:
-            for reg in compare_to_baseline(results, baselines[suite], tolerance):
+            suite_regs = compare_to_baseline(results, base.results, tolerance)
+            for reg in suite_regs:
                 regressed = True
                 print(
                     f"REGRESSION {reg.name}: {reg.value:,.0f} vs baseline "
                     f"{reg.baseline:,.0f} ({reg.ratio:.2f}x, tolerance {tolerance:.0%})",
                     file=out,
                 )
+            if not suite_regs:
+                print(f"  suite {suite}: within tolerance {tolerance:.0%}", file=out)
     if args.check:
         if regressed:
             return 1
-        print(f"perf check passed (tolerance {tolerance:.0%})", file=out)
+        print("perf check passed", file=out)
     return 0
 
 

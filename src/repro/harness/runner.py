@@ -23,18 +23,22 @@ def make_runtime(
     config: Optional[MachineConfig] = None,
     trace: bool = False,
     chaos: Optional[str] = None,
+    engine: Optional[str] = None,
     **overrides,
 ) -> ApgasRuntime:
     """A runtime on the full Power 775 constants (``overrides`` patch the config).
 
     ``trace=True`` enables the event tracer (``rt.obs.trace``); ``chaos``
     takes a fault-injection spec string (see :class:`repro.chaos.ChaosSpec`)
-    and switches the transport into resilient mode.
+    and switches the transport into resilient mode.  ``engine`` picks the
+    event core (``slotted`` | ``classic``; None = default).
     """
     cfg = config or MachineConfig()
     if overrides:
         cfg = cfg.with_(**overrides)
-    return ApgasRuntime(places=places, config=cfg, obs=Observability(trace=trace), chaos=chaos)
+    return ApgasRuntime(
+        places=places, config=cfg, obs=Observability(trace=trace), chaos=chaos, engine=engine
+    )
 
 
 #: kernels with a checkpoint/restore implementation (``--resilient``)
@@ -48,6 +52,7 @@ def simulate(
     trace: bool = False,
     chaos: Optional[str] = None,
     resilient: bool = False,
+    engine: Optional[str] = None,
     **kwargs,
 ) -> KernelResult:
     """Run one kernel at one scale inside the simulator.
@@ -70,7 +75,7 @@ def simulate(
                 f"--resilient supports {sorted(RESILIENT_KERNELS)}"
             )
         kwargs["resilient"] = True
-    rt = make_runtime(places, config, trace=trace, chaos=chaos)
+    rt = make_runtime(places, config, trace=trace, chaos=chaos, engine=engine)
     result = runner(rt, **kwargs)
     result.extra["metrics"] = rt.obs.metrics.snapshot()
     if trace:

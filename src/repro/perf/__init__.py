@@ -13,6 +13,7 @@ runs), and CI fails when a committed baseline degrades past tolerance.
 from repro.perf.benches import BENCHES, run_suite
 from repro.perf.harness import (
     DEFAULT_TOLERANCE,
+    Baseline,
     BenchResult,
     compare_to_baseline,
     load_results,
@@ -24,6 +25,7 @@ from repro.perf.harness import (
 __all__ = [
     "BENCHES",
     "DEFAULT_TOLERANCE",
+    "Baseline",
     "BenchResult",
     "compare_to_baseline",
     "load_results",

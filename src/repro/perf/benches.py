@@ -2,10 +2,12 @@
 
 Two suites, mirroring the two layers the fast-path work targets:
 
-* ``sim`` (-> ``BENCH_sim.json``): microbenchmarks of the engine's event
-  loop (heap timers, batched zero-delay dispatch, cancel-churn compaction),
-  the transport's send/ack round-trip path, and FINISH_DENSE's coalescing
-  windows.  These localize a regression to a subsystem.
+* ``sim`` (-> ``BENCH_sim.json``): microbenchmarks of the classic engine's
+  event loop (heap timers, batched zero-delay dispatch, cancel-churn
+  compaction), the slotted core's fast paths (freelist churn, batched
+  payload-call dispatch, interned-handle timers), the transport's send/ack
+  round-trip path, and FINISH_DENSE's coalescing windows.  These localize a
+  regression to a subsystem.
 * ``kernels`` (-> ``BENCH_kernels.json``): whole-stack macro runs of UTS
   through :func:`repro.harness.simulate` — the number that actually bounds
   how large a sweep the repo can afford.  ``uts@1024`` is the headline
@@ -82,6 +84,66 @@ def _bench_engine_cancel_churn(waves: int = 100, batch: int = 1000) -> float:
     wave(0)
     eng.run()
     return waves * batch
+
+
+# -- slotted-core microbenchmarks ----------------------------------------------
+
+
+def _bench_slotted_churn(n: int = 200_000) -> float:
+    """Slot alloc/free churn through the freelist: timers at scattered delays.
+
+    Steady state keeps a few hundred slots in flight, so every schedule pops
+    a recycled slot and every dispatch pushes it back — the allocation-free
+    regime the slotted core exists for.
+    """
+    from repro.sim.slotted import SlottedEngine
+
+    eng = SlottedEngine()
+    schedule = eng.schedule_call
+    for i in range(n):
+        schedule(((i * 2654435761) % 997 + 1) * 1e-6, _noop1, i)
+    eng.run()
+    return eng.events_executed
+
+
+def _bench_slotted_batch(n: int = 200_000) -> float:
+    """Batched zero-delay dispatch: a self-reposting payload-call chain.
+
+    The ready list is drained by cursor in same-timestamp batches; the
+    payload argument rides in the slot table, so the whole chain allocates
+    nothing per event.
+    """
+    from repro.sim.slotted import SlottedEngine
+
+    eng = SlottedEngine()
+
+    def tick(remaining: int) -> None:
+        if remaining > 1:
+            eng.call_soon_call(tick, remaining - 1)
+
+    eng.call_soon_call(tick, n)
+    eng.run()
+    return n
+
+
+def _bench_slotted_fire(n: int = 200_000) -> float:
+    """Interned-handle scheduling: ``schedule_fire`` heap timers.
+
+    Fire-and-forget callers share one conceptual never-cancelled handle, so
+    the entry is just ``(time, seq, callback)`` — no slot, no handle object.
+    """
+    from repro.sim.slotted import SlottedEngine
+
+    eng = SlottedEngine()
+    schedule = eng.schedule_fire
+    for i in range(n):
+        schedule(((i * 2654435761) % 997 + 1) * 1e-6, _noop)
+    eng.run()
+    return eng.events_executed
+
+
+def _noop1(_a) -> None:
+    pass
 
 
 # -- transport / finish microbenchmarks ---------------------------------------
@@ -194,6 +256,27 @@ BENCHES: list[Bench] = [
         unit="timers/s",
         fn=_bench_engine_cancel_churn,
         params={"waves": 100, "batch": 1000},
+    ),
+    Bench(
+        name="slotted.churn@200k",
+        suite="sim",
+        unit="events/s",
+        fn=_bench_slotted_churn,
+        params={"n": 200_000},
+    ),
+    Bench(
+        name="slotted.batch@200k",
+        suite="sim",
+        unit="events/s",
+        fn=_bench_slotted_batch,
+        params={"n": 200_000},
+    ),
+    Bench(
+        name="slotted.fire@200k",
+        suite="sim",
+        unit="events/s",
+        fn=_bench_slotted_fire,
+        params={"n": 200_000},
     ),
     Bench(
         name="transport.roundtrip@4k",

@@ -12,6 +12,14 @@ Bench names encode their scale (``uts@1024``, ``broadcast@256``) so a result
 is only ever compared against a baseline entry with identical parameters;
 quick-mode runs simply produce a subset of names and are checked against the
 matching subset of the committed full baseline.
+
+Schema v2: every baseline document carries its own ``tolerance``.  Quick-mode
+CI previously applied the hard-coded default to every suite, silently — the
+macro kernel suite needs a looser gate than the microbenches, and a baseline
+file whose tolerance was lost in editing should fail loudly, not gate at
+whatever the binary's default happens to be.  ``--tolerance`` still overrides
+for one-off runs; a baseline without a well-formed tolerance is a usage error
+(exit 2), never a silent fallback.
 """
 
 from __future__ import annotations
@@ -21,7 +29,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: default allowed fractional slowdown before --check fails (20%)
 DEFAULT_TOLERANCE = 0.2
@@ -38,6 +46,16 @@ class BenchResult:
     best_s: float  #: fastest wall-clock run, the basis of ``value``
     runs_s: list[float] = field(default_factory=list)  #: every timed run
     params: dict = field(default_factory=dict)  #: scale knobs, for the record
+
+
+@dataclass
+class Baseline:
+    """A loaded ``BENCH_*.json`` document: results plus the suite's own gate."""
+
+    suite: str
+    tolerance: float  #: allowed fractional slowdown for this suite
+    quick: bool
+    results: dict[str, BenchResult]
 
 
 @dataclass
@@ -74,12 +92,19 @@ def measure(
     return ops, min(runs), runs
 
 
-def write_results(path: str, suite: str, results: list[BenchResult], quick: bool) -> None:
+def write_results(
+    path: str,
+    suite: str,
+    results: list[BenchResult],
+    quick: bool,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> None:
     """Serialize one suite's results as a ``BENCH_*.json`` document."""
     doc = {
         "schema": SCHEMA_VERSION,
         "suite": suite,
         "quick": quick,
+        "tolerance": tolerance,
         "higher_is_better": True,
         "results": [asdict(r) for r in results],
     }
@@ -88,8 +113,13 @@ def write_results(path: str, suite: str, results: list[BenchResult], quick: bool
         f.write("\n")
 
 
-def load_results(path: str) -> dict[str, BenchResult]:
-    """Load a ``BENCH_*.json`` document as ``{name: BenchResult}``."""
+def load_results(path: str) -> Baseline:
+    """Load and validate a ``BENCH_*.json`` document.
+
+    The per-suite ``tolerance`` is mandatory and must be a number in
+    ``[0, 1)`` — a baseline that lost its gate in hand-editing fails here,
+    loudly, instead of gating at some default.
+    """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     if doc.get("schema") != SCHEMA_VERSION:
@@ -97,11 +127,24 @@ def load_results(path: str) -> dict[str, BenchResult]:
             f"{path}: unsupported benchmark schema {doc.get('schema')!r} "
             f"(expected {SCHEMA_VERSION})"
         )
-    out: dict[str, BenchResult] = {}
+    tolerance = doc.get("tolerance")
+    if isinstance(tolerance, bool) or not isinstance(tolerance, (int, float)):
+        raise ValueError(
+            f"{path}: missing or malformed per-suite tolerance {tolerance!r} "
+            "(schema v2 requires a number in [0, 1))"
+        )
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"{path}: tolerance {tolerance!r} out of range [0, 1)")
+    results: dict[str, BenchResult] = {}
     for entry in doc["results"]:
         result = BenchResult(**entry)
-        out[result.name] = result
-    return out
+        results[result.name] = result
+    return Baseline(
+        suite=doc.get("suite", ""),
+        tolerance=float(tolerance),
+        quick=bool(doc.get("quick", False)),
+        results=results,
+    )
 
 
 def compare_to_baseline(

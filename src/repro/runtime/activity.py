@@ -36,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Activity:
     """One asynchronous task, governed by a finish, running at a place."""
 
-    __slots__ = ("id", "place", "fn", "args", "governing_finish", "name", "finish_stack", "process")
+    __slots__ = ("id", "place", "fn", "args", "governing_finish", "_name", "finish_stack", "process")
 
     def __init__(self, place: int, fn: Callable, args: tuple, finish: BaseFinish, name: str = ""):
         # ids are per-runtime so two identical runs export identical traces
@@ -45,10 +45,19 @@ class Activity:
         self.fn = fn
         self.args = args
         self.governing_finish = finish
-        self.name = name or f"{getattr(fn, '__name__', 'activity')}@{place}"
+        self._name = name
         #: innermost-first stack of finish scopes opened inside this activity
         self.finish_stack: list[BaseFinish] = [finish]
         self.process = None  # set when the activity starts
+
+    @property
+    def name(self) -> str:
+        """Display name, derived on first use — only error paths, traces, and
+        deadlock reports read it, and most activities never hit any of those."""
+        n = self._name
+        if not n:
+            n = self._name = f"{getattr(self.fn, '__name__', 'activity')}@{self.place}"
+        return n
 
     @property
     def current_finish(self) -> BaseFinish:

@@ -83,6 +83,13 @@ class BaseFinish:
         self.home_space_bytes = 0
         metrics = rt.obs.metrics
         self._m_on = metrics.enabled
+        #: death accounting (tokens, live-activity census) only matters when
+        #: fault injection can kill a place; without chaos it is pure overhead
+        self._track_live = rt.chaos is not None
+        #: virtual-dispatch guards: most protocols leave these hooks as the
+        #: base no-ops, and the fork path is hot enough that the call shows
+        self._has_validate = type(self).validate_fork is not BaseFinish.validate_fork
+        self._has_on_fork = type(self).on_fork is not BaseFinish.on_fork
         metrics.counter("finish.opened", pragma=self.pragma.value).inc()
         self._c_ctl_messages = metrics.counter("finish.ctl_messages", pragma=self.pragma.value)
         self._c_ctl_bytes = metrics.counter("finish.ctl_bytes", pragma=self.pragma.value)
@@ -107,11 +114,14 @@ class BaseFinish:
         """An activity governed by this finish is being spawned src -> dst."""
         if self.failed is not None:
             raise self.failed
-        self.validate_fork(src, dst)
+        if self._has_validate:
+            self.validate_fork(src, dst)
         self.pending += 1
         self.total_forks += 1
-        self._live_at[dst] = self._live_at.get(dst, 0) + 1
-        self.on_fork(src, dst)
+        if self._track_live:
+            self._live_at[dst] = self._live_at.get(dst, 0) + 1
+        if self._has_on_fork:
+            self.on_fork(src, dst)
 
     def join(self, place: int) -> None:
         """An activity governed by this finish terminated at ``place``."""
@@ -120,12 +130,14 @@ class BaseFinish:
             # nothing — the waiters already hold the DeadPlaceError
             if self.pending > 0:
                 self.pending -= 1
-            self._drop_live(place)
+            if self._track_live:
+                self._drop_live(place)
             return
         if self.pending <= 0:
             raise FinishError(f"{self.name}: join without a matching fork")
         self.pending -= 1
-        self._drop_live(place)
+        if self._track_live:
+            self._drop_live(place)
         if place != self.home:
             self.remote_joins += 1
         self.on_join(place)
@@ -234,6 +246,11 @@ class BaseFinish:
                 "finish.ctl", "finish", src, self.rt.engine.now,
                 id=self.finish_id, src=src, dst=dst, nbytes=nbytes, pragma=self.pragma.value,
             )
+        if self.rt.chaos is None:
+            # reliable fabric: no message can be lost or written off, so the
+            # in-flight token and its arrival wrapper are pure overhead
+            self.rt.send_finish_ctl(self, src, dst, nbytes, on_arrival)
+            return
         token = _CtlMsg(src, dst, reports)
         self._ctl_inflight.add(token)
 
@@ -245,18 +262,26 @@ class BaseFinish:
 
         self.rt.send_finish_ctl(self, src, dst, nbytes, arrived)
 
-    def spawn_departed(self, src: int, dst: int) -> _CtlMsg:
-        """A remote spawn left ``src``; the token rides in the message."""
+    def spawn_departed(self, src: int, dst: int) -> Optional[_CtlMsg]:
+        """A remote spawn left ``src``; the token rides in the message.
+
+        On a reliable fabric no spawn can be written off, so no token is
+        tracked at all (``None`` rides in the message instead).
+        """
+        if self.rt.chaos is None:
+            return None
         token = _CtlMsg(src, dst, 1)
         self._spawn_inflight.add(token)
         return token
 
-    def spawn_landed(self, token: _CtlMsg) -> bool:
+    def spawn_landed(self, token: Optional[_CtlMsg]) -> bool:
         """The spawn message arrived.  False means it was written off when a
         place died (or the finish failed) — the activity must not start,
         because its fork has already been settled."""
         if self.failed is not None:
             return False
+        if token is None:
+            return True
         if token not in self._spawn_inflight:
             return False
         self._spawn_inflight.discard(token)

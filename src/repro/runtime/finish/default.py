@@ -46,4 +46,4 @@ class DefaultFinish(BaseFinish):
         # place's compressed transition vector
         nbytes = CTL_BYTES + 8 * max(1, len(dirty))
         self.report_pending()
-        self.send_ctl(place, self.home, nbytes, lambda: self.report_arrived())
+        self.send_ctl(place, self.home, nbytes, self.report_arrived)

@@ -33,7 +33,7 @@ class FinishAsync(BaseFinish):
         if place == self.home:
             return
         self.report_pending()
-        self.send_ctl(place, self.home, CTL_BYTES, lambda: self.report_arrived())
+        self.send_ctl(place, self.home, CTL_BYTES, self.report_arrived)
 
 
 class FinishHere(BaseFinish):
@@ -62,7 +62,7 @@ class FinishHere(BaseFinish):
             # outbound leg's report below is the only control message
             return
         self.report_pending()
-        self.send_ctl(place, self.home, CTL_BYTES, lambda: self.report_arrived())
+        self.send_ctl(place, self.home, CTL_BYTES, self.report_arrived)
 
 
 class FinishLocal(BaseFinish):
@@ -96,4 +96,4 @@ class FinishSpmd(BaseFinish):
         if place == self.home:
             return
         self.report_pending()
-        self.send_ctl(place, self.home, CTL_BYTES, lambda: self.report_arrived())
+        self.send_ctl(place, self.home, CTL_BYTES, self.report_arrived)

@@ -15,7 +15,7 @@ from repro.obs import Observability
 from repro.runtime.activity import Activity, ActivityContext
 from repro.runtime.finish import BaseFinish, Pragma, make_finish
 from repro.runtime.place import PlaceRuntime
-from repro.sim.engine import Engine
+from repro.sim import make_engine
 from repro.sim.events import SimEvent
 from repro.sim.process import Process
 from repro.xrt import (
@@ -88,6 +88,7 @@ class ApgasRuntime:
         workers_per_place: int = 1,
         obs: Optional[Observability] = None,
         chaos: Optional[object] = None,
+        engine: Optional[object] = None,
     ) -> None:
         """``workers_per_place`` models ``X10_NTHREADS``: the paper runs one
         worker per place (the default); larger values let concurrent
@@ -98,13 +99,18 @@ class ApgasRuntime:
         :class:`~repro.chaos.ChaosSpec` (or its ``parse`` text form) enabling
         deterministic fault injection; the transport then runs in resilient
         mode and the runtime survives — or fails structurally on — place
-        deaths."""
+        deaths.  ``engine`` selects the event core: an engine-name string
+        (``"slotted"`` | ``"classic"``, see :func:`repro.sim.make_engine`), an
+        already-built engine instance, or None for the default core."""
         if workers_per_place < 1:
             raise ApgasError("workers_per_place must be >= 1")
         self.workers_per_place = workers_per_place
         self.config = config if config is not None else MachineConfig()
         self.obs = obs if obs is not None else Observability()
-        self.engine = Engine()
+        if engine is None or isinstance(engine, str):
+            self.engine = make_engine(engine) if engine else make_engine()
+        else:
+            self.engine = engine
         #: the scheduling seam (see :mod:`repro.xrt.backend`): this runtime's
         #: clock is the virtual-time engine itself; the procs backend swaps a
         #: wall-clock loop into the same slot
@@ -248,7 +254,9 @@ class ApgasRuntime:
         fn, args, finish, name, token = body
         if not finish.spawn_landed(token):
             return  # written off by a place death; its fork is already settled
-        self._start_activity(dst, fn, args, finish, name, allow_plain=True)
+        # The delivery event *is* the asynchrony of ``at (p) async``: the body
+        # may run right here rather than through one more zero-delay hop.
+        self._start_activity(dst, fn, args, finish, name, allow_plain=True, inline=True)
 
     def _is_genfunc(self, fn: Callable) -> bool:
         key = getattr(fn, "__func__", fn)
@@ -265,6 +273,7 @@ class ApgasRuntime:
         finish: BaseFinish,
         name: str,
         allow_plain: bool = False,
+        inline: bool = False,
     ) -> Activity:
         activity = Activity(place, fn, args, finish, name)
         if self._m_on:
@@ -277,50 +286,16 @@ class ApgasRuntime:
             and not tracer.enabled
             and not self._is_genfunc(fn)
         ):
-            # Plain-function body on a reliable fabric with tracing off: run
-            # it as one scheduled callback, skipping the generator/Process
-            # machinery entirely.  Same engine step as the Process path would
-            # use (one ready-queue entry), same join-on-crash semantics.
-            def run_plain():
-                ctx = ActivityContext(self, activity)
-                try:
-                    result = fn(ctx, *args)
-                except BaseException:
-                    if len(activity.finish_stack) != 1:
-                        raise ApgasError(
-                            f"activity {activity.name} terminated inside an open finish scope"
-                        )
-                    finish.join(place)
-                    raise
-                if inspect.isgenerator(result):
-                    # a non-generator callable handed back a generator body
-                    # after all; fall back to driving it as a process
-                    def drive():
-                        vanished = False
-                        try:
-                            value = yield from result
-                            return value
-                        except GeneratorExit:
-                            vanished = True
-                            raise
-                        finally:
-                            if not vanished:
-                                if len(activity.finish_stack) != 1:
-                                    raise ApgasError(
-                                        f"activity {activity.name} terminated inside "
-                                        "an open finish scope"
-                                    )
-                                finish.join(place)
-
-                    activity.process = Process(self.engine, drive(), name=activity.name)
-                    return
-                if len(activity.finish_stack) != 1:
-                    raise ApgasError(
-                        f"activity {activity.name} terminated inside an open finish scope"
-                    )
-                finish.join(place)
-
-            self.engine.call_soon_fire(run_plain)
+            # Plain-function body on a reliable fabric with tracing off: skip
+            # the generator/Process machinery entirely.  ``inline`` callers
+            # (message delivery) already sit inside a scheduled event — the
+            # asynchrony the spawn requires — so the body runs right here;
+            # synchronous callers (``spawn_local``) must defer one step or the
+            # child would run inside its parent's frame.
+            if inline:
+                self._run_plain(activity)
+            else:
+                self.engine.call_soon_call(self._run_plain, activity)
             return activity
 
         def runner():
@@ -366,9 +341,58 @@ class ApgasRuntime:
                         )
                     finish.join(place)
 
-        activity.process = Process(self.engine, runner(), name=activity.name)
+        # Delivery-driven starts on a reliable fabric run their first step
+        # inside the delivery event, mirroring the plain fast path so traced
+        # and untraced runs execute the same number of engine events.
+        activity.process = Process(
+            self.engine, runner(), name=activity.name,
+            immediate=inline and self.chaos is None,
+        )
         self._track_process(place, activity.process)
         return activity
+
+    def _run_plain(self, activity: Activity) -> None:
+        """The scheduled step of a plain-function activity (no chaos/trace)."""
+        place = activity.place
+        fn = activity.fn
+        finish = activity.governing_finish
+        ctx = ActivityContext(self, activity)
+        try:
+            result = fn(ctx, *activity.args)
+        except BaseException:
+            if len(activity.finish_stack) != 1:
+                raise ApgasError(
+                    f"activity {activity.name} terminated inside an open finish scope"
+                )
+            finish.join(place)
+            raise
+        if inspect.isgenerator(result):
+            # a non-generator callable handed back a generator body after
+            # all; fall back to driving it as a process
+            def drive():
+                vanished = False
+                try:
+                    value = yield from result
+                    return value
+                except GeneratorExit:
+                    vanished = True
+                    raise
+                finally:
+                    if not vanished:
+                        if len(activity.finish_stack) != 1:
+                            raise ApgasError(
+                                f"activity {activity.name} terminated inside "
+                                "an open finish scope"
+                            )
+                        finish.join(place)
+
+            activity.process = Process(self.engine, drive(), name=activity.name)
+            return
+        if len(activity.finish_stack) != 1:
+            raise ApgasError(
+                f"activity {activity.name} terminated inside an open finish scope"
+            )
+        finish.join(place)
 
     def _track_process(self, place: int, process: Process) -> None:
         """Remember which place hosts the process (chaos only: a place death
@@ -408,6 +432,13 @@ class ApgasRuntime:
 
     def _on_eval(self, dst: int, body) -> None:
         fn, args, reply_to, reply_id = body
+        if self.chaos is None and not self._is_genfunc(fn):
+            # Plain-function body on a reliable fabric: the delivery event we
+            # are already inside provides the shift to ``dst``, so evaluate
+            # now and ship the value straight home, skipping the
+            # generator/Process machinery entirely.
+            self._eval_plain(dst, body)
+            return
 
         def runner():
             # the shifted activity evaluates at dst, then the value travels home
@@ -424,9 +455,44 @@ class ApgasRuntime:
                 return
             self._send_reply(dst, reply_to, reply_id, result, is_error=False)
 
-        self._track_process(dst, Process(self.engine, runner(), name=f"at-eval@{dst}"))
+        self._track_process(
+            dst,
+            Process(
+                self.engine, runner(), name=f"at-eval@{dst}",
+                immediate=self.chaos is None,
+            ),
+        )
+
+    def _eval_plain(self, dst: int, body) -> None:
+        """The scheduled step of a plain-function remote eval (no chaos)."""
+        fn, args, reply_to, reply_id = body
+        shifted = Activity(dst, fn, args, self._ungoverned, name=f"at-eval@{dst}")
+        ctx = ActivityContext(self, shifted)
+        try:
+            result = fn(ctx, *args)
+        except BaseException as exc:  # ship the exception home
+            self._send_reply(dst, reply_to, reply_id, exc, is_error=True)
+            return
+        if inspect.isgenerator(result):
+            # a non-generator callable handed back a generator body after
+            # all; drive it as a process and reply when it finishes
+            def drive():
+                try:
+                    value = yield from result
+                except BaseException as exc:
+                    self._send_reply(dst, reply_to, reply_id, exc, is_error=True)
+                    return
+                self._send_reply(dst, reply_to, reply_id, value, is_error=False)
+
+            Process(self.engine, drive(), name=f"at-eval@{dst}")
+            return
+        self._send_reply(dst, reply_to, reply_id, result, is_error=False)
 
     def _eval_here(self, place: int, fn: Callable, args: tuple, src: int, event: SimEvent) -> None:
+        if self.chaos is None and not self._is_genfunc(fn):
+            self.engine.call_soon_call2(self._eval_here_plain, place, (fn, args, event))
+            return
+
         def runner():
             shifted = Activity(place, fn, args, self._ungoverned, name=f"at-eval@{place}")
             ctx = ActivityContext(self, shifted)
@@ -442,6 +508,29 @@ class ApgasRuntime:
             event.trigger(result)
 
         self._track_process(place, Process(self.engine, runner(), name=f"at-eval@{place}"))
+
+    def _eval_here_plain(self, place: int, packed) -> None:
+        """The scheduled step of a plain-function local eval (no chaos)."""
+        fn, args, event = packed
+        shifted = Activity(place, fn, args, self._ungoverned, name=f"at-eval@{place}")
+        ctx = ActivityContext(self, shifted)
+        try:
+            result = fn(ctx, *args)
+        except BaseException as exc:
+            event.fail(exc)
+            return
+        if inspect.isgenerator(result):
+            def drive():
+                try:
+                    value = yield from result
+                except BaseException as exc:
+                    event.fail(exc)
+                    return
+                event.trigger(value)
+
+            Process(self.engine, drive(), name=f"at-eval@{place}")
+            return
+        event.trigger(result)
 
     def _send_reply(self, src: int, dst: int, reply_id: int, payload, is_error: bool) -> None:
         self.transport.post_args(

@@ -124,6 +124,32 @@ class Engine:
         self._seq += 1
         self._ready.append((self._now, self._seq, _LIVE, callback))
 
+    # -- payload-call scheduling --------------------------------------------------
+    #
+    # The argument-carrying twins of schedule_fire/call_soon_fire.  The slotted
+    # core (repro.sim.slotted) stores the arguments in its parallel payload
+    # arrays; here they ride a closure, so callers can target one API on either
+    # engine.  Ordering semantics are identical: each call consumes exactly one
+    # sequence number, exactly like the no-argument variants.
+
+    def schedule_call(self, delay: float, fn: Callable, a: Any) -> None:
+        """Fire-and-forget ``fn(a)`` after ``delay`` seconds."""
+        self.schedule_fire(delay, lambda: fn(a))
+
+    def schedule_call2(self, delay: float, fn: Callable, a: Any, b: Any) -> None:
+        """Fire-and-forget ``fn(a, b)`` after ``delay`` seconds."""
+        self.schedule_fire(delay, lambda: fn(a, b))
+
+    def call_soon_call(self, fn: Callable, a: Any) -> None:
+        """Zero-delay :meth:`schedule_call`."""
+        self._seq += 1
+        self._ready.append((self._now, self._seq, _LIVE, lambda: fn(a)))
+
+    def call_soon_call2(self, fn: Callable, a: Any, b: Any) -> None:
+        """Zero-delay :meth:`schedule_call2`."""
+        self._seq += 1
+        self._ready.append((self._now, self._seq, _LIVE, lambda: fn(a, b)))
+
     # -- lazy deletion ---------------------------------------------------------
 
     def _note_cancelled(self) -> None:

@@ -44,7 +44,9 @@ class Process:
 
     __slots__ = ("engine", "name", "_body", "_killed", "bookkeeping_callbacks", "done")
 
-    def __init__(self, engine: Engine, body: Generator, name: str = "") -> None:
+    def __init__(
+        self, engine: Engine, body: Generator, name: str = "", immediate: bool = False
+    ) -> None:
         if not hasattr(body, "send"):
             raise SimulationError(
                 f"process body must be a generator, got {type(body).__name__}: "
@@ -58,7 +60,15 @@ class Process:
         self.bookkeeping_callbacks = 0
         #: fires with the body's return value when the process terminates
         self.done = SimEvent(name=f"{self.name}.done")
-        engine.call_soon_fire(self._resume)
+        if immediate:
+            # The creator is itself inside a scheduled event (e.g. a message
+            # delivery) that already provides the asynchrony, so the first
+            # step runs now instead of through a zero-delay trampoline.
+            # Callers starting a process from synchronous code must keep the
+            # default, or the child would run inside its creator's frame.
+            self._resume()
+        else:
+            engine.call_soon_fire(self._resume)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done.fired else "running"
@@ -136,7 +146,7 @@ class Process:
             if value is None:
                 self.engine.schedule_fire(effect.delay, self._resume)
             else:
-                self.engine.schedule_fire(effect.delay, lambda: self._step(value))
+                self.engine.schedule_call(effect.delay, self._step, value)
             return
         if isinstance(effect, Process):
             effect = effect.done

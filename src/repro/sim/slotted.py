@@ -1,0 +1,572 @@
+"""Slotted array-of-struct event core: the hot path without per-event objects.
+
+The classic :class:`~repro.sim.engine.Engine` allocates one 4-tuple per
+scheduled event (plus a closure whenever the callback needs arguments, plus a
+:class:`~repro.sim.engine.Handle` when it is cancellable).  At millions of
+events per run the allocator — not the heap — dominates.  This core keeps the
+same ``(time, seq)`` execution order and the same ``Clock`` surface while
+storing per-event state in preallocated parallel arrays:
+
+``_kind / _fn / _a / _b / _gen``
+    one slot per in-flight event: the dispatch kind (freelist / one-arg call /
+    two-arg call / cancellable / cancelled), the target callable, up to two
+    payload arguments, and a generation counter that makes late ``cancel()``
+    calls on recycled slots harmless.  Slots are recycled through a LIFO
+    freelist, so steady-state scheduling never allocates.
+
+``_heap``
+    ``(time, seq, target)`` triples ordered by ``(time, seq)`` — ``seq`` is
+    unique, so the target field never participates in comparisons.  The target
+    is a slot index, or the bare callable for fire-and-forget events (which
+    need no per-event state at all: the classic engine's interned ``_LIVE``
+    handle taken to its conclusion).
+
+``_ready``
+    zero-delay events as a flat ``[seq, target, seq, target, ...]`` list
+    drained by a cursor over index ranges — no tuples, no ``popleft``, and no
+    per-event time bookkeeping, because of the invariant below.
+
+*The ready invariant.*  Every unconsumed ready entry was appended at the
+current virtual time: ``call_soon`` stamps ``now``, and time only advances
+when the ready queue is empty.  Bounded runs preserve it by migrating any
+not-yet-run entry back to the heap (exactly as the classic engine does).  The
+only way a heap entry can precede a ready entry is therefore a *smaller
+sequence number at the current instant* — a timer whose delay underflowed to
+the present — which the drain loop checks per event with one float compare.
+
+Equivalence with the classic core is not asserted here but *proven* by the
+differential harness (``tests/sim/test_engine_equivalence.py``): identical
+traces, results, checksums, and finish control counts for all eight kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import DeadlockError, SimulationError, StepLimitError
+
+#: slot kinds (the ``kind`` column of the slot table)
+_K_FREE = 0  #: on the freelist
+_K_CALL1 = 1  #: dispatch as ``fn(a)``
+_K_CALL2 = 2  #: dispatch as ``fn(a, b)``
+_K_HANDLE = 3  #: dispatch as ``fn()``; cancellable through a :class:`SlotHandle`
+_K_CANCELLED = 4  #: cancelled before dispatch; reclaimed when its entry surfaces
+
+
+class SlotHandle:
+    """A cancellable reference into the slot arrays.
+
+    Same surface as the classic ``Handle`` (``cancelled`` attribute,
+    ``cancel()``).  The handle pins ``(slot, generation)`` at creation time;
+    the engine bumps a slot's generation when recycling it, so cancelling a
+    handle whose event already ran touches nothing.
+    """
+
+    __slots__ = ("cancelled", "_engine", "_slot", "_gen")
+
+    def __init__(self, engine: "SlottedEngine", slot: int, gen: int) -> None:
+        self.cancelled = False
+        self._engine = engine
+        self._slot = slot
+        self._gen = gen
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        engine = self._engine
+        slot = self._slot
+        if engine._gen[slot] == self._gen and engine._kind[slot] == _K_HANDLE:
+            engine._kind[slot] = _K_CANCELLED
+            engine._note_cancelled()
+
+
+class SlottedEngine:
+    """Event loop with a virtual clock over the slotted event core.
+
+    Drop-in for :class:`~repro.sim.engine.Engine`: same ordering contract
+    (events at equal times fire in scheduling order; a shared monotone
+    sequence number breaks ties), same ``run``/``peek``/``pending_events``
+    surface, same :class:`~repro.errors.DeadlockError` and
+    :class:`~repro.errors.StepLimitError` semantics, and the same lazy-
+    deletion compaction policy for cancelled timers.
+    """
+
+    #: below this many cancelled entries compaction is never attempted
+    COMPACT_MIN_CANCELLED = 64
+
+    def __init__(self, capacity: int = 256) -> None:
+        # -- the slot table (parallel arrays + freelist) -----------------------
+        self._kind: list[int] = [0] * capacity
+        self._fn: list[Optional[Callable]] = [None] * capacity
+        self._a: list[Any] = [None] * capacity
+        self._b: list[Any] = [None] * capacity
+        self._gen: list[int] = [0] * capacity
+        #: LIFO freelist: recently vacated slots are reused first (cache-warm)
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
+        # -- the two queues ----------------------------------------------------
+        self._heap: list[tuple] = []
+        #: flat [seq, target, seq, target, ...]; consumed prefix ends at _rc
+        self._ready: list = []
+        self._rc = 0
+        self._now = 0.0
+        self._seq = 0
+        #: cancelled entries still occupying a queue position
+        self._cancelled = 0
+        #: number of callbacks executed so far (useful for complexity tests)
+        self.events_executed = 0
+        #: total heap rebuilds (diagnostics; the perf suite reports it)
+        self.compactions = 0
+        #: processes currently blocked on an effect; used for deadlock reports
+        self._blocked: dict[int, Any] = {}
+
+    # -- slot management ----------------------------------------------------------
+
+    def _grow(self) -> int:
+        """Double the slot table; returns a fresh slot."""
+        n = len(self._kind)
+        self._kind.extend([0] * n)
+        self._fn.extend([None] * n)
+        self._a.extend([None] * n)
+        self._b.extend([None] * n)
+        self._gen.extend([0] * n)
+        self._free.extend(range(2 * n - 1, n, -1))
+        return n
+
+    def _reclaim(self, slot: int) -> None:
+        """Return a surfaced slot to the freelist (non-hot-path variant)."""
+        k = self._kind[slot]
+        self._kind[slot] = 0
+        self._fn[slot] = None
+        if k == _K_CALL1:
+            self._a[slot] = None
+        elif k == _K_CALL2:
+            self._a[slot] = None
+            self._b[slot] = None
+        else:
+            self._gen[slot] += 1
+        self._free.append(slot)
+
+    # -- clock surface ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def pending_events(self) -> int:
+        """Queue slots currently occupied (live + not-yet-reclaimed cancelled)."""
+        return len(self._heap) + (len(self._ready) - self._rc) // 2
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> SlotHandle:
+        """Run ``callback`` ``delay`` seconds from now; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._kind[slot] = _K_HANDLE
+        self._fn[slot] = callback
+        handle = SlotHandle(self, slot, self._gen[slot])
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            ready.append(seq)
+            ready.append(slot)
+        else:
+            heapq.heappush(self._heap, (self._now + delay, seq, slot))
+        return handle
+
+    def call_soon(self, callback: Callable[[], None]) -> SlotHandle:
+        """Schedule ``callback`` at the current time, after already-queued events."""
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._kind[slot] = _K_HANDLE
+        self._fn[slot] = callback
+        handle = SlotHandle(self, slot, self._gen[slot])
+        self._seq = seq = self._seq + 1
+        ready = self._ready
+        ready.append(seq)
+        ready.append(slot)
+        return handle
+
+    def schedule_fire(self, delay: float, callback: Callable[[], None]) -> None:
+        """:meth:`schedule` for callers that never cancel: no slot, no handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            ready.append(seq)
+            ready.append(callback)
+        else:
+            heapq.heappush(self._heap, (self._now + delay, seq, callback))
+
+    def call_soon_fire(self, callback: Callable[[], None]) -> None:
+        """:meth:`call_soon` without a cancellation handle."""
+        self._seq = seq = self._seq + 1
+        ready = self._ready
+        ready.append(seq)
+        ready.append(callback)
+
+    # -- payload-slot scheduling (closure-free argument passing) ------------------
+
+    def schedule_call(self, delay: float, fn: Callable, a: Any) -> None:
+        """Fire-and-forget ``fn(a)`` after ``delay``: the argument rides in the
+        slot table instead of a closure cell."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._kind[slot] = _K_CALL1
+        self._fn[slot] = fn
+        self._a[slot] = a
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            ready.append(seq)
+            ready.append(slot)
+        else:
+            heapq.heappush(self._heap, (self._now + delay, seq, slot))
+
+    def schedule_call2(self, delay: float, fn: Callable, a: Any, b: Any) -> None:
+        """Fire-and-forget ``fn(a, b)`` after ``delay`` (two payload columns)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._kind[slot] = _K_CALL2
+        self._fn[slot] = fn
+        self._a[slot] = a
+        self._b[slot] = b
+        self._seq = seq = self._seq + 1
+        if delay == 0.0:
+            ready = self._ready
+            ready.append(seq)
+            ready.append(slot)
+        else:
+            heapq.heappush(self._heap, (self._now + delay, seq, slot))
+
+    def call_soon_call(self, fn: Callable, a: Any) -> None:
+        """Zero-delay :meth:`schedule_call`."""
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._kind[slot] = _K_CALL1
+        self._fn[slot] = fn
+        self._a[slot] = a
+        self._seq = seq = self._seq + 1
+        ready = self._ready
+        ready.append(seq)
+        ready.append(slot)
+
+    def call_soon_call2(self, fn: Callable, a: Any, b: Any) -> None:
+        """Zero-delay :meth:`schedule_call2`."""
+        free = self._free
+        slot = free.pop() if free else self._grow()
+        self._kind[slot] = _K_CALL2
+        self._fn[slot] = fn
+        self._a[slot] = a
+        self._b[slot] = b
+        self._seq = seq = self._seq + 1
+        ready = self._ready
+        ready.append(seq)
+        ready.append(slot)
+
+    # -- lazy deletion ------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled > self.COMPACT_MIN_CANCELLED
+            and 2 * self._cancelled > len(self._heap) + (len(self._ready) - self._rc) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queues without cancelled entries.
+
+        Entries carry unique ``(time, seq)`` keys, so filtering preserves the
+        execution order exactly.  Both queue objects are mutated in place so
+        :meth:`run`'s local references stay valid across a compaction; the
+        ready cursor is folded away (the consumed prefix is dropped too).
+        """
+        kinds = self._kind
+        heap = self._heap
+        live = []
+        dropped = 0
+        for entry in heap:
+            tgt = entry[2]
+            if type(tgt) is int and kinds[tgt] == _K_CANCELLED:
+                self._reclaim(tgt)
+                dropped += 1
+            else:
+                live.append(entry)
+        heap[:] = live
+        heapq.heapify(heap)
+        ready = self._ready
+        out = []
+        i = self._rc
+        n = len(ready)
+        while i < n:
+            seq = ready[i]
+            tgt = ready[i + 1]
+            i += 2
+            if type(tgt) is int and kinds[tgt] == _K_CANCELLED:
+                self._reclaim(tgt)
+                dropped += 1
+            else:
+                out.append(seq)
+                out.append(tgt)
+        ready[:] = out
+        self._rc = 0
+        self._cancelled -= dropped
+        self.compactions += 1
+
+    # -- blocked-process registry (populated by Process) --------------------------
+
+    def _note_blocked(self, process: Any) -> None:
+        self._blocked[id(process)] = process
+
+    def _note_unblocked(self, process: Any) -> None:
+        self._blocked.pop(id(process), None)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the queues drain (or virtual time passes ``until``).
+
+        Same contract as the classic engine: raises
+        :class:`~repro.errors.DeadlockError` if the queues drain while
+        processes are still blocked, :class:`~repro.errors.StepLimitError`
+        past ``max_events`` callbacks; returns the final virtual time.
+        """
+        if until is not None or max_events is not None:
+            return self._run_bounded(until, max_events)
+        heap = self._heap
+        ready = self._ready
+        kinds = self._kind
+        fns = self._fn
+        As = self._a
+        Bs = self._b
+        gens = self._gen
+        free_append = self._free.append
+        pop = heapq.heappop
+        now = self._now
+        executed = 0
+        try:
+            while True:
+                rc = self._rc
+                if rc < len(ready):
+                    seq = ready[rc]
+                    if heap:
+                        h = heap[0]
+                        if h[0] <= now and h[1] < seq:
+                            # a timer whose delay underflowed to the present:
+                            # it precedes the ready batch by sequence number
+                            pop(heap)
+                            tgt = h[2]
+                            if type(tgt) is int and kinds[tgt] == _K_CANCELLED:
+                                self._reclaim(tgt)
+                                self._cancelled -= 1
+                            else:
+                                now = self._now = h[0]
+                                executed += 1
+                                self._dispatch_target(tgt)
+                            continue
+                    self._rc = rc + 2
+                    tgt = ready[rc + 1]
+                    if type(tgt) is int:
+                        k = kinds[tgt]
+                        if k == 1:  # _K_CALL1
+                            fn = fns[tgt]
+                            a = As[tgt]
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            As[tgt] = None
+                            free_append(tgt)
+                            executed += 1
+                            fn(a)
+                        elif k == 2:  # _K_CALL2
+                            fn = fns[tgt]
+                            a = As[tgt]
+                            b = Bs[tgt]
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            As[tgt] = None
+                            Bs[tgt] = None
+                            free_append(tgt)
+                            executed += 1
+                            fn(a, b)
+                        elif k == 3:  # _K_HANDLE
+                            fn = fns[tgt]
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            gens[tgt] += 1
+                            free_append(tgt)
+                            executed += 1
+                            fn()
+                        else:  # _K_CANCELLED
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            gens[tgt] += 1
+                            free_append(tgt)
+                            self._cancelled -= 1
+                    else:
+                        executed += 1
+                        tgt()
+                elif heap:
+                    if rc:
+                        del ready[:]
+                        self._rc = 0
+                    entry = pop(heap)
+                    tgt = entry[2]
+                    if type(tgt) is int:
+                        k = kinds[tgt]
+                        if k == 1:
+                            fn = fns[tgt]
+                            a = As[tgt]
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            As[tgt] = None
+                            free_append(tgt)
+                            now = self._now = entry[0]
+                            executed += 1
+                            fn(a)
+                        elif k == 2:
+                            fn = fns[tgt]
+                            a = As[tgt]
+                            b = Bs[tgt]
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            As[tgt] = None
+                            Bs[tgt] = None
+                            free_append(tgt)
+                            now = self._now = entry[0]
+                            executed += 1
+                            fn(a, b)
+                        elif k == 3:
+                            fn = fns[tgt]
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            gens[tgt] += 1
+                            free_append(tgt)
+                            now = self._now = entry[0]
+                            executed += 1
+                            fn()
+                        else:
+                            kinds[tgt] = 0
+                            fns[tgt] = None
+                            gens[tgt] += 1
+                            free_append(tgt)
+                            self._cancelled -= 1
+                    else:
+                        now = self._now = entry[0]
+                        executed += 1
+                        tgt()
+                else:
+                    break
+        finally:
+            self.events_executed += executed
+        if self._blocked:
+            raise DeadlockError(self._blocked.values())
+        return self._now
+
+    def _dispatch_target(self, tgt) -> None:
+        """Dispatch one surfaced entry target (the non-hot-path variant)."""
+        if type(tgt) is int:
+            k = self._kind[tgt]
+            fn = self._fn[tgt]
+            self._kind[tgt] = 0
+            self._fn[tgt] = None
+            if k == _K_CALL1:
+                a = self._a[tgt]
+                self._a[tgt] = None
+                self._free.append(tgt)
+                fn(a)
+            elif k == _K_CALL2:
+                a = self._a[tgt]
+                b = self._b[tgt]
+                self._a[tgt] = None
+                self._b[tgt] = None
+                self._free.append(tgt)
+                fn(a, b)
+            else:  # _K_HANDLE
+                self._gen[tgt] += 1
+                self._free.append(tgt)
+                fn()
+        else:
+            tgt()
+
+    def _run_bounded(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """The bounded loop: a transliteration of the classic engine's, so
+        ``until``/``max_events`` semantics (including pushing the not-yet-run
+        entry back onto the heap) match exactly."""
+        heap = self._heap
+        ready = self._ready
+        kinds = self._kind
+        pop = heapq.heappop
+        while True:
+            rc = self._rc
+            if rc < len(ready):
+                # every unconsumed ready entry sits at the current time; merge
+                # by (time, seq) against the heap front exactly as classic does
+                rseq = ready[rc]
+                now = self._now
+                if heap:
+                    h = heap[0]
+                    if h[0] < now or (h[0] == now and h[1] < rseq):
+                        entry = pop(heap)
+                    else:
+                        entry = (now, rseq, ready[rc + 1])
+                        self._rc = rc + 2
+                else:
+                    entry = (now, rseq, ready[rc + 1])
+                    self._rc = rc + 2
+            elif heap:
+                if rc:
+                    del ready[:]
+                    self._rc = 0
+                entry = pop(heap)
+            else:
+                break
+            time, _seq, tgt = entry
+            if type(tgt) is int and kinds[tgt] == _K_CANCELLED:
+                self._reclaim(tgt)
+                self._cancelled -= 1
+                continue
+            if until is not None and time > until:
+                # put it back: the caller may resume the run later
+                heapq.heappush(heap, entry)
+                self._now = until
+                return self._now
+            if max_events is not None and self.events_executed >= max_events:
+                heapq.heappush(heap, entry)
+                raise StepLimitError(max_events, self._now)
+            self._now = time
+            self.events_executed += 1
+            self._dispatch_target(tgt)
+        if self._blocked and until is None:
+            raise DeadlockError(self._blocked.values())
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queues are empty."""
+        kinds = self._kind
+        best: Optional[float] = None
+        for time, _seq, tgt in self._heap:
+            if type(tgt) is int and kinds[tgt] == _K_CANCELLED:
+                continue
+            best = time
+            break
+        ready = self._ready
+        i = self._rc
+        n = len(ready)
+        while i < n:
+            tgt = ready[i + 1]
+            if type(tgt) is int and kinds[tgt] == _K_CANCELLED:
+                i += 2
+                continue
+            if best is None or self._now < best:
+                best = self._now
+            break
+        return best

@@ -11,6 +11,8 @@ execution through a narrow scheduling interface:
 ``call_soon(cb)``       run ``cb`` at the current time, after queued work
 ``schedule_fire`` /     the same without allocating a cancellation handle
 ``call_soon_fire``
+``schedule_call[2]`` /  fire-and-forget with one or two payload arguments —
+``call_soon_call[2]``   closure-free on the slotted core, a closure elsewhere
 ``_note_blocked`` /     blocked-process registry (deadlock / idleness report)
 ``_note_unblocked``
 ======================  ========================================================
@@ -50,6 +52,14 @@ class Clock(Protocol):
     def schedule_fire(self, delay: float, callback: Callable[[], None]) -> None: ...
 
     def call_soon_fire(self, callback: Callable[[], None]) -> None: ...
+
+    def schedule_call(self, delay: float, fn: Callable, a: Any) -> None: ...
+
+    def schedule_call2(self, delay: float, fn: Callable, a: Any, b: Any) -> None: ...
+
+    def call_soon_call(self, fn: Callable, a: Any) -> None: ...
+
+    def call_soon_call2(self, fn: Callable, a: Any, b: Any) -> None: ...
 
 
 class WallClock:
@@ -106,6 +116,10 @@ class SimBackend(ExecutionBackend):
 
     name = "sim"
 
+    def __init__(self, engine: Optional[str] = None) -> None:
+        #: event-core name (``slotted`` | ``classic``); None = the default
+        self.engine = engine
+
     def run(self, kernel: str, places: int, **params: Any) -> BackendRun:
         from repro.kernels.portable import build_program
         from repro.machine.config import MachineConfig
@@ -113,7 +127,9 @@ class SimBackend(ExecutionBackend):
         from repro.runtime.runtime import ApgasRuntime
 
         main = build_program(kernel, places, **params)
-        rt = ApgasRuntime(places=places, config=MachineConfig(), obs=Observability())
+        engine = params.pop("engine", self.engine)
+        kwargs = {} if engine is None else {"engine": engine}
+        rt = ApgasRuntime(places=places, config=MachineConfig(), obs=Observability(), **kwargs)
         t0 = time.perf_counter()
         result = rt.run(main)
         wall = time.perf_counter() - t0

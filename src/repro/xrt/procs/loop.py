@@ -92,6 +92,20 @@ class PlaceLoop:
         heapq.heappush(self._timers, (self.now + delay, self._timer_seq, handle, callback))
         return handle
 
+    # payload-call variants of the Clock surface: the slotted sim core stores
+    # the arguments in its slot table; on a wall clock a closure is fine
+    def schedule_call(self, delay: float, fn: Callable, a) -> None:
+        self.schedule_fire(delay, lambda: fn(a))
+
+    def schedule_call2(self, delay: float, fn: Callable, a, b) -> None:
+        self.schedule_fire(delay, lambda: fn(a, b))
+
+    def call_soon_call(self, fn: Callable, a) -> None:
+        self._ready.append(lambda: fn(a))
+
+    def call_soon_call2(self, fn: Callable, a, b) -> None:
+        self._ready.append(lambda: fn(a, b))
+
     def _note_blocked(self, process) -> None:
         self._blocked.add(process)
 

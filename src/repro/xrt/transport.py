@@ -308,13 +308,32 @@ class Transport:
         items — the callers that never await the send and would otherwise
         build a message object just to have it unpacked one frame later.  On
         a reliable fabric with tracing off, delivery is a single scheduled
-        callback: no Message, no SimEvent.
+        payload call: no Message, no SimEvent, no closure.
         """
-        fn = self.handler(handler)  # fail fast on unknown handlers
-        self._count_send(handler, src, dst, nbytes)
+        fn = self._handlers.get(handler)
+        if fn is None:
+            raise TransportError(f"no handler registered for {handler!r}")
+        counter = self._send_counters.get(handler)
+        if counter is None:
+            counter = self._send_counters[handler] = self.obs.metrics.counter(
+                "xrt.messages", handler=handler
+            )
+        if self._m_on:
+            counter.value += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "xrt.send",
+                "message",
+                src,
+                self.engine.now,
+                src=src,
+                dst=dst,
+                handler=handler,
+                nbytes=nbytes,
+            )
         wire = nbytes * self.software_overhead_factor
         if self._reliability is None:
-            if self.network.transfer_notify(src, dst, wire, lambda: fn(dst, body)):
+            if self.network.transfer_call(src, dst, wire, fn, dst, body):
                 return
             delivered = self.network.transfer(src, dst, wire, kind=TransferKind.MSG)
         else:

@@ -1,0 +1,11 @@
+"""Repo-wide pytest options."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--write-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the golden trace corpus (tests/sim/golden_traces/) "
+        "from the current tree instead of diffing against it",
+    )

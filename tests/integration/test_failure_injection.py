@@ -18,14 +18,17 @@ from repro.sim.events import SimEvent
 def _drop_nth_transfer(n):
     """Patched Network entry points that swallow the nth transfer entirely.
 
-    Both message paths are covered: the event-returning :meth:`transfer` and
-    the fire-and-forget :meth:`transfer_notify` fast path share one counter,
-    so "the nth message" means the nth logical send regardless of route.
+    All three message paths are covered: the event-returning
+    :meth:`transfer`, the fire-and-forget :meth:`transfer_notify` fast path,
+    and the closure-free :meth:`transfer_call` payload path share one
+    counter, so "the nth message" means the nth logical send regardless of
+    route.
     """
     from repro.machine.network import TransferKind
 
     original = Network.transfer
     original_notify = Network.transfer_notify
+    original_call = Network.transfer_call
     state = {"count": 0}
 
     def patched(net, src, dst, nbytes, kind=TransferKind.MSG, tlb_factor=1.0):
@@ -40,7 +43,15 @@ def _drop_nth_transfer(n):
             return True  # claimed but never scheduled: the message is lost
         return original_notify(net, src, dst, nbytes, callback)
 
-    return (patched, patched_notify), (original, original_notify)
+    def patched_call(net, src, dst, nbytes, fn, a, b):
+        state["count"] += 1
+        if state["count"] == n:
+            return True  # claimed but never scheduled: the message is lost
+        return original_call(net, src, dst, nbytes, fn, a, b)
+
+    patches = (patched, patched_notify, patched_call)
+    originals = (original, original_notify, original_call)
+    return patches, originals
 
 
 def run_with_drop(n, program_places=8):
@@ -56,14 +67,12 @@ def run_with_drop(n, program_places=8):
                     ctx.at_async(p, noop)
         yield f.wait()
 
-    (patched, patched_notify), (original, original_notify) = _drop_nth_transfer(n)
-    Network.transfer = patched
-    Network.transfer_notify = patched_notify
+    patches, originals = _drop_nth_transfer(n)
+    Network.transfer, Network.transfer_notify, Network.transfer_call = patches
     try:
         rt.run(main)
     finally:
-        Network.transfer = original
-        Network.transfer_notify = original_notify
+        Network.transfer, Network.transfer_notify, Network.transfer_call = originals
 
 
 def test_lost_spawn_message_detected_as_deadlock():

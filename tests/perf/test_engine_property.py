@@ -1,57 +1,68 @@
-"""Seeded property tests for the engine's ordering contract.
+"""Seeded property tests for the event cores' ordering contract.
 
-The engine promises: events fire in ``(time, scheduling-order)`` order, runs
-are deterministic, and cancelled handles are invisible — they change neither
-the relative order of the surviving events nor the final virtual time.  The
-fast paths (ready-queue batching, fire-and-forget handles, lazy-deletion
-compaction) must all preserve this, so each seed replays a random tape of
-schedule / call_soon / cancel operations and checks the execution log against
-an oracle.
+Both engines — the classic object-based :class:`~repro.sim.engine.Engine` and
+the slotted array-of-struct :class:`~repro.sim.slotted.SlottedEngine` —
+promise the same contract: events fire in ``(time, scheduling-order)`` order,
+runs are deterministic, and cancelled handles are invisible — they change
+neither the relative order of the surviving events nor the final virtual
+time.  The fast paths (ready-queue batching, fire-and-forget scheduling,
+payload slots, lazy-deletion compaction) must all preserve this, so each seed
+replays a random tape of schedule / call_soon / payload-call / cancel
+operations on each core and checks the execution log against an oracle.
+
+Tapes are drawn from :class:`~repro.sim.rng.RngStream` (Philox, keyed by the
+seed) — no wall clock, no global random state — so a failing seed replays
+identically everywhere.
 """
-
-import random
 
 import pytest
 
-from repro.sim.engine import Engine
+from repro.sim import ENGINES, RngStream
 
 SEEDS = range(10)
+CORES = sorted(ENGINES)
 
 
 def _random_tape(seed, n_ops=600):
     """A reproducible operation tape: (kind, delay) with interleaved cancels.
 
-    ``kind`` is "schedule" / "soon" / "cancel"; cancels target a random
-    earlier op (possibly one already cancelled — a no-op, also legal).
+    ``kind`` is "schedule" / "soon" / "call" / "cancel"; "call" ops exercise
+    the payload-slot path (closure-free argument passing); cancels target a
+    random earlier cancellable op (possibly one already cancelled — a no-op,
+    also legal).
     """
-    rng = random.Random(seed)
+    rng = RngStream(seed, "engine-property-tape").generator
     tape = []
-    schedulable = []
+    cancellable = []
     for i in range(n_ops):
         roll = rng.random()
-        if roll < 0.45:
+        if roll < 0.35:
             # duplicate delays on purpose: ties must break by scheduling order
-            tape.append(("schedule", rng.choice([0.0, 1e-6, 5e-6, 1e-5, rng.random() * 1e-4])))
-            schedulable.append(i)
-        elif roll < 0.75:
+            delays = [0.0, 1e-6, 5e-6, 1e-5, float(rng.random()) * 1e-4]
+            tape.append(("schedule", delays[int(rng.integers(0, len(delays)))]))
+            cancellable.append(i)
+        elif roll < 0.55:
             tape.append(("soon", None))
-            schedulable.append(i)
-        elif schedulable:
-            tape.append(("cancel", rng.choice(schedulable)))
+            cancellable.append(i)
+        elif roll < 0.75:
+            # payload-slot scheduling: fire-and-forget, not cancellable
+            tape.append(("call", float(rng.random()) * 1e-5 if rng.random() < 0.5 else 0.0))
+        elif cancellable:
+            tape.append(("cancel", int(cancellable[int(rng.integers(0, len(cancellable)))])))
         else:
             tape.append(("soon", None))
-            schedulable.append(i)
+            cancellable.append(i)
     return tape
 
 
-def _play(tape, skip_cancelled=False):
-    """Run a tape; returns (log of executed op indices+times, final time).
+def _play(core, tape, skip_cancelled=False):
+    """Run a tape on ``core``; returns (log of executed op indices+times, final time).
 
     With ``skip_cancelled`` the ops that the tape later cancels are never
     scheduled at all — the oracle for "cancelled handles are invisible".
     """
     cancelled_ops = {op for kind, op in tape if kind == "cancel"}
-    eng = Engine()
+    eng = ENGINES[core]()
     log = []
     handles = {}
     for i, (kind, arg) in enumerate(tape):
@@ -62,22 +73,27 @@ def _play(tape, skip_cancelled=False):
             continue
         elif kind == "schedule":
             handles[i] = eng.schedule(arg, lambda i=i: log.append((i, eng.now)))
+        elif kind == "call":
+            # the argument rides in the slot table (slotted) / a closure cell
+            # (classic); execution order must be unaffected either way
+            eng.schedule_call(arg, lambda i: log.append((i, eng.now)), i)
         else:
             handles[i] = eng.call_soon(lambda i=i: log.append((i, eng.now)))
     final = eng.run()
     return log, final
 
 
+@pytest.mark.parametrize("core", CORES)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_execution_order_matches_time_then_submission_oracle(seed):
+def test_execution_order_matches_time_then_submission_oracle(core, seed):
     tape = _random_tape(seed)
-    log, _final = _play(tape)
+    log, _final = _play(core, tape)
     # oracle: live entries sorted by (fire time, submission index) — Python's
     # sort is stable, so equal times keep tape order
     cancelled = {op for kind, op in tape if kind == "cancel"}
     expected = sorted(
         (
-            (0.0 if kind == "soon" else delay, i)
+            (0.0 if delay is None else delay, i)
             for i, (kind, delay) in enumerate(tape)
             if kind != "cancel" and i not in cancelled
         ),
@@ -85,30 +101,41 @@ def test_execution_order_matches_time_then_submission_oracle(seed):
     assert [i for i, _t in log] == [i for _t, i in expected]
 
 
+@pytest.mark.parametrize("core", CORES)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_runs_are_deterministic(seed):
+def test_runs_are_deterministic(core, seed):
     tape = _random_tape(seed)
-    assert _play(tape) == _play(tape)
+    assert _play(core, tape) == _play(core, tape)
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_cancelled_handles_are_invisible(seed):
+def test_cores_agree_on_every_tape(seed):
+    """The differential property: both cores execute a tape identically —
+    same op order, same fire times, same final virtual time."""
+    tape = _random_tape(seed)
+    assert _play("classic", tape) == _play("slotted", tape)
+
+
+@pytest.mark.parametrize("core", CORES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cancelled_handles_are_invisible(core, seed):
     """Same tape with cancelled ops never scheduled: same log, same final time."""
     tape = _random_tape(seed)
-    log_lazy, final_lazy = _play(tape)
-    log_skip, final_skip = _play(tape, skip_cancelled=True)
+    log_lazy, final_lazy = _play(core, tape)
+    log_skip, final_skip = _play(core, tape, skip_cancelled=True)
     assert [i for i, _t in log_lazy] == [i for i, _t in log_skip]
     assert [t for _i, t in log_lazy] == [t for _i, t in log_skip]
     assert final_lazy == final_skip
 
 
+@pytest.mark.parametrize("core", CORES)
 @pytest.mark.parametrize("seed", SEEDS)
-def test_mid_run_scheduling_is_deterministic(seed):
+def test_mid_run_scheduling_is_deterministic(core, seed):
     """Callbacks that schedule and cancel more work replay identically."""
 
     def run():
-        rng = random.Random(seed)
-        eng = Engine()
+        rng = RngStream(seed, "engine-property-midrun").generator
+        eng = ENGINES[core]()
         log = []
         live = []
 
@@ -116,14 +143,15 @@ def test_mid_run_scheduling_is_deterministic(seed):
             log.append((tag, eng.now))
             if depth >= 3:
                 return
-            for k in range(rng.randrange(0, 3)):
-                h = eng.schedule(rng.choice([0.0, 1e-6, 2e-6]), lambda: spawn(depth + 1, (tag, k)))
+            for k in range(int(rng.integers(0, 3))):
+                delay = [0.0, 1e-6, 2e-6][int(rng.integers(0, 3))]
+                h = eng.schedule(delay, lambda: spawn(depth + 1, (tag, k)))
                 live.append(h)
             if live and rng.random() < 0.3:
-                live.pop(rng.randrange(len(live))).cancel()
+                live.pop(int(rng.integers(0, len(live)))).cancel()
 
         for root in range(20):
-            eng.schedule(rng.random() * 1e-5, lambda root=root: spawn(0, root))
+            eng.schedule(float(rng.random()) * 1e-5, lambda root=root: spawn(0, root))
         final = eng.run()
         return log, final
 

@@ -52,17 +52,34 @@ def test_write_load_roundtrip(tmp_path):
             params={"n": 200_000},
         )
     ]
-    write_results(path, "sim", results, quick=True)
+    write_results(path, "sim", results, quick=True, tolerance=0.15)
     doc = json.loads(open(path).read())
     assert doc["suite"] == "sim" and doc["quick"] is True and doc["higher_is_better"]
+    assert doc["tolerance"] == 0.15
     loaded = load_results(path)
-    assert loaded["engine.timers@200k"] == results[0]
+    assert loaded.results["engine.timers@200k"] == results[0]
+    assert loaded.tolerance == 0.15
+    assert loaded.suite == "sim" and loaded.quick is True
 
 
 def test_load_rejects_unknown_schema(tmp_path):
     path = tmp_path / "BENCH_sim.json"
     path.write_text(json.dumps({"schema": 99, "results": []}))
     with pytest.raises(ValueError, match="schema"):
+        load_results(str(path))
+
+
+@pytest.mark.parametrize("tolerance", [None, "0.2", True, -0.1, 1.0, 7])
+def test_load_rejects_missing_or_malformed_tolerance(tmp_path, tolerance):
+    """Schema v2: the per-suite gate is mandatory and must be in [0, 1)."""
+    from repro.perf.harness import SCHEMA_VERSION
+
+    doc = {"schema": SCHEMA_VERSION, "suite": "sim", "results": []}
+    if tolerance is not None:
+        doc["tolerance"] = tolerance
+    path = tmp_path / "BENCH_sim.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="tolerance"):
         load_results(str(path))
 
 

@@ -1,0 +1,75 @@
+"""Shared machinery for the differential engine tests.
+
+One kernel run is reduced to a *fingerprint*: the canonical trace digest plus
+every observable the equivalence contract covers (result fields, checksum,
+finish control traffic, engine event count, and the full deterministic
+metrics rendering).  Two runs are equivalent iff their fingerprints are
+equal — there is no tolerance anywhere, the comparison is bit-exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.harness.runner import simulate
+
+#: every kernel of the paper's evaluation, at a place count small enough that
+#: the whole differential matrix (8 kernels x 2 engines) runs in CI
+KERNEL_PLACES = {
+    "stream": 8,
+    "randomaccess": 8,
+    "fft": 8,
+    "hpl": 8,
+    "uts": 8,
+    "kmeans": 8,
+    "smithwaterman": 8,
+    "bc": 4,  # the graph build dominates wall time; 4 places keeps it honest
+}
+
+
+def canonical_digest(tracer) -> str:
+    """SHA-256 over the tracer's canonical JSONL export (order-sensitive)."""
+    h = hashlib.sha256()
+    for line in tracer._jsonl_lines():
+        h.update(line.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+#: session cache: runs are deterministic, so the equivalence and golden-trace
+#: tests can share one simulation per (kernel, places, engine)
+_CACHE: dict = {}
+
+
+def run_fingerprint(kernel: str, places: int, engine: str) -> dict:
+    """Run ``kernel`` on ``engine`` and reduce the run to comparable facts."""
+    key = (kernel, places, engine)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = simulate(kernel, places, trace=True, engine=engine)
+    metrics = result.extra["metrics"]
+    fp = _CACHE[key] = {
+        "kernel": kernel,
+        "places": places,
+        "trace_digest": canonical_digest(result.extra["trace"]),
+        "trace_events": len(result.extra["trace"]),
+        "sim_time": result.sim_time.hex(),
+        "value": float(result.value).hex(),
+        "unit": result.unit,
+        "verified": result.verified,
+        "checksum": result.extra.get("checksum"),
+        "finish_ctl_messages": metrics.total("finish.ctl_messages"),
+        "finish_ctl_bytes": metrics.total("finish.ctl_bytes"),
+        "events_executed": metrics.total("sim.events_executed"),
+        "metrics": metrics.render(),
+    }
+    return fp
+
+
+def golden_form(fp: dict) -> dict:
+    """The committed shape of a fingerprint: the full metrics rendering is
+    folded to a digest so golden files stay reviewable."""
+    out = {k: v for k, v in fp.items() if k != "metrics"}
+    out["metrics_digest"] = hashlib.sha256(fp["metrics"].encode()).hexdigest()
+    return out

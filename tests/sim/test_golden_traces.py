@@ -1,0 +1,64 @@
+"""The golden trace corpus: canonical run digests, committed.
+
+The differential harness (``test_engine_equivalence``) proves the two event
+cores agree *with each other*; this suite pins what they agree *on*.  Every
+kernel's canonical trace digest, result, checksum, control-message counts,
+and metrics digest at a small place count are committed under
+``tests/sim/golden_traces/`` — a regression that changes event order, modeled
+time, protocol traffic, or results anywhere in the stack shows up as a golden
+diff even if it changes both engines in lockstep.
+
+Intentional changes regenerate the corpus with::
+
+    pytest tests/sim/test_golden_traces.py --write-golden
+
+and the resulting file diff *is* the review artifact: it names exactly which
+kernels' behavior moved, and in which fields.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from ._diff import KERNEL_PLACES, golden_form, run_fingerprint
+
+GOLDEN_DIR = Path(__file__).parent / "golden_traces"
+
+
+def _golden_path(kernel: str, places: int) -> Path:
+    return GOLDEN_DIR / f"{kernel}@{places}.json"
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNEL_PLACES))
+def test_kernel_matches_golden(kernel, request):
+    places = KERNEL_PLACES[kernel]
+    classic = golden_form(run_fingerprint(kernel, places, engine="classic"))
+    slotted = golden_form(run_fingerprint(kernel, places, engine="slotted"))
+    path = _golden_path(kernel, places)
+
+    if request.config.getoption("--write-golden"):
+        # both engines must already agree before a golden may be (re)written
+        assert slotted == classic, f"{kernel}: engines diverge; fix that first"
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(classic, indent=2, sort_keys=True) + "\n")
+        return
+
+    assert path.exists(), (
+        f"no golden for {kernel}@{places}; regenerate the corpus with "
+        "`pytest tests/sim/test_golden_traces.py --write-golden`"
+    )
+    golden = json.loads(path.read_text())
+    for name, fp in (("classic", classic), ("slotted", slotted)):
+        for key in golden:
+            assert fp.get(key) == golden[key], (
+                f"{kernel}@{places} on the {name} engine: {key} diverged from "
+                "the committed golden (intentional? regenerate with --write-golden)"
+            )
+
+
+def test_corpus_has_no_strays():
+    """Every committed golden corresponds to a kernel still in the matrix."""
+    expected = {f"{k}@{p}.json" for k, p in KERNEL_PLACES.items()}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected

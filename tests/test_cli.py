@@ -85,6 +85,52 @@ def test_requires_subcommand():
         run_cli()
 
 
+# -- engine selection ----------------------------------------------------------
+
+
+def test_run_engine_flag_gives_identical_results_on_both_cores():
+    code, slotted = run_cli("run", "uts", "--places", "8", "--engine", "slotted")
+    assert code == 0
+    code, classic = run_cli("run", "uts", "--places", "8", "--engine", "classic")
+    assert code == 0
+    assert slotted == classic
+    assert "checksum" in slotted
+
+
+def test_run_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        run_cli("run", "uts", "--engine", "turbo")
+
+
+def test_run_engine_flag_applies_to_sim_backend():
+    code, text = run_cli(
+        "run", "stream", "--places", "4", "--backend", "sim", "--engine", "classic"
+    )
+    assert code == 0
+    assert "checksum" in text
+
+
+def test_run_engine_flag_rejected_for_procs_backend():
+    code, text = run_cli(
+        "run", "stream", "--places", "2", "--backend", "procs", "--engine", "classic"
+    )
+    assert code == 2
+    assert "--engine" in text and "procs" in text
+
+
+def test_trace_engine_flag_produces_identical_traces(tmp_path):
+    texts = []
+    for core in ("classic", "slotted"):
+        path = tmp_path / f"{core}.jsonl"
+        code, text = run_cli(
+            "trace", "uts", "--places", "4", "--engine", core,
+            "--out", str(path), "--format", "jsonl", "--no-audit",
+        )
+        assert code == 0
+        texts.append(path.read_text())
+    assert texts[0] == texts[1]
+
+
 # -- error paths ---------------------------------------------------------------
 
 
@@ -234,6 +280,65 @@ def test_perf_check_fails_on_regression(monkeypatch, tmp_path):
     )
     assert code == 1
     assert "REGRESSION" in text
+
+
+def test_perf_check_with_missing_tolerance_baseline_exits_2(monkeypatch, tmp_path):
+    """A schema-v2 baseline that lost its per-suite tolerance is a usage
+    error — the gate must refuse to run, not fall back to a default."""
+    import json
+
+    _tiny_benches(monkeypatch)
+    code, _ = run_cli("perf", "--repeats", "1", "--out-dir", str(tmp_path))
+    assert code == 0
+    for name in ("BENCH_sim.json", "BENCH_kernels.json"):
+        doc = json.loads((tmp_path / name).read_text())
+        del doc["tolerance"]
+        (tmp_path / name).write_text(json.dumps(doc))
+    code, text = run_cli(
+        "perf", "--repeats", "1",
+        "--out-dir", str(tmp_path), "--baseline-dir", str(tmp_path), "--check",
+    )
+    assert code == 2
+    assert "tolerance" in text and "unreadable baseline" in text
+
+
+def test_perf_check_with_malformed_tolerance_baseline_exits_2(monkeypatch, tmp_path):
+    import json
+
+    _tiny_benches(monkeypatch)
+    code, _ = run_cli("perf", "--repeats", "1", "--out-dir", str(tmp_path))
+    assert code == 0
+    doc = json.loads((tmp_path / "BENCH_sim.json").read_text())
+    doc["tolerance"] = "twenty percent"
+    (tmp_path / "BENCH_sim.json").write_text(json.dumps(doc))
+    code, text = run_cli(
+        "perf", "--suite", "sim", "--repeats", "1",
+        "--out-dir", str(tmp_path), "--baseline-dir", str(tmp_path), "--check",
+    )
+    assert code == 2
+    assert "tolerance" in text
+
+
+def test_perf_check_uses_the_suite_tolerance_from_the_baseline(monkeypatch, tmp_path):
+    """Quick mode gates at the baseline's own tolerance, not the default."""
+    import json
+
+    _tiny_benches(monkeypatch)
+    code, _ = run_cli("perf", "--repeats", "1", "--out-dir", str(tmp_path))
+    assert code == 0
+    # a 1% gate plus an astronomically inflated baseline must regress even
+    # though the default 20% gate is never consulted
+    doc = json.loads((tmp_path / "BENCH_sim.json").read_text())
+    doc["tolerance"] = 0.01
+    for entry in doc["results"]:
+        entry["value"] *= 1e9
+    (tmp_path / "BENCH_sim.json").write_text(json.dumps(doc))
+    code, text = run_cli(
+        "perf", "--suite", "sim", "--repeats", "1",
+        "--out-dir", str(tmp_path), "--baseline-dir", str(tmp_path), "--check",
+    )
+    assert code == 1
+    assert "tolerance 1%" in text
 
 
 def test_perf_check_without_baseline_exits_2(tmp_path):
