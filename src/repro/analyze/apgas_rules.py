@@ -1,4 +1,4 @@
-"""The APGAS anti-pattern rule catalogue (APG101..APG107).
+"""The APGAS anti-pattern rule catalogue (APG101..APG110).
 
 Each rule targets a failure mode the runtime or the paper calls out:
 
@@ -12,6 +12,12 @@ APG105    default-finish-in-hot-loop  unannotated finish per loop iteration (pap
 APG106    unbounded-glb-victims       GLB configured with an unbounded victim set
 APG107    resilient-without-hooks     resilient-capable kernel registers no
                                       checkpoint/restore hooks
+APG108    concurrent-store-write      MHP tasks write the same store key at a
+                                      provably identical place
+APG109    captured-mutable-race       sibling local activities race on a captured
+                                      mutable (write vs any access)
+APG110    remote-rmw-unordered        an at-body read-modify-writes a remote key
+                                      with no ordering finish between instances
 ========  ==========================  ==============================================
 
 Rules only fire on *provable* violations — a ``confident=False``
@@ -459,4 +465,205 @@ def resilient_without_hooks(ctx: RuleContext, info: RuleInfo) -> Iterator[Findin
                 f"'{node.name}' takes a 'resilient' parameter but registers no "
                 "checkpoint/restore hooks (CheckpointHooks / EpochCoordinator / "
                 "ResilientStore / GlbResilience): place deaths stay fatal",
+            )
+
+
+# -- APG108..APG110: determinacy-race rules over the MHP analysis ----------------
+#
+# These rules intersect the per-finish-site task groups of
+# :class:`repro.analyze.mhp.MhpAnalysis` with the effect closure of each
+# group, then demand *provability* before firing: level-0 accesses only (the
+# task itself, so the executing place is known), constant store keys, and a
+# place token that provably coincides.  Anything weaker stays silent — the
+# dynamic vector-clock detector exists for the cases static analysis must
+# refuse to judge.
+
+
+def _place_token(group):
+    """Where the group's level-0 accesses provably execute: ``"here"`` for
+    the continuation and local spawns, ``("place", p)`` for a remote spawn
+    with a literal destination, ``None`` when unprovable (loop-variable
+    destinations and the like)."""
+    if group.kind in ("continuation", "local"):
+        return "here"
+    spawn = group.spawn
+    if spawn is not None and isinstance(spawn.dest, ast.Constant):
+        return ("place", spawn.dest.value)
+    return None
+
+
+def _level0_store(group, op: str):
+    """The group's own constant-key store accesses (not through ``ctx.at``)."""
+    return [
+        a
+        for a in group.accesses
+        if a.target == "store"
+        and a.op == op
+        and a.key is not None
+        and a.level == 0
+        and not a.via_at
+    ]
+
+
+@rule("APG108", "concurrent-store-write", Severity.ERROR)
+def concurrent_store_write(ctx: RuleContext, info: RuleInfo) -> Iterator[Finding]:
+    """Two may-happen-in-parallel tasks of one finish both write the same
+    constant ``ctx.store`` key at a provably identical place — the scheduler
+    picks the survivor, so the program is nondeterministic.  A spawn in an
+    unguarded loop races its own sister instances the same way."""
+    seen: set = set()
+    for sg in ctx.mhp.site_groups():
+        writes = []  # (group index, multi, place token, access)
+        for gi, group in enumerate(sg.groups):
+            token = _place_token(group)
+            for acc in _level0_store(group, "write"):
+                writes.append((gi, group.multi, token, acc))
+        for i, (gia, ma, ta, aa) in enumerate(writes):
+            if ta is None:
+                continue
+            where = "here" if ta == "here" else f"place {ta[1]}"
+            if ma:
+                key = (aa.path, aa.line, aa.key, "self")
+                if key not in seen:
+                    seen.add(key)
+                    yield ctx.finding(
+                        info,
+                        ctx.module(aa.path),
+                        aa.line,
+                        f"store key {aa.key!r} is written at {where} by every "
+                        f"instance of a loop-spawned activity (finish at line "
+                        f"{sg.site.lineno}): last writer wins nondeterministically",
+                    )
+            for gib, mb, tb, ab in writes[i + 1 :]:
+                if gib == gia or tb != ta or ab.key != aa.key:
+                    continue
+                key = (aa.path, aa.line, ab.path, ab.line, aa.key)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield ctx.finding(
+                    info,
+                    ctx.module(aa.path),
+                    aa.line,
+                    f"store key {aa.key!r} is written at {where} by two "
+                    f"concurrent tasks of the finish at line {sg.site.lineno} "
+                    f"(other write at {ab.line}): unsynchronized write-write race",
+                )
+
+
+@rule("APG109", "captured-mutable-race", Severity.WARNING)
+def captured_mutable_race(ctx: RuleContext, info: RuleInfo) -> Iterator[Finding]:
+    """Sibling *local* activities of one finish race on a mutable captured
+    from an enclosing function: one writes while another reads or writes,
+    with no happens-before edge between them.  (Remote captures are APG104's
+    domain — on a real runtime they do not even share the heap.)"""
+    seen: set = set()
+    for sg in ctx.mhp.site_groups():
+        by_binding: dict = {}  # (name, binding qualname) -> [(gi, multi, acc)]
+        for gi, group in enumerate(sg.groups):
+            if group.kind != "local":
+                continue
+            for acc in group.accesses:
+                if (
+                    acc.target == "captured"
+                    and acc.level == 0
+                    and not acc.via_at
+                    and acc.binding is not None
+                ):
+                    by_binding.setdefault((acc.key, acc.binding), []).append(
+                        (gi, group.multi, acc)
+                    )
+        for (name, _binding), entries in by_binding.items():
+            groups_involved = {gi for gi, _, _ in entries}
+            for gi, multi, acc in entries:
+                if acc.op != "write":
+                    continue
+                if not multi and len(groups_involved) < 2:
+                    continue  # one single-instance task mutating alone is fine
+                key = (acc.path, acc.line, name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                how = (
+                    "every instance of a loop-spawned activity"
+                    if multi
+                    else "concurrent sibling activities"
+                )
+                yield ctx.finding(
+                    info,
+                    ctx.module(acc.path),
+                    acc.line,
+                    f"captured mutable '{name}' is mutated by {how} of the "
+                    f"finish at line {sg.site.lineno} with no ordering between "
+                    f"them: read/write race",
+                )
+
+
+def _body_evals(ctx: RuleContext, scope: Scope, depth: int = 0, stack=None) -> list:
+    """``ctx.at`` evaluations a spawned body performs, following plain
+    helper calls (depth- and cycle-guarded)."""
+    if stack is None:
+        stack = set()
+    if depth > 8 or id(scope) in stack:
+        return []
+    stack.add(id(scope))
+    try:
+        events = ungoverned_events(scope, ctx.program)
+        out = list(events.evals)
+        for call in events.calls:
+            out += _body_evals(ctx, call.target, depth + 1, stack)
+    finally:
+        stack.discard(id(scope))
+    return out
+
+
+@rule("APG110", "remote-rmw-unordered", Severity.WARNING)
+def remote_rmw_unordered(ctx: RuleContext, info: RuleInfo) -> Iterator[Finding]:
+    """An activity body uses ``ctx.at`` to read *and* write the same store
+    key at a literal remote place, and the finish runs several such bodies
+    concurrently: the read-modify-write interleaves across instances and
+    updates are lost.  The same at-body called sequentially (or by a single
+    activity) is fine — ordering comes from the activity itself."""
+    seen: set = set()
+    for sg in ctx.mhp.site_groups():
+        rmws = []  # (group index, multi, dest literal, key, Eval)
+        for gi, group in enumerate(sg.groups):
+            spawn = group.spawn
+            if spawn is None or spawn.callee is None:
+                continue
+            for ev in _body_evals(ctx, spawn.callee):
+                if ev.callee is None or not isinstance(ev.dest, ast.Constant):
+                    continue
+                closure = ctx.mhp.effects.scope_accesses(ev.callee)
+                own = [
+                    a
+                    for a in closure
+                    if a.target == "store"
+                    and a.key is not None
+                    and a.level == 0
+                    and not a.via_at
+                ]
+                read = {a.key for a in own if a.op == "read"}
+                written = {a.key for a in own if a.op == "write"}
+                for key in sorted(read & written, key=repr):
+                    rmws.append((gi, group.multi, ev.dest.value, key, ev))
+        for i, (gia, ma, da, ka, ea) in enumerate(rmws):
+            conflict = ma or any(
+                gib != gia and db == da and kb == ka
+                for gib, _mb, db, kb, _eb in rmws[i + 1 :]
+            )
+            if not conflict:
+                continue
+            dedup = (ea.scope.module.path, ea.line, ka)
+            if dedup in seen:
+                continue
+            seen.add(dedup)
+            yield ctx.finding(
+                info,
+                ctx.module(ea.scope.module.path),
+                ea.line,
+                f"at-body '{ea.callee.qualname}' read-modify-writes store key "
+                f"{ka!r} at place {da!r}; concurrent sibling activities of the "
+                f"finish at line {sg.site.lineno} interleave the update "
+                f"(lost-update race) — order them with a finish per round",
             )

@@ -41,6 +41,28 @@ class Spawn:
     #: interprocedural spawn level: 0 = directly under the finish, 1 = inside
     #: a spawned body, ... (filled in by the inference pass)
     level: int = 0
+    #: the spawn sits under an ``if`` *inside* its loop, so the loop is not
+    #: proof of multiple instances (e.g. ``if place == ctx.here:`` selecting
+    #: one iteration); the MHP rules only treat unguarded loop spawns as
+    #: provably self-parallel
+    guarded: bool = False
+
+
+@dataclass
+class Eval:
+    """One blocking remote evaluation ``ctx.at(place, fn, ...)``.
+
+    Not a spawn — the activity shifts — but the MHP effect analysis needs it:
+    the at-body's accesses happen at ``dest`` as part of the calling task.
+    """
+
+    node: ast.Call
+    scope: Scope
+    dest: Optional[ast.expr]
+    callee_expr: Optional[ast.expr]
+    callee: Optional[Scope]
+    loop_depth: int
+    line: int
 
 
 @dataclass
@@ -51,6 +73,8 @@ class PlainCall:
     target: Scope
     node: ast.Call
     loop_depth: int
+    #: under an ``if`` inside its loop (see :attr:`Spawn.guarded`)
+    guarded: bool = False
 
 
 @dataclass
@@ -72,6 +96,9 @@ class BodyEvents:
 
     spawns: list = field(default_factory=list)
     calls: list = field(default_factory=list)
+    #: ``ctx.at(...)`` evaluations — recorded at *any* finish depth (an at is
+    #: not governed by a finish; the activity moves and comes back)
+    evals: list = field(default_factory=list)
     #: an unresolvable call received a context argument and may hide spawns
     opaque: bool = False
 
@@ -196,6 +223,7 @@ class _EventWalker(ast.NodeVisitor):
         self.events = BodyEvents()
         self.loop_depth = 0
         self.finish_depth = 0
+        self.guard_depth = 0  # `if` nesting inside the innermost loop
 
     # nested scopes are analyzed separately (their spawns belong to whoever
     # calls or spawns them)
@@ -208,12 +236,27 @@ class _EventWalker(ast.NodeVisitor):
 
     def _loop(self, node):
         self.loop_depth += 1
+        saved_guard = self.guard_depth
+        self.guard_depth = 0
         self.generic_visit(node)
+        self.guard_depth = saved_guard
         self.loop_depth -= 1
 
     visit_For = _loop
     visit_AsyncFor = _loop
     visit_While = _loop
+
+    def visit_If(self, node):
+        if self.loop_depth == 0:
+            self.generic_visit(node)
+            return
+        self.visit(node.test)
+        self.guard_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+        self.guard_depth -= 1
 
     def _with(self, node):
         is_finish = any(
@@ -233,9 +276,34 @@ class _EventWalker(ast.NodeVisitor):
     visit_AsyncWith = _with
 
     def visit_Call(self, node: ast.Call) -> None:
-        if self.finish_depth == 0:
+        if self._record_eval(node) is None and self.finish_depth == 0:
             self._record(node)
         self.generic_visit(node)
+
+    def _record_eval(self, node: ast.Call) -> Optional[Eval]:
+        """``ctx.at(place, fn, ...)`` — receiver must be a context name (many
+        unrelated objects have an ``.at`` attribute, e.g. numpy ufuncs)."""
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "at"
+            and isinstance(func.value, ast.Name)
+            and _is_context_name(func.value.id, self.scope)
+        ):
+            return None
+        dest = node.args[0] if node.args else None
+        callee_expr = node.args[1] if len(node.args) > 1 else None
+        ev = Eval(
+            node=node,
+            scope=self.scope,
+            dest=dest,
+            callee_expr=callee_expr,
+            callee=self._resolve_callee(callee_expr),
+            loop_depth=self.loop_depth,
+            line=node.lineno,
+        )
+        self.events.evals.append(ev)
+        return ev
 
     def _record(self, node: ast.Call) -> None:
         func = node.func
@@ -262,13 +330,17 @@ class _EventWalker(ast.NodeVisitor):
                     call_args=call_args,
                     loop_depth=self.loop_depth,
                     line=node.lineno,
+                    guarded=self.guard_depth > 0,
                 )
             )
             return
         target = self._resolve_callee(func)
         if target is not None:
             self.events.calls.append(
-                PlainCall(target=target, node=node, loop_depth=self.loop_depth)
+                PlainCall(
+                    target=target, node=node, loop_depth=self.loop_depth,
+                    guarded=self.guard_depth > 0,
+                )
             )
         elif _passes_context(node, self.scope):
             # an unresolvable call was handed an activity context: it may
@@ -276,19 +348,24 @@ class _EventWalker(ast.NodeVisitor):
             self.events.opaque = True
 
     def _resolve_callee(self, expr: Optional[ast.expr]) -> Optional[Scope]:
-        if expr is None:
-            return None
-        if isinstance(expr, ast.Name):
-            return self.program.resolve_function(expr.id, self.scope)
-        if isinstance(expr, ast.Lambda):
-            return self.program.scope_of.get(expr)
-        if (
-            isinstance(expr, ast.Attribute)
-            and isinstance(expr.value, ast.Name)
-            and expr.value.id in ("self", "cls")
-        ):
-            return self.program.resolve_method(self.scope, expr.attr)
+        return resolve_callee(expr, self.scope, self.program)
+
+
+def resolve_callee(expr: Optional[ast.expr], scope: Scope, program: Program) -> Optional[Scope]:
+    """Resolve a call-target expression to a function scope, when possible:
+    plain names, lambdas, ``self``/``cls`` methods, and dotted module-alias
+    targets (``rt.helper`` after ``import repro.runtime as rt``)."""
+    if expr is None:
         return None
+    if isinstance(expr, ast.Name):
+        return program.resolve_function(expr.id, scope)
+    if isinstance(expr, ast.Lambda):
+        return program.scope_of.get(expr)
+    if isinstance(expr, ast.Attribute):
+        if isinstance(expr.value, ast.Name) and expr.value.id in ("self", "cls"):
+            return program.resolve_method(scope, expr.attr)
+        return program.resolve_module_function(expr, scope)
+    return None
 
 
 def region_events(statements, scope: Scope, program: Program) -> BodyEvents:

@@ -1,0 +1,203 @@
+"""May-happen-in-parallel analysis over the finish/async/at structure.
+
+APGAS programs in the paper's subset form series-parallel task trees: a
+``finish`` region runs its body (the *continuation*) concurrently with every
+activity it governs, and those activities concurrently with each other, until
+``f.wait()`` joins them all.  The MHP question therefore decomposes per
+finish site into *task groups*:
+
+* the continuation — the ``with`` body's own statements (plus anything its
+  nested finish regions spawn, until their own waits),
+* one group per governed spawn — the spawned body's transitive access
+  closure (:class:`~repro.analyze.effects.EffectIndex`), where a spawn under
+  an unguarded loop is *provably multi-instance* and thus self-parallel.
+
+Two statements may happen in parallel iff their accesses land in different
+groups of the same site, or in the same self-parallel group.  This is an
+over-approximation by construction (no wait-placement reasoning inside the
+body, opaque callees contribute nothing they can be blamed for) — exactly
+the direction the static/dynamic agreement contract needs: every race the
+vector-clock detector observes must be a pair the MHP analysis predicted.
+
+Lint rules tighten the over-approximation with provability conditions
+(constant store keys, provably coinciding places) before firing; see
+APG108..APG110 in :mod:`repro.analyze.apgas_rules`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analyze.callgraph import (
+    FinishSiteNode,
+    Spawn,
+    finish_sites,
+    region_events,
+    ungoverned_events,
+)
+from repro.analyze.effects import EffectIndex
+from repro.analyze.infer import iter_function_scopes
+from repro.analyze.sourcemodel import Program, Scope
+
+
+@dataclass
+class TaskGroup:
+    """One concurrency unit of a finish site."""
+
+    label: str
+    kind: str                 #: "continuation" | "local" | "remote" | "copy"
+    spawn: Optional[Spawn]    #: None for the continuation
+    multi: bool               #: provably more than one instance (unguarded loop)
+    accesses: list            #: the group's transitive Access closure
+
+
+@dataclass
+class SiteGroups:
+    """A finish site with its task groups."""
+
+    site: FinishSiteNode
+    groups: list
+
+
+def _norm(path: str) -> str:
+    return os.path.abspath(path)
+
+
+class MhpAnalysis:
+    """Whole-program MHP pairs + per-site task groups (computed lazily)."""
+
+    MAX_DEPTH = 8
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.effects = EffectIndex(program)
+        self._sites: Optional[list] = None
+        self._pairs: Optional[set] = None
+        self._flat_cache: dict[int, list] = {}
+        self._flat_stack: set[int] = set()
+
+    # -- task groups ------------------------------------------------------------
+
+    def site_groups(self) -> list:
+        if self._sites is not None:
+            return self._sites
+        sites: list[SiteGroups] = []
+        for module in self.program.modules:
+            scopes = [self.program.module_scope[module.path]]
+            scopes.extend(iter_function_scopes(self.program, module))
+            for scope in scopes:
+                for site in finish_sites(scope, self.program):
+                    sites.append(SiteGroups(site, self._groups_for(site)))
+        self._sites = sites
+        return sites
+
+    def _groups_for(self, site: FinishSiteNode) -> list:
+        groups: list[TaskGroup] = []
+        continuation = self.effects.region_accesses(
+            site.with_node.body, site.scope, include_spawns=False
+        )
+        groups.append(
+            TaskGroup("continuation", "continuation", None, False, continuation)
+        )
+        events = region_events(site.with_node.body, site.scope, self.program)
+        for spawn, multi in self._spawns_with_multi(events):
+            accesses = (
+                self.effects.scope_accesses(spawn.callee)
+                if spawn.callee is not None
+                else []
+            )
+            callee = spawn.callee.qualname if spawn.callee is not None else "<opaque>"
+            groups.append(
+                TaskGroup(
+                    f"{spawn.kind}:{callee}@{spawn.line}",
+                    spawn.kind,
+                    spawn,
+                    multi,
+                    accesses,
+                )
+            )
+        return groups
+
+    def _spawns_with_multi(self, events, depth: int = 0) -> list:
+        """(spawn, provably-multi-instance) for the region's governed spawns,
+        following plain helper calls (their ungoverned spawns are governed by
+        the caller's finish — the APGAS composition rule)."""
+        out = [
+            (s, s.loop_depth >= 1 and not s.guarded) for s in events.spawns
+        ]
+        if depth >= self.MAX_DEPTH:
+            return out
+        for call in events.calls:
+            call_multi = call.loop_depth >= 1 and not call.guarded
+            for spawn, multi in self._flat_scope_spawns(call.target, depth + 1):
+                out.append((spawn, multi or call_multi))
+        return out
+
+    def _flat_scope_spawns(self, scope: Scope, depth: int) -> list:
+        key = id(scope)
+        cached = self._flat_cache.get(key)
+        if cached is not None:
+            return cached
+        if key in self._flat_stack:
+            return []
+        self._flat_stack.add(key)
+        try:
+            out = self._spawns_with_multi(
+                ungoverned_events(scope, self.program), depth
+            )
+        finally:
+            self._flat_stack.discard(key)
+        self._flat_cache[key] = out
+        return out
+
+    # -- MHP pairs ---------------------------------------------------------------
+
+    def pairs(self) -> set:
+        """Every MHP statement pair as ``frozenset({(path, line), ...})``
+        (absolute paths; a one-element set is a statement racing another
+        instance of itself)."""
+        if self._pairs is not None:
+            return self._pairs
+        pairs: set = set()
+        for sg in self.site_groups():
+            uniq = [
+                sorted({((_norm(a.path), a.line), a.level) for a in g.accesses})
+                for g in sg.groups
+            ]
+            for i, gi in enumerate(sg.groups):
+                # self-parallelism: a multi group races itself completely; a
+                # single-instance group only races its own spawned
+                # descendants (level >= 1 runs concurrently with level 0 and
+                # with other descendants)
+                for ai, (ca, la) in enumerate(uniq[i]):
+                    for cb, lb in uniq[i][ai:]:
+                        if gi.multi or la >= 1 or lb >= 1:
+                            if gi.multi or not (ca == cb and la == 0 and lb == 0):
+                                pairs.add(frozenset({ca, cb}))
+                # cross-group: everything in gi vs everything in later groups
+                for j in range(i + 1, len(sg.groups)):
+                    for ca, _la in uniq[i]:
+                        for cb, _lb in uniq[j]:
+                            pairs.add(frozenset({ca, cb}))
+        self._pairs = pairs
+        return pairs
+
+    def predicts(self, a: tuple, b: tuple) -> bool:
+        """True when accesses at ``a``/``b`` (``(path, line)``) may run in
+        parallel according to the static analysis."""
+        pair = frozenset({(_norm(a[0]), a[1]), (_norm(b[0]), b[1])})
+        return pair in self.pairs()
+
+    def render_pairs(self) -> list[str]:
+        """Human-readable sorted dump (the ``repro analyze --mhp`` output)."""
+        lines = []
+        for pair in self.pairs():
+            items = sorted(pair)
+            (pa, la) = items[0]
+            (pb, lb) = items[-1]
+            ra = os.path.relpath(pa).replace(os.sep, "/")
+            rb = os.path.relpath(pb).replace(os.sep, "/")
+            lines.append(f"{ra}:{la} <||> {rb}:{lb}")
+        return sorted(set(lines))

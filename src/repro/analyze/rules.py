@@ -100,6 +100,17 @@ class RuleContext:
         #: every SiteClassification, all modules, source order per module
         self.classifications = classifications
         self._by_path = {m.path: m for m in program.modules}
+        self._mhp = None
+
+    @property
+    def mhp(self):
+        """Lazily-built :class:`repro.analyze.mhp.MhpAnalysis` shared across
+        the race rules (APG108..APG110)."""
+        if self._mhp is None:
+            from repro.analyze.mhp import MhpAnalysis
+
+            self._mhp = MhpAnalysis(self.program)
+        return self._mhp
 
     def module(self, path: str) -> Optional[SourceModule]:
         return self._by_path.get(path)

@@ -191,6 +191,8 @@ class Program:
         self.scope_of: dict[ast.AST, Scope] = {}
         self._by_modname: dict[str, SourceModule] = {}
         self._imports: dict[str, dict[str, tuple[str, str]]] = {}  # path -> alias -> (mod, orig)
+        #: path -> bound name -> dotted module (``import repro.runtime as rt``)
+        self._module_imports: dict[str, dict[str, str]] = {}
 
     @classmethod
     def from_paths(cls, paths: Iterable[str]) -> "Program":
@@ -225,6 +227,7 @@ class Program:
         for stmt in tree.body:
             builder.visit(stmt)
         self._imports[path] = self._collect_imports(tree)
+        self._module_imports[path] = self._collect_module_imports(tree)
         return module
 
     @staticmethod
@@ -234,6 +237,21 @@ class Program:
             if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
                 for alias in node.names:
                     table[alias.asname or alias.name] = (node.module, alias.name)
+        return table
+
+    @staticmethod
+    def _collect_module_imports(tree: ast.Module) -> dict[str, str]:
+        """``import a.b as x`` binds ``x`` to module ``a.b``; plain
+        ``import a.b`` binds ``a`` (usages then spell ``a.b.f``)."""
+        table: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        table[head] = head
         return table
 
     # -- name resolution ---------------------------------------------------------
@@ -270,6 +288,44 @@ class Program:
                 found = mscope.functions.get(orig)
                 if found is not None and found.kind in ("function", "lambda"):
                     return found
+        return None
+
+    def resolve_module_function(self, expr: ast.Attribute, scope: Scope) -> Optional[Scope]:
+        """Resolve a dotted call target through a module binding.
+
+        Handles ``import repro.runtime as rt; rt.helper(...)``, plain
+        ``import a.b; a.b.helper(...)``, and module objects bound by
+        ``from repro import runtime as rt``.  Returns the function scope in
+        the target module when that module is part of the analyzed set.
+        """
+        parts: list[str] = []
+        node: ast.expr = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or not parts:
+            return None
+        parts.append(node.id)
+        parts.reverse()  # ["rt", "helper"] or ["a", "b", "helper"]
+        func = parts[-1]
+        head, mids = parts[0], parts[1:-1]
+        path = scope.module.path
+        base = self._module_imports.get(path, {}).get(head)
+        if base is None:
+            # ``from repro import runtime as rt`` binds a *module* through the
+            # from-import table; only follow it when it names a real module
+            entry = self._imports.get(path, {}).get(head)
+            if entry is not None:
+                base = f"{entry[0]}.{entry[1]}"
+        if base is None:
+            return None
+        modname = ".".join([base, *mids])
+        target = self._lookup_module(modname)
+        if target is None:
+            return None
+        found = self.module_scope[target.path].functions.get(func)
+        if found is not None and found.kind in ("function", "lambda"):
+            return found
         return None
 
     def _lookup_module(self, modname: str) -> Optional[SourceModule]:

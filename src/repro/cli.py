@@ -193,6 +193,32 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write the current findings to --baseline and exit 0",
     )
+    analyze.add_argument(
+        "--mhp",
+        action="store_true",
+        help="also dump every may-happen-in-parallel statement pair the "
+        "race rules reason over",
+    )
+
+    race = sub.add_parser(
+        "race",
+        help="dynamic determinacy-race detection: run kernels or scripts "
+        "under the vector-clock happens-before checker",
+    )
+    race.add_argument(
+        "targets",
+        nargs="+",
+        help="kernel names (portable program by default) and/or Python "
+        "scripts to execute under forced detection",
+    )
+    race.add_argument("--places", type=int, default=4)
+    race.add_argument("--engine", choices=sorted(ENGINES), default=None, help=engine_help)
+    race.add_argument(
+        "--full-sim",
+        action="store_true",
+        help="run kernel targets through the full simulator kernel "
+        "(modeled machine physics) instead of the portable program",
+    )
     return parser
 
 
@@ -333,6 +359,9 @@ def main(argv=None, out=sys.stdout) -> int:
 
     if args.command == "analyze":
         return _cmd_analyze(args, out)
+
+    if args.command == "race":
+        return _cmd_race(args, out)
 
     raise AssertionError("unreachable")
 
@@ -513,7 +542,76 @@ def _cmd_analyze(args, out) -> int:
         write_json(result, out)
     else:
         render_text(result, out, show_sites=args.sites)
+    if args.mhp:
+        from repro.analyze.mhp import MhpAnalysis
+
+        lines = MhpAnalysis(result.program).render_pairs()
+        print(file=out)
+        print(f"-- may-happen-in-parallel: {len(lines)} pair(s) --", file=out)
+        for line in lines:
+            print(line, file=out)
     return 1 if result.gating else 0
+
+
+def _cmd_race(args, out) -> int:
+    """Run targets under the dynamic race detector.
+
+    A target is a shipped kernel name (run as its portable program, or the
+    full simulator kernel with ``--full-sim``) or a path to a Python script,
+    which is executed with detection forced on every runtime it builds.
+
+    Exit codes: 0 — every target race-free; 1 — at least one race detected
+    (each is printed); 2 — usage error (unknown target, missing script).
+    """
+    import os
+
+    from repro.runtime import racedetect
+
+    total = 0
+    for target in args.targets:
+        if target.endswith(".py") or os.sep in target:
+            if not os.path.exists(target):
+                print(f"error: no such script: {target}", file=out)
+                return 2
+            races = [
+                race
+                for det in racedetect.run_script(target)
+                for race in det.races
+            ]
+            label = target
+        elif target in KERNELS:
+            label = f"{target}@{args.places}"
+            try:
+                if args.full_sim:
+                    result = simulate(
+                        target, args.places, engine=args.engine, race=True
+                    )
+                    races = result.extra["race"].races
+                else:
+                    from repro.kernels.portable import build_program
+                    from repro.runtime.runtime import ApgasRuntime
+
+                    kwargs = {} if args.engine is None else {"engine": args.engine}
+                    rt = ApgasRuntime(places=args.places, race=True, **kwargs)
+                    rt.run(build_program(target, args.places))
+                    races = rt.race.races
+            except (KernelError, DeadPlaceError) as exc:
+                print(f"error: {label}: {exc}", file=out)
+                return 2
+        else:
+            print(
+                f"error: unknown target {target!r} (not a kernel or a .py script)",
+                file=out,
+            )
+            return 2
+        if races:
+            total += len(races)
+            print(f"{label}: {len(races)} race(s)", file=out)
+            for race in races:
+                print(f"  {race.describe()}", file=out)
+        else:
+            print(f"{label}: clean", file=out)
+    return 1 if total else 0
 
 
 def _cmd_perf(args, out) -> int:

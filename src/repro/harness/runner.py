@@ -24,6 +24,7 @@ def make_runtime(
     trace: bool = False,
     chaos: Optional[str] = None,
     engine: Optional[str] = None,
+    race: bool = False,
     **overrides,
 ) -> ApgasRuntime:
     """A runtime on the full Power 775 constants (``overrides`` patch the config).
@@ -31,13 +32,15 @@ def make_runtime(
     ``trace=True`` enables the event tracer (``rt.obs.trace``); ``chaos``
     takes a fault-injection spec string (see :class:`repro.chaos.ChaosSpec`)
     and switches the transport into resilient mode.  ``engine`` picks the
-    event core (``slotted`` | ``classic``; None = default).
+    event core (``slotted`` | ``classic``; None = default).  ``race=True``
+    turns on the dynamic determinacy-race detector (``rt.race``).
     """
     cfg = config or MachineConfig()
     if overrides:
         cfg = cfg.with_(**overrides)
     return ApgasRuntime(
-        places=places, config=cfg, obs=Observability(trace=trace), chaos=chaos, engine=engine
+        places=places, config=cfg, obs=Observability(trace=trace), chaos=chaos,
+        engine=engine, race=race,
     )
 
 
@@ -53,6 +56,7 @@ def simulate(
     chaos: Optional[str] = None,
     resilient: bool = False,
     engine: Optional[str] = None,
+    race: bool = False,
     **kwargs,
 ) -> KernelResult:
     """Run one kernel at one scale inside the simulator.
@@ -62,7 +66,8 @@ def simulate(
     ``chaos`` spec the run executes under deterministic fault injection; the
     injector rides in ``extra["chaos"]`` so callers can inspect dead places.
     ``resilient`` turns on checkpoint/restore and elastic recovery for the
-    kernels in :data:`RESILIENT_KERNELS`.
+    kernels in :data:`RESILIENT_KERNELS`.  ``race=True`` runs under the
+    dynamic race detector; the detector rides in ``extra["race"]``.
     """
     try:
         runner = _RUNNERS[kernel]
@@ -75,13 +80,15 @@ def simulate(
                 f"--resilient supports {sorted(RESILIENT_KERNELS)}"
             )
         kwargs["resilient"] = True
-    rt = make_runtime(places, config, trace=trace, chaos=chaos, engine=engine)
+    rt = make_runtime(places, config, trace=trace, chaos=chaos, engine=engine, race=race)
     result = runner(rt, **kwargs)
     result.extra["metrics"] = rt.obs.metrics.snapshot()
     if trace:
         result.extra["trace"] = rt.obs.trace
     if rt.chaos is not None:
         result.extra["chaos"] = rt.chaos
+    if rt.race is not None:
+        result.extra["race"] = rt.race
     return result
 
 

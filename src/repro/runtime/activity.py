@@ -82,6 +82,9 @@ class FinishScope:
         from repro.runtime.finish import make_finish
 
         self._finish = make_finish(self._ctx.rt, self._ctx.here, self._pragma, self._name)
+        race = self._ctx.rt.race
+        if race is not None:
+            race.on_finish_open(self._finish, self._ctx.activity)
         self._ctx.activity.finish_stack.append(self._finish)
         return self._finish
 
@@ -131,8 +134,15 @@ class ActivityContext:
         instead of capturing closures, so the same program text runs whether
         the place is simulated (one shared heap) or a real OS process (a real
         private heap).  Keys are program-chosen strings.
+
+        With race detection on, accesses go through a recording proxy over
+        the same dict (:class:`~repro.runtime.racedetect.TrackedStore`).
         """
-        return self.rt.place(self.here).store
+        store = self.rt.place(self.here).store
+        race = self.rt.race
+        if race is not None:
+            return race.tracked_store(store, self.here, self.activity)
+        return store
 
     # -- compute -------------------------------------------------------------------
 
@@ -175,14 +185,23 @@ class ActivityContext:
 
     def async_(self, fn: Callable, *args: Any, name: str = "") -> Activity:
         """``async S``: spawn a local activity under the current finish."""
-        return self.rt.spawn_local(self.here, fn, args, self.activity.current_finish, name)
+        act = self.rt.spawn_local(self.here, fn, args, self.activity.current_finish, name)
+        race = self.rt.race
+        if race is not None:
+            # safe after the fact: local children always defer one engine
+            # step, so the child cannot have run before its clock exists
+            race.on_fork(self.activity, act)
+        return act
 
     def at_async(
         self, place: int, fn: Callable, *args: Any, nbytes: Optional[int] = None, name: str = ""
     ) -> None:
         """``at(p) async S``: an active message — non-blocking remote spawn."""
+        race = self.rt.race
+        clock = race.fork_snapshot(self.activity) if race is not None else None
         self.rt.spawn_remote(
-            self.here, place, fn, args, self.activity.current_finish, nbytes, name
+            self.here, place, fn, args, self.activity.current_finish, nbytes, name,
+            clock=clock,
         )
 
     def at(
@@ -195,7 +214,9 @@ class ActivityContext:
         returned event to obtain the result.  No finish is involved — the
         activity never terminated, it moved.
         """
-        return self.rt.remote_eval(self.here, place, fn, args, nbytes)
+        race = self.rt.race
+        clock = race.clock_of(self.activity) if race is not None else None
+        return self.rt.remote_eval(self.here, place, fn, args, nbytes, clock=clock)
 
     # -- finish ---------------------------------------------------------------------
 

@@ -153,6 +153,11 @@ class BaseFinish:
             event.trigger()
         else:
             self._waiters.append(event)
+        race = self.rt.race
+        if race is not None:
+            # joined children's clocks flow into the waiting opener once the
+            # scope quiesces (the happens-before edge `finish` establishes)
+            race.on_wait(self, event)
         return event
 
     @property

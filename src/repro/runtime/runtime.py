@@ -12,6 +12,7 @@ from repro.machine.config import MachineConfig
 from repro.machine.noise import JitterModel
 from repro.machine.topology import Topology
 from repro.obs import Observability
+from repro.runtime import racedetect
 from repro.runtime.activity import Activity, ActivityContext
 from repro.runtime.finish import BaseFinish, Pragma, make_finish
 from repro.runtime.place import PlaceRuntime
@@ -89,6 +90,7 @@ class ApgasRuntime:
         obs: Optional[Observability] = None,
         chaos: Optional[object] = None,
         engine: Optional[object] = None,
+        race: bool = False,
     ) -> None:
         """``workers_per_place`` models ``X10_NTHREADS``: the paper runs one
         worker per place (the default); larger values let concurrent
@@ -101,7 +103,12 @@ class ApgasRuntime:
         mode and the runtime survives — or fails structurally on — place
         deaths.  ``engine`` selects the event core: an engine-name string
         (``"slotted"`` | ``"classic"``, see :func:`repro.sim.make_engine`), an
-        already-built engine instance, or None for the default core."""
+        already-built engine instance, or None for the default core.
+        ``race`` enables the dynamic determinacy-race detector
+        (:mod:`repro.runtime.racedetect`): vector clocks at fork/join/at/
+        finish edges plus happens-before checks on every ``ctx.store``
+        access; off by default with zero overhead beyond one attribute test
+        per hot-path branch."""
         if workers_per_place < 1:
             raise ApgasError("workers_per_place must be >= 1")
         self.workers_per_place = workers_per_place
@@ -155,6 +162,12 @@ class ApgasRuntime:
         self._c_remote_spawns = metrics.counter("runtime.remote_spawns")
         self._c_remote_evals = metrics.counter("runtime.remote_evals")
         self.stats = RuntimeStats(metrics)
+        #: the determinacy-race detector, or None (the zero-overhead default)
+        self.race: Optional[racedetect.RaceDetector] = (
+            racedetect.RaceDetector(self)
+            if race or racedetect.detection_forced()
+            else None
+        )
 
         self.transport.register_handler("apgas-spawn", self._on_spawn)
         self.transport.register_handler("apgas-eval", self._on_eval)
@@ -237,6 +250,7 @@ class ApgasRuntime:
         finish: BaseFinish,
         nbytes: Optional[int] = None,
         name: str = "",
+        clock: Optional[dict] = None,
     ) -> None:
         self.place(dst)
         if self.is_dead(dst):
@@ -246,17 +260,21 @@ class ApgasRuntime:
             self._c_remote_spawns.value += 1
         size = nbytes if nbytes is not None else estimate_nbytes(args)
         token = finish.spawn_departed(src, dst)
+        # ``clock`` (the race detector's fork snapshot) rides in the message
+        # but never in ``size``: detector-on runs keep detector-off traffic.
         self.transport.post_args(
-            src, dst, "apgas-spawn", (fn, args, finish, name, token), size
+            src, dst, "apgas-spawn", (fn, args, finish, name, token, clock), size
         )
 
     def _on_spawn(self, dst: int, body) -> None:
-        fn, args, finish, name, token = body
+        fn, args, finish, name, token, clock = body
         if not finish.spawn_landed(token):
             return  # written off by a place death; its fork is already settled
         # The delivery event *is* the asynchrony of ``at (p) async``: the body
         # may run right here rather than through one more zero-delay hop.
-        self._start_activity(dst, fn, args, finish, name, allow_plain=True, inline=True)
+        self._start_activity(
+            dst, fn, args, finish, name, allow_plain=True, inline=True, clock=clock
+        )
 
     def _is_genfunc(self, fn: Callable) -> bool:
         key = getattr(fn, "__func__", fn)
@@ -274,8 +292,13 @@ class ApgasRuntime:
         name: str,
         allow_plain: bool = False,
         inline: bool = False,
+        clock: Optional[dict] = None,
     ) -> Activity:
         activity = Activity(place, fn, args, finish, name)
+        if clock is not None and self.race is not None:
+            # a remotely-shipped fork snapshot: install before the body can
+            # run (the inline plain path below executes it immediately)
+            self.race.adopt(activity, clock)
         if self._m_on:
             self._c_activities.value += 1
         self.place(place).activities_run += 1
@@ -339,6 +362,8 @@ class ApgasRuntime:
                         raise ApgasError(
                             f"activity {activity.name} terminated inside an open finish scope"
                         )
+                    if self.race is not None:
+                        self.race.on_join(activity)
                     finish.join(place)
 
         # Delivery-driven starts on a reliable fabric run their first step
@@ -364,6 +389,8 @@ class ApgasRuntime:
                 raise ApgasError(
                     f"activity {activity.name} terminated inside an open finish scope"
                 )
+            if self.race is not None:
+                self.race.on_join(activity)
             finish.join(place)
             raise
         if inspect.isgenerator(result):
@@ -384,6 +411,8 @@ class ApgasRuntime:
                                 f"activity {activity.name} terminated inside "
                                 "an open finish scope"
                             )
+                        if self.race is not None:
+                            self.race.on_join(activity)
                         finish.join(place)
 
             activity.process = Process(self.engine, drive(), name=activity.name)
@@ -392,6 +421,8 @@ class ApgasRuntime:
             raise ApgasError(
                 f"activity {activity.name} terminated inside an open finish scope"
             )
+        if self.race is not None:
+            self.race.on_join(activity)
         finish.join(place)
 
     def _track_process(self, place: int, process: Process) -> None:
@@ -408,7 +439,13 @@ class ApgasRuntime:
     # -- remote evaluation (`at (p) e`) --------------------------------------------------
 
     def remote_eval(
-        self, src: int, dst: int, fn: Callable, args: tuple, nbytes: Optional[int] = None
+        self,
+        src: int,
+        dst: int,
+        fn: Callable,
+        args: tuple,
+        nbytes: Optional[int] = None,
+        clock: Optional[object] = None,
     ) -> SimEvent:
         """The activity shifts to ``dst``, evaluates, and the result ships back."""
         self.place(dst)
@@ -422,16 +459,16 @@ class ApgasRuntime:
             return result_event
         if src == dst:
             # `at (here)` degenerates to a direct call
-            self._eval_here(dst, fn, args, src, result_event)
+            self._eval_here(dst, fn, args, src, result_event, clock)
             return result_event
         reply_id = next(_reply_ids)
         self._replies[reply_id] = (result_event, dst)
         size = nbytes if nbytes is not None else estimate_nbytes(args)
-        self.transport.post_args(src, dst, "apgas-eval", (fn, args, src, reply_id), size)
+        self.transport.post_args(src, dst, "apgas-eval", (fn, args, src, reply_id, clock), size)
         return result_event
 
     def _on_eval(self, dst: int, body) -> None:
-        fn, args, reply_to, reply_id = body
+        fn, args, reply_to, reply_id, clock = body
         if self.chaos is None and not self._is_genfunc(fn):
             # Plain-function body on a reliable fabric: the delivery event we
             # are already inside provides the shift to ``dst``, so evaluate
@@ -443,6 +480,8 @@ class ApgasRuntime:
         def runner():
             # the shifted activity evaluates at dst, then the value travels home
             shifted = Activity(dst, fn, args, self._ungoverned, name=f"at-eval@{dst}")
+            if self.race is not None:
+                self.race.share(shifted, clock)
             ctx = ActivityContext(self, shifted)
             try:
                 result = fn(ctx, *args)
@@ -465,8 +504,10 @@ class ApgasRuntime:
 
     def _eval_plain(self, dst: int, body) -> None:
         """The scheduled step of a plain-function remote eval (no chaos)."""
-        fn, args, reply_to, reply_id = body
+        fn, args, reply_to, reply_id, clock = body
         shifted = Activity(dst, fn, args, self._ungoverned, name=f"at-eval@{dst}")
+        if self.race is not None:
+            self.race.share(shifted, clock)
         ctx = ActivityContext(self, shifted)
         try:
             result = fn(ctx, *args)
@@ -488,13 +529,23 @@ class ApgasRuntime:
             return
         self._send_reply(dst, reply_to, reply_id, result, is_error=False)
 
-    def _eval_here(self, place: int, fn: Callable, args: tuple, src: int, event: SimEvent) -> None:
+    def _eval_here(
+        self,
+        place: int,
+        fn: Callable,
+        args: tuple,
+        src: int,
+        event: SimEvent,
+        clock: Optional[object] = None,
+    ) -> None:
         if self.chaos is None and not self._is_genfunc(fn):
-            self.engine.call_soon_call2(self._eval_here_plain, place, (fn, args, event))
+            self.engine.call_soon_call2(self._eval_here_plain, place, (fn, args, event, clock))
             return
 
         def runner():
             shifted = Activity(place, fn, args, self._ungoverned, name=f"at-eval@{place}")
+            if self.race is not None:
+                self.race.share(shifted, clock)
             ctx = ActivityContext(self, shifted)
             try:
                 result = fn(ctx, *args)
@@ -511,8 +562,10 @@ class ApgasRuntime:
 
     def _eval_here_plain(self, place: int, packed) -> None:
         """The scheduled step of a plain-function local eval (no chaos)."""
-        fn, args, event = packed
+        fn, args, event, clock = packed
         shifted = Activity(place, fn, args, self._ungoverned, name=f"at-eval@{place}")
+        if self.race is not None:
+            self.race.share(shifted, clock)
         ctx = ActivityContext(self, shifted)
         try:
             result = fn(ctx, *args)

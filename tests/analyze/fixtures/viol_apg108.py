@@ -1,0 +1,30 @@
+"""Seeded violation for APG108 (concurrent-store-write): two sibling
+activities of one finish write the same store key at the same place.  The
+near-miss runs the same writers under *sequential* finishes — the first
+join orders the writes, so the rule must stay silent there."""
+
+
+def writer_a(ctx):
+    ctx.store["winner"] = "a"  # APG108 expected here
+    yield ctx.compute(seconds=1e-6)
+
+
+def writer_b(ctx):
+    ctx.store["winner"] = "b"
+    yield ctx.compute(seconds=1e-6)
+
+
+def main(ctx):
+    with ctx.finish() as f:
+        ctx.async_(writer_a)
+        ctx.async_(writer_b)
+    yield f.wait()
+
+
+def near_miss(ctx):
+    with ctx.finish() as f:
+        ctx.async_(writer_a)
+    yield f.wait()
+    with ctx.finish() as g:  # the wait above happens-before this finish
+        ctx.async_(writer_b)
+    yield g.wait()

@@ -1,0 +1,31 @@
+"""Seeded violation for APG109 (captured-mutable-race): local activities
+spawned in a loop all append to one captured list with no ordering between
+them.  The near-miss spawns a single activity — its appends are internally
+ordered and the list is only read after the join."""
+
+
+def main(ctx):
+    log = []
+
+    def noisy(c):
+        log.append(c.here)  # APG109 expected here
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        for _ in range(4):
+            ctx.async_(noisy)
+    yield f.wait()
+    return log
+
+
+def near_miss(ctx):
+    log = []
+
+    def once(c):
+        log.append(c.here)
+        yield c.compute(seconds=1e-6)
+
+    with ctx.finish() as f:
+        ctx.async_(once)
+    yield f.wait()
+    return log  # read only after the join: ordered

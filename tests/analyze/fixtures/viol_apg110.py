@@ -1,0 +1,26 @@
+"""Seeded violation for APG110 (remote-rmw-unordered): loop-spawned
+activities each shift to place 1 and read-modify-write the same counter —
+the increments interleave and updates are lost.  The near-miss performs the
+identical at-body calls sequentially from one activity, where program order
+keeps every read-modify-write atomic with respect to the next."""
+
+
+def bump(ctx):
+    total = ctx.store.get("total", 0)
+    ctx.store["total"] = total + 1
+
+
+def round_trip(ctx):
+    yield ctx.at(1, bump)  # APG110 expected here
+
+
+def main(ctx):
+    with ctx.finish() as f:
+        for _ in range(4):
+            ctx.async_(round_trip)
+    yield f.wait()
+
+
+def near_miss(ctx):
+    for _ in range(4):  # one activity: each at returns before the next
+        yield ctx.at(1, bump)

@@ -202,3 +202,74 @@ def test_cross_module_import_resolution(tmp_path):
     ev = region_events(site.with_node.body, scope, program)
     assert ev.spawns[0].callee is not None
     assert ev.spawns[0].callee.name == "work"
+
+
+def test_aliased_module_import_resolution(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "workers.py").write_text(
+        "def work(ctx):\n    yield ctx.compute(seconds=1e-6)\n"
+    )
+    (tmp_path / "main.py").write_text(
+        "import pkg.workers as w\n"
+        "def body(ctx, p):\n"
+        "    with ctx.finish() as f:\n"
+        "        ctx.at_async(p, w.work)\n"
+        "    yield f.wait()\n"
+    )
+    program = Program.from_paths([str(tmp_path)])
+    scope = program.module_scope[str(tmp_path / "main.py")].functions["body"]
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    assert ev.spawns[0].callee is not None
+    assert ev.spawns[0].callee.name == "work"
+
+
+def test_from_import_module_alias_resolution(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "workers.py").write_text(
+        "def work(ctx):\n    yield ctx.compute(seconds=1e-6)\n"
+    )
+    (tmp_path / "main.py").write_text(
+        "from pkg import workers as wk\n"
+        "def body(ctx):\n"
+        "    with ctx.finish() as f:\n"
+        "        ctx.async_(wk.work)\n"
+        "    yield f.wait()\n"
+    )
+    program = Program.from_paths([str(tmp_path)])
+    scope = program.module_scope[str(tmp_path / "main.py")].functions["body"]
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    assert ev.spawns[0].callee is not None
+    assert ev.spawns[0].callee.name == "work"
+
+
+def test_unknown_module_alias_stays_unresolved(tmp_path):
+    (tmp_path / "main.py").write_text(
+        "import numpy as np\n"
+        "def body(ctx):\n"
+        "    with ctx.finish() as f:\n"
+        "        ctx.async_(np.work)\n"
+        "    yield f.wait()\n"
+    )
+    program = Program.from_paths([str(tmp_path)])
+    scope = program.module_scope[str(tmp_path / "main.py")].functions["body"]
+    (site,) = finish_sites(scope, program)
+    ev = region_events(site.with_node.body, scope, program)
+    assert ev.spawns[0].callee is None
+
+
+def test_ufunc_dot_at_is_not_a_remote_eval():
+    program = program_of(
+        """
+def body(ctx, np, arr, idx):
+    np.bitwise_xor.at(arr, idx, 1)
+"""
+    )
+    scope = scope_of(program, "body")
+    ev = ungoverned_events(scope, program)
+    assert ev.evals == []

@@ -70,7 +70,7 @@ def test_write_baseline_then_gated_rerun_exits_zero(tmp_path):
     code, _ = run_cli("analyze", FIXTURES, "--baseline", baseline, "--write-baseline")
     assert code == 0
     with open(baseline) as fh:
-        assert len(json.load(fh)["findings"]) == 12
+        assert len(json.load(fh)["findings"]) == 15
 
     code, text = run_cli("analyze", FIXTURES, "--baseline", baseline)
     assert code == 0
@@ -89,3 +89,12 @@ def test_malformed_baseline_exits_two(tmp_path):
     code, text = run_cli("analyze", FIXTURES, "--baseline", str(baseline))
     assert code == 2
     assert text.startswith("error:")
+
+
+def test_mhp_dump_lists_parallel_pairs():
+    code, text = run_cli(
+        "analyze", os.path.join(FIXTURES, "viol_apg108.py"), "--mhp"
+    )
+    assert code == 1  # the seeded APG108 finding gates
+    assert "may-happen-in-parallel" in text
+    assert "<||>" in text

@@ -1,0 +1,220 @@
+"""Tests for the effect analysis and the MHP task-group decomposition."""
+
+from repro.analyze.effects import EffectIndex, mutable_captures
+from repro.analyze.mhp import MhpAnalysis
+from repro.analyze.sourcemodel import Program
+
+
+def program_of(source: str) -> Program:
+    program = Program()
+    program.add_source("/virtual/test.py", source)
+    return program
+
+
+def scope_of(program: Program, *names):
+    scope = program.module_scope["/virtual/test.py"]
+    for name in names:
+        scope = scope.functions[name]
+    return scope
+
+
+# -- effects ---------------------------------------------------------------------
+
+
+def test_direct_store_reads_and_writes():
+    program = program_of(
+        """
+def body(ctx):
+    ctx.store["out"] = ctx.store["in"]
+    ctx.store["n"] += 1
+    if "flag" in ctx.store:
+        del ctx.store["gone"]
+"""
+    )
+    accs = EffectIndex(program).scope_accesses(scope_of(program, "body"))
+    ops = {(a.op, a.key) for a in accs}
+    assert ("write", "out") in ops
+    assert ("read", "in") in ops
+    assert ("read", "n") in ops and ("write", "n") in ops  # augmented assign
+    assert ("read", "flag") in ops  # membership test
+    assert ("write", "gone") in ops  # deletion
+    assert all(a.level == 0 and not a.via_at for a in accs)
+
+
+def test_store_method_effects():
+    program = program_of(
+        """
+def body(ctx):
+    a = ctx.store.get("a")
+    ctx.store.setdefault("b", 0)
+    ctx.store.pop("c")
+"""
+    )
+    accs = EffectIndex(program).scope_accesses(scope_of(program, "body"))
+    ops = {(a.op, a.key) for a in accs}
+    assert ("read", "a") in ops and ("write", "a") not in ops
+    assert ("read", "b") in ops and ("write", "b") in ops
+    assert ("read", "c") in ops and ("write", "c") in ops
+
+
+def test_helper_accesses_fold_in_at_level_zero():
+    program = program_of(
+        """
+def helper(ctx):
+    ctx.store["h"] = 1
+
+def body(ctx):
+    helper(ctx)
+"""
+    )
+    accs = EffectIndex(program).scope_accesses(scope_of(program, "body"))
+    assert [(a.key, a.level) for a in accs] == [("h", 0)]
+
+
+def test_spawned_accesses_shift_to_level_one():
+    program = program_of(
+        """
+def child(ctx):
+    ctx.store["c"] = 1
+
+def body(ctx):
+    ctx.async_(child)
+"""
+    )
+    accs = EffectIndex(program).scope_accesses(scope_of(program, "body"))
+    assert [(a.key, a.level) for a in accs] == [("c", 1)]
+
+
+def test_at_body_accesses_marked_via_at():
+    program = program_of(
+        """
+def remote(ctx):
+    ctx.store["r"] = 1
+
+def body(ctx):
+    yield ctx.at(1, remote)
+"""
+    )
+    accs = EffectIndex(program).scope_accesses(scope_of(program, "body"))
+    assert [(a.key, a.via_at) for a in accs] == [("r", True)]
+
+
+def test_recursion_terminates():
+    program = program_of(
+        """
+def body(ctx):
+    ctx.store["x"] = 1
+    body(ctx)
+"""
+    )
+    accs = EffectIndex(program).scope_accesses(scope_of(program, "body"))
+    assert {a.key for a in accs} == {"x"}
+
+
+def test_mutable_captures_found_through_enclosing_function():
+    program = program_of(
+        """
+def main(ctx):
+    acc = []
+    shadow = 3
+
+    def child(c):
+        acc.append(c.here)
+        return shadow
+"""
+    )
+    child = scope_of(program, "main", "child")
+    caps = mutable_captures(child, program)
+    assert set(caps) == {"acc"}  # ints are not mutable containers
+    accs = EffectIndex(program).scope_accesses(child)
+    captured = [a for a in accs if a.target == "captured"]
+    assert captured and all(a.key == "acc" for a in captured)
+    assert any(a.op == "write" for a in captured)  # .append mutates
+
+
+# -- MHP task groups -------------------------------------------------------------
+
+
+MAIN = """
+def worker(ctx, i):
+    ctx.store["acc"] = i
+
+def reader(ctx):
+    return ctx.store["acc"]
+
+def main(ctx):
+    with ctx.finish() as f:
+        for i in range(4):
+            ctx.async_(worker, i)
+        x = ctx.store["acc"]
+    yield f.wait()
+    with ctx.finish() as g:
+        ctx.async_(reader)
+    yield g.wait()
+"""
+
+
+def test_site_groups_decompose_per_finish():
+    program = program_of(MAIN)
+    mhp = MhpAnalysis(program)
+    sites = mhp.site_groups()
+    assert len(sites) == 2
+    first, second = sites
+    assert [g.kind for g in first.groups] == ["continuation", "local"]
+    assert first.groups[1].multi  # unguarded loop spawn
+    assert not second.groups[1].multi
+
+
+def test_pairs_cross_groups_but_not_finishes():
+    program = program_of(MAIN)
+    mhp = MhpAnalysis(program)
+    path = "/virtual/test.py"
+    write, cont_read, late_read = 3, 12, 6
+    assert mhp.predicts((path, write), (path, cont_read))
+    assert mhp.predicts((path, write), (path, write))  # multi: races itself
+    # the join between the finishes orders these
+    assert not mhp.predicts((path, write), (path, late_read))
+    assert not mhp.predicts((path, cont_read), (path, late_read))
+
+
+def test_guarded_loop_spawn_is_not_multi():
+    program = program_of(
+        """
+def work(ctx):
+    ctx.store["k"] = 1
+
+def main(ctx):
+    with ctx.finish() as f:
+        for p in ctx.places():
+            if p == ctx.here:
+                ctx.async_(work)
+    yield f.wait()
+"""
+    )
+    mhp = MhpAnalysis(program)
+    (site,) = mhp.site_groups()
+    assert [g.multi for g in site.groups] == [False, False]
+    assert not mhp.predicts(("/virtual/test.py", 3), ("/virtual/test.py", 3))
+
+
+def test_spawns_through_plain_helpers_join_the_site():
+    program = program_of(
+        """
+def child(ctx):
+    ctx.store["c"] = 1
+
+def fan_out(ctx):
+    for _ in range(3):
+        ctx.async_(child)
+
+def main(ctx):
+    with ctx.finish() as f:
+        fan_out(ctx)
+    yield f.wait()
+"""
+    )
+    mhp = MhpAnalysis(program)
+    (site,) = mhp.site_groups()
+    kinds = [g.kind for g in site.groups]
+    assert kinds == ["continuation", "local"]
+    assert site.groups[1].multi  # the helper's own loop carries through

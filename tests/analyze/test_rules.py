@@ -22,7 +22,10 @@ def findings_for(name: str):
     return analyze_paths([fixture(name)]).findings
 
 
-ALL_RULES = ("APG101", "APG102", "APG103", "APG104", "APG105", "APG106", "APG107")
+ALL_RULES = (
+    "APG101", "APG102", "APG103", "APG104", "APG105",
+    "APG106", "APG107", "APG108", "APG109", "APG110",
+)
 
 
 def test_registry_has_the_full_catalogue():
@@ -120,3 +123,35 @@ def test_severity_gating_ignores_notes():
     result = analyze_paths([fixture("viol_apg101.py")])
     assert result.gating  # errors gate
     assert all(f.severity >= Severity.WARNING for f in result.gating)
+
+
+# -- race rules: suppression + baseline round-trip --------------------------------
+
+
+@pytest.mark.parametrize("code", ("APG108", "APG109", "APG110"))
+def test_race_rule_coded_noqa_suppresses(code, tmp_path):
+    name = f"viol_{code.lower()}.py"
+    with open(fixture(name)) as fh:
+        lines = fh.read().splitlines(keepends=True)
+    marker = f"{code} expected here"
+    patched = [
+        line.replace(marker, f"noqa: {code}") if marker in line else line
+        for line in lines
+    ]
+    assert patched != lines
+    src = tmp_path / name
+    src.write_text("".join(patched))
+    assert analyze_paths([str(src)]).findings == []
+
+
+@pytest.mark.parametrize("code", ("APG108", "APG109", "APG110"))
+def test_race_rule_baseline_round_trip(code, tmp_path):
+    name = f"viol_{code.lower()}.py"
+    result = analyze_paths([fixture(name)])
+    assert result.findings and result.new_findings == result.findings
+
+    baseline_path = str(tmp_path / "baseline.json")
+    Baseline(path=baseline_path).write(baseline_path, result.findings)
+    rerun = analyze_paths([fixture(name)], baseline=Baseline.load(baseline_path))
+    assert rerun.findings and rerun.new_findings == []
+    assert rerun.gating == []

@@ -1,0 +1,28 @@
+"""Race-free control: the same writers as racy_store_write, but each under
+its own finish — the first join happens-before the second write.  The
+detector must stay silent (``repro race`` exits 0 on this script)."""
+
+from repro.runtime.runtime import ApgasRuntime
+
+
+def writer_a(ctx):
+    ctx.store["winner"] = "a"
+    yield ctx.compute(seconds=1e-6)
+
+
+def writer_b(ctx):
+    ctx.store["winner"] = "b"
+    yield ctx.compute(seconds=1e-6)
+
+
+def main(ctx):
+    with ctx.finish() as f:
+        ctx.async_(writer_a)
+    yield f.wait()
+    with ctx.finish() as g:
+        ctx.async_(writer_b)
+    yield g.wait()
+
+
+if __name__ == "__main__":
+    ApgasRuntime(places=2).run(main)

@@ -1,0 +1,25 @@
+"""Seeded dynamic race: loop-spawned activities each shift to place 1 with
+``ctx.at`` and read-modify-write the same counter — a lost-update race
+between sibling instances (read-write/write-write on the remote key)."""
+
+from repro.runtime.runtime import ApgasRuntime
+
+
+def bump(ctx):
+    total = ctx.store.get("total", 0)
+    ctx.store["total"] = total + 1
+
+
+def round_trip(ctx):
+    yield ctx.at(1, bump)
+
+
+def main(ctx):
+    with ctx.finish() as f:
+        for _ in range(3):
+            ctx.async_(round_trip)
+    yield f.wait()
+
+
+if __name__ == "__main__":
+    ApgasRuntime(places=2).run(main)

@@ -1,0 +1,27 @@
+"""Seeded dynamic race: two sibling activities of one finish write the same
+store key with no ordering between them (write-write).  Run via
+``repro race tests/race/fixtures/racy_store_write.py`` or the agreement
+suite; the detector must flag it and the MHP analysis must predict it."""
+
+from repro.runtime.runtime import ApgasRuntime
+
+
+def writer_a(ctx):
+    ctx.store["winner"] = "a"
+    yield ctx.compute(seconds=1e-6)
+
+
+def writer_b(ctx):
+    ctx.store["winner"] = "b"
+    yield ctx.compute(seconds=1e-6)
+
+
+def main(ctx):
+    with ctx.finish() as f:
+        ctx.async_(writer_a)
+        ctx.async_(writer_b)
+    yield f.wait()
+
+
+if __name__ == "__main__":
+    ApgasRuntime(places=2).run(main)

@@ -1,0 +1,55 @@
+"""The static/dynamic agreement contract: every race the vector-clock
+detector observes must be a pair the MHP analysis predicted (dynamic ⊆
+static), and the seeded fixtures are caught by *both* layers."""
+
+import os
+
+import pytest
+
+from repro.analyze import analyze_paths
+from repro.analyze.race_agreement import (
+    check_kernel,
+    check_race_agreement,
+    check_script,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+RACY = ("racy_store_write.py", "racy_remote_rmw.py")
+
+
+@pytest.mark.parametrize("name", RACY)
+def test_dynamic_races_are_statically_predicted(name):
+    record = check_script(os.path.join(FIXTURES, name))
+    assert record.races > 0, "the seeded fixture must race dynamically"
+    assert record.ok, f"MHP failed to predict: {record.unpredicted}"
+
+
+def test_clean_fixture_agrees_trivially():
+    record = check_script(os.path.join(FIXTURES, "clean_sequential.py"))
+    assert record.races == 0 and record.ok
+
+
+@pytest.mark.parametrize("name", RACY)
+def test_seeded_fixture_is_caught_by_the_static_rules(name):
+    # both layers must flag the seeded programs: the dynamic check above,
+    # and the APG108/APG110 rules here
+    result = analyze_paths([os.path.join(FIXTURES, name)])
+    assert any(f.rule in ("APG108", "APG109", "APG110") for f in result.findings)
+
+
+@pytest.mark.parametrize("kernel", ("stream", "kmeans"))
+def test_kernels_are_race_free_and_in_agreement(kernel):
+    record = check_kernel(kernel, places=4)
+    assert record.races == 0 and record.ok
+
+
+def test_check_race_agreement_over_corpus():
+    records = check_race_agreement(
+        kernels=["stream"],
+        fixtures=[os.path.join(FIXTURES, name) for name in RACY],
+    )
+    assert len(records) == 3
+    assert all(r.ok for r in records), [r.unpredicted for r in records]
+    assert records[0].races == 0  # the kernel
+    assert all(r.races > 0 for r in records[1:])  # the seeded fixtures

@@ -1,0 +1,245 @@
+"""Unit tests for the dynamic vector-clock race detector."""
+
+import os
+
+from repro.runtime import racedetect
+from repro.runtime.runtime import ApgasRuntime
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def run_detected(main, places=2):
+    rt = ApgasRuntime(places=places, race=True)
+    rt.run(main)
+    return rt.race
+
+
+# -- fork/join edges -------------------------------------------------------------
+
+
+def test_sibling_local_writes_race():
+    def w(ctx, val):
+        ctx.store["k"] = val
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(w, 1)
+            ctx.async_(w, 2)
+        yield f.wait()
+
+    det = run_detected(main)
+    assert not det.clean
+    assert {r.kind for r in det.races} == {"write-write"}
+    assert all(r.key == "k" for r in det.races)
+
+
+def test_sequential_finishes_are_ordered():
+    def w(ctx, val):
+        ctx.store["k"] = val
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(w, 1)
+        yield f.wait()
+        with ctx.finish() as g:
+            ctx.async_(w, 2)
+        yield g.wait()
+
+    assert run_detected(main).clean
+
+
+def test_wait_orders_children_before_continuation_read():
+    def w(ctx):
+        ctx.store["k"] = 1
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(w)
+        yield f.wait()
+        assert ctx.store["k"] == 1  # ordered by the join
+
+    assert run_detected(main).clean
+
+
+def test_parent_write_races_child_read():
+    def reader(ctx):
+        ctx.store.get("k")
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(reader)
+            ctx.store["k"] = 1  # unordered with the child's read
+        yield f.wait()
+
+    det = run_detected(main)
+    assert not det.clean
+    assert any(r.kind in ("read-write", "write-read") for r in det.races)
+
+
+def test_remote_fork_and_join_edges_are_clean():
+    def remote_w(ctx):
+        ctx.store["r"] = ctx.here
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        ctx.store["r"] = -1  # before the fork: ordered
+        with ctx.finish() as f:
+            ctx.at_async(1, remote_w)
+        yield f.wait()
+        ctx.store.get("r")  # after the join: ordered
+
+    assert run_detected(main).clean
+
+
+# -- at shifts -------------------------------------------------------------------
+
+
+def test_sequential_at_rmw_is_clean():
+    def bump(ctx):
+        ctx.store["n"] = ctx.store.get("n", 0) + 1
+
+    def main(ctx):
+        for _ in range(3):
+            yield ctx.at(1, bump)  # same task each time: program order
+
+    assert run_detected(main).clean
+
+
+def test_parallel_sibling_at_rmw_races():
+    def bump(ctx):
+        ctx.store["n"] = ctx.store.get("n", 0) + 1
+
+    def round_trip(ctx):
+        yield ctx.at(1, bump)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(round_trip)
+            ctx.async_(round_trip)
+        yield f.wait()
+
+    det = run_detected(main)
+    assert not det.clean
+    assert all(r.place == 1 and r.key == "n" for r in det.races)
+
+
+# -- reporting -------------------------------------------------------------------
+
+
+def test_race_pairs_are_source_coordinates():
+    def w(ctx, val):
+        ctx.store["k"] = val
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(w, 1)
+            ctx.async_(w, 2)
+        yield f.wait()
+
+    det = run_detected(main)
+    (pair,) = set(det.race_pairs())
+    for path, line in pair:
+        assert path == os.path.abspath(__file__)
+        assert isinstance(line, int) and line > 0
+
+
+def test_duplicate_races_are_deduplicated():
+    def w(ctx, val):
+        for _ in range(5):
+            ctx.store["k"] = val
+            yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(w, 1)
+            ctx.async_(w, 2)
+        yield f.wait()
+
+    det = run_detected(main)
+    # one report per (kind, place, key, coordinates) — not per access
+    assert len(det.races) == len(set(det.race_pairs())) <= 2
+
+
+def test_detector_off_by_default():
+    def main(ctx):
+        ctx.store["k"] = 1
+
+    rt = ApgasRuntime(places=2)
+    rt.run(main)
+    assert rt.race is None
+
+
+def test_metrics_count_accesses_and_violations():
+    def w(ctx, val):
+        ctx.store["k"] = val
+        yield ctx.compute(seconds=1e-6)
+
+    def main(ctx):
+        with ctx.finish() as f:
+            ctx.async_(w, 1)
+            ctx.async_(w, 2)
+        yield f.wait()
+
+    rt = ApgasRuntime(places=2, race=True)
+    rt.run(main)
+    snap = rt.obs.metrics.snapshot()
+    assert snap.total("race.accesses") >= 2
+    assert snap.total("race.violations") == len(rt.race.races)
+
+
+# -- tracked store semantics -----------------------------------------------------
+
+
+def test_tracked_store_preserves_dict_semantics():
+    observed = {}
+
+    def main(ctx):
+        s = ctx.store
+        s["a"] = 1
+        s.setdefault("b", 2)
+        s.update(c=3)
+        observed["get"] = s.get("a")
+        observed["in"] = "b" in s
+        observed["pop"] = s.pop("c")
+        observed["keys"] = sorted(s.keys())
+        observed["len"] = len(s)
+
+    rt = ApgasRuntime(places=1, race=True)
+    rt.run(main)
+    assert observed == {
+        "get": 1, "in": True, "pop": 3, "keys": ["a", "b"], "len": 2,
+    }
+
+
+def test_raw_store_contents_identical_with_detection():
+    def main(ctx):
+        ctx.store["a"] = 1
+        ctx.store.setdefault("b", [])
+
+    on = ApgasRuntime(places=1, race=True)
+    on.run(main)
+    off = ApgasRuntime(places=1)
+    off.run(main)
+    assert on.place(0).store == off.place(0).store
+
+
+# -- script mode -----------------------------------------------------------------
+
+
+def test_run_script_harvests_forced_detectors():
+    path = os.path.join(FIXTURES, "racy_store_write.py")
+    detectors = racedetect.run_script(path)
+    assert detectors, "the script's runtime must register under forced detection"
+    assert any(det.races for det in detectors)
+    assert not racedetect.detection_forced()  # force flag restored
+
+
+def test_run_script_on_clean_fixture():
+    path = os.path.join(FIXTURES, "clean_sequential.py")
+    detectors = racedetect.run_script(path)
+    assert detectors and all(det.clean for det in detectors)
