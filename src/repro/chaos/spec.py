@@ -143,12 +143,15 @@ class ChaosSpec:
         """A modified copy (specs are frozen)."""
         return replace(self, **overrides)
 
-    def validate_places(self, n_places: int) -> None:
-        """Reject kills of places the runtime does not have.
+    def validate_places(self, n_places: int, control_place: int | None = None) -> None:
+        """Reject kills of places the runtime does not have (or cannot lose).
 
         Place count is unknown at parse time, so the runtime calls this once
         it is; the error reaches the CLI as a :class:`ChaosError` (exit 2)
-        instead of a silently inert kill schedule.
+        instead of a silently inert kill schedule.  Backends whose topology
+        has an irreplaceable coordinator (serve's scheduler, the procs star
+        router) pass ``control_place`` so a kill aimed at it is rejected at
+        spec time — the shared validation every backend routes through.
         """
         for place, time in self.kills:
             if place >= n_places:
@@ -156,6 +159,29 @@ class ChaosSpec:
                     f"kill={place}@{time:g} targets a place outside the "
                     f"runtime (places 0..{n_places - 1})"
                 )
+            if control_place is not None and place == control_place:
+                raise ChaosError(
+                    f"kill={place}@{time:g} targets place {control_place}, "
+                    "the control place; kill a place >= 1 instead"
+                )
+
+    def validate_transport(self, backend: str) -> None:
+        """Reject fault fields that model the *simulated* fabric.
+
+        Probabilistic drop/dup/delay/reorder and bandwidth degradation are
+        draws against modeled PAMI transfers; on a backend with a real
+        transport (procs) only whole-place ``kill`` faults are meaningful.
+        """
+        modeled = [name for name, on in (
+            ("drop", self.drop), ("dup", self.dup), ("delay", self.delay_p),
+            ("reorder", self.reorder_p), ("degrade", self.degrade_factor > 1.0),
+        ) if on]
+        if modeled:
+            raise ChaosError(
+                f"chaos field(s) {', '.join(modeled)} model the simulated "
+                f"transport and do not apply to the {backend!r} backend; "
+                "only kill=place@time faults are supported there"
+            )
 
     # -- introspection -------------------------------------------------------------
 

@@ -39,12 +39,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos_help = (
         "fault-injection spec, e.g. 'seed=7,drop=0.05,dup=0.02,delay=0.1:2e-5,kill=5@1e-3'; "
-        "switches the transport into resilient (ack/retry) mode"
+        "switches the transport into resilient (ack/retry) mode; on "
+        "--backend procs only kill=place@time applies, and it SIGKILLs the "
+        "place's real OS process at that wall-clock time"
     )
 
     resilient_help = (
         "checkpoint/restore + elastic recovery: kills under --chaos are healed "
-        "by respawning the place and re-executing only the lost epoch"
+        "by respawning the place and re-executing only the lost epoch "
+        "(on --backend procs: a freshly forked OS process)"
     )
 
     engine_help = (
@@ -368,13 +371,13 @@ def main(argv=None, out=sys.stdout) -> int:
 
 def _run_backend(args, out) -> int:
     """``repro run <kernel> --backend {sim,procs}``: one portable-program run."""
-    from repro.errors import ProcsError, ProcsTimeoutError
+    from repro.errors import ProcsError, ProcsTimeoutError, ResilientError
     from repro.xrt.backend import get_backend
 
-    if args.chaos or args.resilient:
+    if (args.chaos or args.resilient) and args.backend != "procs":
         print(
-            "error: --chaos/--resilient model the simulated transport and do not "
-            "apply to --backend runs",
+            "error: on --backend runs, --chaos and --resilient are implemented "
+            "only for --backend procs (real process kills and respawns)",
             file=out,
         )
         return 2
@@ -387,10 +390,16 @@ def _run_backend(args, out) -> int:
         return 2
     try:
         if args.backend == "procs":
-            backend = get_backend("procs", deadline=args.deadline)
+            backend = get_backend(
+                "procs", deadline=args.deadline,
+                chaos=args.chaos, resilient=args.resilient,
+            )
         else:
             backend = get_backend(args.backend, engine=args.engine)
         run = backend.run(args.kernel, args.places)
+    except ChaosError as exc:
+        print(f"error: bad --chaos spec: {exc}", file=out)
+        return 2
     except KernelError as exc:
         print(f"error: {exc}", file=out)
         return 2
@@ -399,7 +408,7 @@ def _run_backend(args, out) -> int:
         print(f"places        : {args.places}", file=out)
         print(f"timed out     : {exc}", file=out)
         return 1
-    except (ProcsError, DeadPlaceError) as exc:
+    except (ProcsError, DeadPlaceError, ResilientError) as exc:
         print(f"kernel        : {args.kernel}", file=out)
         print(f"places        : {args.places}", file=out)
         print(f"failed        : {exc}", file=out)
@@ -417,6 +426,20 @@ def _run_backend(args, out) -> int:
         print(
             f"routed        : {run.extra['messages_routed']} messages, "
             f"{run.extra['bytes_routed']} bytes",
+            file=out,
+        )
+    if "deaths" in run.extra:
+        deaths = run.extra["deaths"]
+        dead = ", ".join(f"{d['place']}@{d['time']:g}s" for d in deaths) or "none"
+        print(f"chaos         : {run.extra.get('chaos') or 'none'}", file=out)
+        print(
+            f"deaths        : {dead} "
+            f"({run.extra.get('deaths_tolerated', 0)} finish write-offs)",
+            file=out,
+        )
+        print(
+            f"recovery      : {run.extra.get('revivals', 0)} respawns, "
+            f"{run.extra.get('frames_dropped', 0)} frames dropped",
             file=out,
         )
     nodes = run.result.get("nodes") if isinstance(run.result, dict) else None

@@ -103,9 +103,8 @@ def run_portable(kernel: str, places: int, backend: str = "sim", **params):
     """
     from repro.xrt.backend import get_backend
 
-    deadline = params.pop("deadline", None)
-    if backend == "procs" and deadline is not None:
-        return get_backend("procs", deadline=deadline).run(kernel, places, **params)
+    # launch-level keys (deadline / chaos / resilient / heartbeat_*) ride in
+    # through params; the procs backend pops them before kernel-param checks
     return get_backend(backend).run(kernel, places, **params)
 
 

@@ -50,6 +50,17 @@ _PROGRAMS: dict[str, tuple[Callable, dict]] = {
 PORTABLE_KERNELS = sorted(_PROGRAMS)
 
 
+def program_defaults(kernel: str) -> dict:
+    """A copy of ``kernel``'s default parameter set (KernelError if unknown)."""
+    try:
+        return dict(_PROGRAMS[kernel][1])
+    except KeyError:
+        raise KernelError(
+            f"no portable program for kernel {kernel!r}; "
+            f"choose from {PORTABLE_KERNELS}"
+        ) from None
+
+
 def build_program(kernel: str, places: int, **params: Any) -> Callable:
     """The portable ``main(ctx)`` for ``kernel`` with ``params`` overrides."""
     try:
@@ -72,4 +83,4 @@ def build_program(kernel: str, places: int, **params: Any) -> Callable:
     return bound
 
 
-__all__ = ["PORTABLE_KERNELS", "build_program", "spmd"]
+__all__ = ["PORTABLE_KERNELS", "build_program", "program_defaults", "spmd"]

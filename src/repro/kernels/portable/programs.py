@@ -249,25 +249,31 @@ def hpl_main(ctx, **params):
 # -- KMeans ---------------------------------------------------------------------------
 
 
+def kmeans_iteration(ctx, points, centroids, tag: str):
+    """One assign/allreduce/update round; returns the new centroids.
+
+    Factored out of :func:`kmeans_worker` so the resilient epoch body (one
+    epoch = one iteration, :mod:`repro.kernels.portable.resilient`) shares
+    the exact message protocol and FP combination order — which is what
+    makes a recovered run's checksum bit-identical to the fault-free run.
+    """
+    from repro.kernels.kmeans.kmeans import assign_and_accumulate, update_centroids
+
+    yield ctx.compute(seconds=_TICK)
+    sums, counts = assign_and_accumulate(points, centroids)
+    sums, counts = yield from allreduce(ctx, tag, (sums, counts), _kmeans_add)
+    return update_centroids(centroids, sums, counts)
+
+
 def kmeans_worker(ctx, p: dict):
-    from repro.kernels.kmeans.kmeans import (
-        assign_and_accumulate,
-        generate_points,
-        initial_centroids,
-        update_centroids,
-    )
+    from repro.kernels.kmeans.kmeans import generate_points, initial_centroids
 
     me = ctx.here
     points = generate_points(p["seed"], me, p["n_per_place"], p["dim"])
     seeds = initial_centroids(p["seed"], p["k"], p["dim"]) if me == 0 else None
     centroids = yield from bcast(ctx, "km:init", seeds)
     for it in range(p["iterations"]):
-        yield ctx.compute(seconds=_TICK)
-        sums, counts = assign_and_accumulate(points, centroids)
-        sums, counts = yield from allreduce(
-            ctx, f"km:{it}", (sums, counts), _kmeans_add
-        )
-        centroids = update_centroids(centroids, sums, counts)
+        centroids = yield from kmeans_iteration(ctx, points, centroids, f"km:{it}")
     if me == 0:
         ctx.store["portable:result"] = {
             "checksum": checksum_bytes(_digest(centroids)),

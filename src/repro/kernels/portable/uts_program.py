@@ -26,6 +26,7 @@ checksum.
 
 from __future__ import annotations
 
+from repro.errors import DeadPlaceError
 from repro.harness.results import checksum_bytes
 from repro.kernels.uts.tree import UtsBag, UtsParams
 
@@ -37,7 +38,23 @@ CHUNK = 512
 _IDLE_BACKOFF = 5e-4
 
 
-def uts_worker(ctx, p: dict):
+def _known_dead(ctx) -> tuple:
+    """Places ``ctx`` knows to be dead (procs backend; empty on the sim)."""
+    probe = getattr(ctx, "dead_places", None)
+    return tuple(probe()) if callable(probe) else ()
+
+
+def uts_loop(ctx, p: dict, ctl_box: str = "uts:ctl", abort_on_death: bool = False):
+    """The drain/steal/terminate loop; returns this place's processed count.
+
+    Factored out of :func:`uts_worker` so the resilient retry-from-scratch
+    body (:mod:`repro.kernels.portable.resilient`) can run the identical
+    protocol on an attempt-scoped control mailbox (``ctl_box``) — stale
+    steals and termination tokens from an aborted attempt land in boxes the
+    retry never reads.  With ``abort_on_death`` the loop raises
+    :class:`DeadPlaceError` as soon as a peer death is known, instead of
+    idling forever on steal replies or termination tokens that cannot come.
+    """
     me, P = ctx.here, ctx.n_places
     params = UtsParams(
         b0=p["b0"], depth=p["depth"], seed=p["seed"], rng_mode=p["rng_mode"]
@@ -56,16 +73,22 @@ def uts_worker(ctx, p: dict):
         while not bag.is_empty():
             processed += bag.process(CHUNK)
             yield ctx.compute(seconds=_IDLE_BACKOFF)
-        ctx.store["portable:result"] = _result(processed)
-        return
+        return processed
 
     if me == 0:
         held_token = (0, 0, True)  # the root injects the first wave when idle
 
     while not stop:
+        if abort_on_death:
+            dead = _known_dead(ctx)
+            if dead:
+                raise DeadPlaceError(
+                    dead[0], detected_by=f"uts worker @{me}",
+                    detail="peer died mid-attempt",
+                )
         # 1. drain control messages
         while True:
-            ok, msg = ctx.try_recv("uts:ctl")
+            ok, msg = ctx.try_recv(ctl_box)
             if not ok:
                 break
             kind = msg[0]
@@ -73,11 +96,11 @@ def uts_worker(ctx, p: dict):
                 thief = msg[1]
                 loot = None if bag.is_empty() else bag.split()
                 if loot is None:
-                    ctx.send(thief, "uts:ctl", ("empty",))
+                    ctx.send(thief, ctl_box, ("empty",))
                 else:
                     loot_sent += 1
                     ctx.send(
-                        thief, "uts:ctl",
+                        thief, ctl_box,
                         ("loot", loot.intervals, loot._bootstrap),
                     )
             elif kind == "loot":
@@ -107,23 +130,32 @@ def uts_worker(ctx, p: dict):
                 balanced = all_idle and sent_acc == recv_acc
                 if balanced and wave == prev_wave:
                     for q in range(1, P):
-                        ctx.send(q, "uts:ctl", ("stop",))
+                        ctx.send(q, ctl_box, ("stop",))
                     stop = True
                     break
                 prev_wave = wave if balanced else None
-                ctx.send(1, "uts:ctl", ("token", (loot_sent, loot_recv, True)))
+                ctx.send(1, ctl_box, ("token", (loot_sent, loot_recv, True)))
             else:
                 token = (sent_acc + loot_sent, recv_acc + loot_recv, all_idle)
-                ctx.send((me + 1) % P, "uts:ctl", ("token", token))
+                ctx.send((me + 1) % P, ctl_box, ("token", token))
         # 4. idle: try to steal (one outstanding request at a time)
         if not awaiting_reply:
             victim = (me + victim_offset) % P
             victim_offset = victim_offset % (P - 1) + 1
             if victim != me:
                 awaiting_reply = True
-                ctx.send(victim, "uts:ctl", ("steal", me))
+                ctx.send(victim, ctl_box, ("steal", me))
         yield ctx.sleep(_IDLE_BACKOFF)
 
+    return processed
+
+
+def uts_worker(ctx, p: dict):
+    me, P = ctx.here, ctx.n_places
+    processed = yield from uts_loop(ctx, p)
+    if P == 1:
+        ctx.store["portable:result"] = _result(processed)
+        return
     counts = yield from _gather_counts(ctx, processed)
     if me == 0:
         total = sum(counts.values())

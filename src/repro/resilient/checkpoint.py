@@ -32,11 +32,19 @@ from repro.runtime.finish import Pragma
 from repro.resilient.store import ResilientStore
 
 
-def _drive(result):
-    """Run a hook that may be a generator or a plain function."""
+def drive_hook(result):
+    """Run a hook that may be a generator or a plain function.
+
+    Shared with the portable resilient layer
+    (:mod:`repro.kernels.portable.resilient`), which drives the same
+    checkpoint/restore hook shapes over real processes.
+    """
     if inspect.isgenerator(result):
         return (yield from result)
     return result
+
+
+_drive = drive_hook
 
 
 class CheckpointHooks:

@@ -110,11 +110,10 @@ class ServeScheduler:
             raise ServeError(
                 f"runtime has {rt.n_places} places but the scenario wants {spec.places}"
             )
-        if rt.chaos is not None and any(p == 0 for p, _ in rt.chaos.spec.kills):
-            raise ServeError(
-                "chaos kills place 0, the scheduler's control place; "
-                "kill a pool place (>= 1) instead"
-            )
+        if rt.chaos is not None:
+            # shared place validation (repro.chaos.ChaosSpec.validate_places):
+            # place 0 is the scheduler's control place and may never be killed
+            rt.chaos.spec.validate_places(rt.n_places, control_place=0)
         self.rt = rt
         self.spec = spec
         self.requests = generate_traffic(spec) if requests is None else list(requests)

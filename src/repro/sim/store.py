@@ -53,6 +53,17 @@ class Store:
             return True, self._items.popleft()
         return False, None
 
+    def fail_getters(self, exc: BaseException) -> None:
+        """Fail every pending getter with ``exc``.
+
+        Used by place-death propagation: a process blocked on ``get()`` for an
+        item that can only come from a dead place must re-raise rather than
+        wait forever.  Queued items are untouched — only blocked getters fail.
+        """
+        getters, self._getters = self._getters, deque()
+        for get in getters:
+            get.event.fail(exc)
+
     @property
     def waiting_getters(self) -> int:
         return len(self._getters)

@@ -147,19 +147,50 @@ class SimBackend(ExecutionBackend):
 
 
 class ProcsBackend(ExecutionBackend):
-    """Real OS processes: one per place, messages over real sockets."""
+    """Real OS processes: one per place, messages over real sockets.
+
+    ``chaos`` (a kill-only spec) and ``resilient`` turn on real fault
+    injection and checkpoint/restore recovery — see
+    :func:`repro.xrt.procs.run_procs_program`; both may also be passed
+    per-run through ``params``.
+    """
 
     name = "procs"
 
-    def __init__(self, deadline: Optional[float] = None) -> None:
+    #: run_procs_program kwargs that may ride in through ``params``
+    _LAUNCH_KEYS = ("deadline", "chaos", "resilient",
+                    "heartbeat_interval", "heartbeat_timeout")
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        chaos: Optional[str] = None,
+        resilient: bool = False,
+    ) -> None:
         self.deadline = deadline
+        self.chaos = chaos
+        self.resilient = resilient
 
     def run(self, kernel: str, places: int, **params: Any) -> BackendRun:
         from repro.xrt.procs import run_procs_program
 
-        deadline = params.pop("deadline", self.deadline)
-        kwargs = {} if deadline is None else {"deadline": deadline}
+        kwargs = {"chaos": self.chaos, "resilient": self.resilient}
+        if self.deadline is not None:
+            kwargs["deadline"] = self.deadline
+        for key in self._LAUNCH_KEYS:
+            if key in params:
+                kwargs[key] = params.pop(key)
         report = run_procs_program(kernel, places, params=params, **kwargs)
+        extra = {"messages_routed": report.messages_routed,
+                 "bytes_routed": report.bytes_routed}
+        if kwargs["chaos"] is not None or kwargs["resilient"]:
+            extra.update(
+                deaths=report.deaths,
+                revivals=report.revivals,
+                frames_dropped=report.frames_dropped,
+                deaths_tolerated=report.deaths_tolerated,
+                chaos=report.chaos,
+            )
         return BackendRun(
             backend=self.name,
             kernel=kernel,
@@ -167,8 +198,7 @@ class ProcsBackend(ExecutionBackend):
             result=report.result,
             wall_time=report.wall_time,
             ctl_by_pragma=dict(report.ctl_by_pragma),
-            extra={"messages_routed": report.messages_routed,
-                   "bytes_routed": report.bytes_routed},
+            extra=extra,
         )
 
 

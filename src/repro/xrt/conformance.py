@@ -123,6 +123,42 @@ def run_conformance(
     return ConformanceReport(kernel=kernel, places=places, runs=runs, diffs=diffs)
 
 
+def run_recovery_conformance(
+    kernel: str,
+    places: int,
+    chaos: str,
+    deadline: Optional[float] = None,
+    **params: Any,
+) -> ConformanceReport:
+    """Fault-free procs run vs killed-and-recovered procs run: equal answers.
+
+    The wall-clock acceptance gate of the resilient procs backend: a run that
+    loses a real OS process (``chaos`` kills it mid-flight) and heals through
+    respawn + checkpoint/restore must land on the *identical* result payload
+    and checksum as the plain run that never saw a fault.  Control-message
+    counts are intentionally not compared — recovery traffic (restore waves,
+    retried epochs) is extra protocol by design; ``_``-prefixed result keys
+    (recovery stats, work placement) are skipped by :func:`deep_equal`.
+    """
+    plain = get_backend("procs", deadline=deadline)
+    faulty = get_backend("procs", deadline=deadline, chaos=chaos, resilient=True)
+    runs = [
+        plain.run(kernel, places, **params),
+        faulty.run(kernel, places, **params),
+    ]
+    reference, recovered = runs
+    tag = "[fault-free vs recovered]"
+    diffs = []
+    if reference.checksum != recovered.checksum:
+        diffs.append(f"{tag} checksum: {reference.checksum} != {recovered.checksum}")
+    diffs.extend(
+        f"{tag} result {d}" for d in deep_equal(reference.result, recovered.result)
+    )
+    if not recovered.extra.get("deaths"):
+        diffs.append(f"{tag} chaos run saw no death: the kill never landed")
+    return ConformanceReport(kernel=kernel, places=places, runs=runs, diffs=diffs)
+
+
 def assert_conformant(
     kernel: str,
     places: int,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Tuple
 
-from repro.errors import PragmaError
+from repro.errors import DeadPlaceError, PragmaError
 from repro.runtime.finish.pragmas import Pragma
 from repro.sim.events import SimEvent
 
@@ -38,7 +38,20 @@ Fid = Tuple[int, int]
 
 
 class HomeFinish:
-    """The home-side finish: owns the pending counter and the wait event."""
+    """The home-side finish: owns the pending counter and the wait event.
+
+    Death semantics mirror the simulator's finish contract
+    (:meth:`repro.runtime.finish.base.FinishProtocol.notify_place_death`):
+    a strict finish fails its waiters with :class:`DeadPlaceError` naming the
+    dead place; a finish whose ``tolerate_death`` flag was raised writes off
+    the dead place's outstanding counts instead.  Per-place attribution of the
+    pending counter (``pending_by_place``) is what makes the write-off exact.
+    """
+
+    #: opt-in, set on the finish inside the ``with`` block (like the sim's
+    #: ``FinishProtocol.tolerate_death``): place death under this finish is
+    #: written off rather than fatal
+    tolerate_death = False
 
     def __init__(self, prt: "ProcsRuntime", pragma: Pragma, name: str = "") -> None:
         self.prt = prt
@@ -49,6 +62,10 @@ class HomeFinish:
         self.pending = 0
         self.total_forks = 0
         self.remote_joins = 0
+        #: outstanding activities by the place they run at — death write-offs
+        #: forgive exactly the dead place's share of ``pending``
+        self.pending_by_place: Dict[int, int] = {}
+        self.deaths_tolerated = 0
         self._event = SimEvent(name=f"{self.name}.wait")
         # parity with the simulator's metrics: opening a finish registers its
         # pragma in the per-pragma ctl counts even if it never sends one
@@ -85,25 +102,51 @@ class HomeFinish:
         self.validate_fork(src, dst)
         self.total_forks += 1
         self.pending += 1
+        self.pending_by_place[dst] = self.pending_by_place.get(dst, 0) + 1
 
-    def on_remote_fork(self) -> None:
-        """A FORK notice arrived from a remote place."""
+    def on_remote_fork(self, dst: int) -> None:
+        """A FORK notice arrived from a remote place, spawning at ``dst``."""
         self.total_forks += 1
         self.pending += 1
+        self.pending_by_place[dst] = self.pending_by_place.get(dst, 0) + 1
 
     def on_join(self, place: int) -> None:
         """A home-local activity terminated (no message, no ctl count)."""
-        self._arrive()
+        self._arrive(place)
 
-    def on_remote_join(self) -> None:
-        """A JOIN frame arrived (already counted by the sender)."""
+    def on_remote_join(self, src: int) -> None:
+        """A JOIN frame arrived from ``src`` (already counted by the sender)."""
         self.remote_joins += 1
-        self._arrive()
+        self._arrive(src)
 
-    def _arrive(self) -> None:
+    def _arrive(self, place: int) -> None:
         self.pending -= 1
+        self.pending_by_place[place] = self.pending_by_place.get(place, 0) - 1
         if self.pending < 0:
             raise PragmaError(f"{self.name}: more joins than forks")
+        if self.pending == 0 and not self._event.fired:
+            self._event.trigger()
+
+    def notify_place_death(self, place: int, cause: str = "") -> None:
+        """Place ``place`` died: write off its counts or fail, per the contract.
+
+        FIFO through the single router guarantees every JOIN the place managed
+        to send was delivered before the death notice, so whatever remains in
+        ``pending_by_place[place]`` is exactly the work that can never join.
+        """
+        lost = self.pending_by_place.pop(place, 0)
+        if lost <= 0 or self._event.fired:
+            return
+        if not self.tolerate_death:
+            lost_txt = f"{lost} outstanding activit{'y' if lost == 1 else 'ies'} lost"
+            self.fail(DeadPlaceError(
+                place, detected_by=self.name,
+                detail=f"{lost_txt}; {cause}" if cause else lost_txt,
+            ))
+            return
+        self.pending -= lost
+        self.deaths_tolerated += 1
+        self.prt.deaths_tolerated += 1
         if self.pending == 0 and not self._event.fired:
             self._event.trigger()
 
@@ -138,7 +181,7 @@ class ProxyFinish:
         return f"<ProxyFinish {self.fid} home={self.home}>"
 
     def on_fork(self, src: int, dst: int) -> None:
-        self.prt.send_fork_notice(self.home, self.fid, self.pragma_value)
+        self.prt.send_fork_notice(self.home, self.fid, self.pragma_value, dst)
 
     def on_join(self, place: int) -> None:
         # the counted control message: one per remotely terminating activity

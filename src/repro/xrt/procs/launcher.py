@@ -16,25 +16,39 @@ Failure containment:
 
 * a child's uncaught exception sends a CRASH frame; place 0 raises
   :class:`~repro.errors.ProcsError` carrying the child's traceback;
-* an unexpected EOF (a child died without a word) raises
-  :class:`~repro.errors.DeadPlaceError` for that place;
+* an unexpected EOF (a child died without a word) raises a structured
+  :class:`~repro.errors.ProcsError` naming the place and its wait status
+  (exit code or signal) — immediately, never riding out the deadline;
 * a wall-clock ``deadline`` bounds the whole run: exceeded, the launcher
   raises :class:`~repro.errors.ProcsTimeoutError`;
 * *every* path through the finally block terminates, then kills, then joins
   each child — no exit leaves orphan processes behind.
+
+Fault tolerance (``chaos=`` and/or ``resilient=True``) changes the death
+path from fatal to structured: the router heartbeats every child (PING/PONG)
+so both EOF-death and hung-but-connected places are detected, a dead place
+is retired from the routing table, a DEAD notice is broadcast to every
+survivor (after all frames the dead place managed to send — the star
+topology's FIFO guarantee), and place 0's finish protocol applies the
+strict-fail / tolerant-write-off contract.  A resilient program can then ask
+the launcher to **respawn** the place: a fresh OS process is forked and
+re-registered with the router, and checkpoint/restore (see
+:mod:`repro.kernels.portable.resilient`) replays the lost epoch.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import socket
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Union
 
-from repro.errors import DeadPlaceError, PlaceError, ProcsError
+from repro.chaos.spec import ChaosSpec
+from repro.errors import PlaceError, ProcsError
 from repro.runtime.finish.pragmas import Pragma
 from repro.xrt.procs import wire
 from repro.xrt.procs.loop import PlaceLoop
@@ -46,6 +60,13 @@ DEFAULT_DEADLINE = 60.0
 
 #: how long shutdown waits for a child to exit before escalating
 _REAP_GRACE = 2.0
+
+#: heartbeat cadence and how long a silent place survives before it is
+#: declared dead; the timeout is deliberately many intervals so a place
+#: grinding through a long compute chunk (answering PINGs only between
+#: callback batches) is never a false positive
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
 
 
 @dataclass
@@ -63,6 +84,17 @@ class ProcsReport:
     messages_routed: int = 0
     bytes_routed: int = 0
     per_place: Dict[int, dict] = field(default_factory=dict)
+    #: place deaths the router detected: [{"place", "cause", "time"}, ...]
+    deaths: List[dict] = field(default_factory=list)
+    #: fresh OS processes forked for dead places
+    revivals: int = 0
+    #: ``procs.wire.dropped``: frames queued after EOF plus frames the router
+    #: blackholed to/from dead places — nothing is ever *silently* lost
+    frames_dropped: int = 0
+    #: tolerant-finish write-offs summed across places
+    deaths_tolerated: int = 0
+    #: the chaos spec driving the run (one-line form), if any
+    chaos: Optional[str] = None
 
 
 class _RouterLoop(PlaceLoop):
@@ -71,19 +103,49 @@ class _RouterLoop(PlaceLoop):
     def __init__(self, deadline: Optional[float]) -> None:
         super().__init__(deadline=deadline)
         self.conn_for: Dict[int, wire.Conn] = {}
+        #: places declared dead and not (yet) revived
+        self.dead: Set[int] = set()
+        #: wall time (this loop's clock) a frame last arrived from each place
+        self.last_seen: Dict[int, float] = {}
+        #: frames to/from dead places the router blackholed (counted, not lost)
+        self.blackholed = 0
 
     def route(self, frame: wire.Frame) -> None:
         dst = frame[2]
         conn = self.conn_for.get(dst)
         if conn is None:
+            if dst in self.dead:
+                self.blackholed += 1
+                return
             raise PlaceError(f"no route to place {dst}")
         conn.send_frame(frame)
 
     def on_frame(self, conn: wire.Conn, frame: wire.Frame) -> None:
+        if conn.peer in self.dead:
+            self.blackholed += 1
+            return
+        self.last_seen[conn.peer] = self.now
         if frame[2] == 0:
             self.dispatch(frame)
         else:
             self.route(frame)
+
+
+def _child_status(proc) -> str:
+    """Human-readable wait status: exit code or the signal that killed it."""
+    if proc is None:
+        return "wait status unknown"
+    proc.join(timeout=_REAP_GRACE)
+    code = proc.exitcode
+    if code is None:
+        return "still running"
+    if code < 0:
+        try:
+            name = signal.Signals(-code).name
+        except ValueError:  # pragma: no cover - exotic signal number
+            name = f"signal {-code}"
+        return f"killed by {name}"
+    return f"exit code {code}"
 
 
 def run_procs_program(
@@ -91,6 +153,10 @@ def run_procs_program(
     places: int,
     params: Optional[dict] = None,
     deadline: float = DEFAULT_DEADLINE,
+    chaos: Union[ChaosSpec, str, None] = None,
+    resilient: bool = False,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
 ) -> ProcsReport:
     """Run one portable program with one OS process per place.
 
@@ -98,12 +164,34 @@ def run_procs_program(
     :func:`repro.kernels.portable.build_program`) or directly a program
     callable ``main(ctx)``; ``main`` runs at place 0 under the root finish.
     Returns once every place exited and is reaped.
+
+    ``chaos`` takes a kill-only :class:`~repro.chaos.ChaosSpec` (or its text
+    form): each ``kill=place@time`` SIGKILLs that place's actual OS process
+    ``time`` wall-clock seconds into the run.  ``resilient=True`` resolves
+    the kernel through the checkpoint/restore programs of
+    :mod:`repro.kernels.portable.resilient` so killed places are respawned
+    and the run completes with the fault-free checksum.  Either flag arms
+    the failure detector (heartbeats + DEAD notices).
     """
     if places < 1:
         raise PlaceError(f"need at least one place, got {places}")
     params = dict(params or {})
+    spec: Optional[ChaosSpec] = None
+    if chaos is not None:
+        spec = chaos if isinstance(chaos, ChaosSpec) else ChaosSpec.parse(chaos)
+        # shared spec-time validation: out-of-range and control-place kills
+        # exit before a single process is forked
+        spec.validate_transport("procs")
+        spec.validate_places(places, control_place=0)
+    fault_tolerant = spec is not None or resilient
+
     if callable(kernel):
         main, kernel_name = kernel, getattr(kernel, "__name__", "program")
+    elif resilient:
+        from repro.kernels.portable.resilient import build_resilient_program
+
+        main = build_resilient_program(kernel, places, **params)
+        kernel_name = kernel
     else:
         from repro.kernels.portable import build_program
 
@@ -114,65 +202,165 @@ def run_procs_program(
     mp = multiprocessing.get_context("fork")
     loop = _RouterLoop(deadline=deadline)
     children: List = []
-    parent_ends: List[socket.socket] = []
+    children_by_place: Dict[int, Any] = {}
+    child_deadline = deadline * 2 + 5.0
+
+    def _fork_child(place: int, name: str) -> None:
+        psock, csock = socket.socketpair()
+        # the child inherits every parent-side end currently open (fork
+        # copies fds); it closes them first thing, or sibling-death EOF
+        # detection would be defeated by the surviving copies
+        # children carry a *longer* deadline: the parent's watchdog is the
+        # canonical one (it raises ProcsTimeoutError and reaps); a child's
+        # own deadline is only a backstop for a vanished parent
+        inherited = [c.sock for c in loop.conn_for.values()] + [psock]
+        proc = mp.Process(
+            target=_child_main,
+            args=(place, places, csock, inherited, child_deadline),
+            daemon=True,
+            name=name,
+        )
+        proc.start()
+        csock.close()
+        children.append(proc)
+        children_by_place[place] = proc
+        conn = wire.Conn(psock, peer=place)
+        loop.conn_for[place] = conn
+        loop.add_conn(conn)
+        loop.last_seen[place] = loop.now
+
     try:
         for place in range(1, places):
-            psock, csock = socket.socketpair()
-            # the child inherits every parent-side end created so far (fork
-            # copies fds); it closes them first thing, or sibling-death EOF
-            # detection would be defeated by the surviving copies
-            # children carry a *longer* deadline: the parent's watchdog is the
-            # canonical one (it raises ProcsTimeoutError and reaps); a child's
-            # own deadline is only a backstop for a vanished parent
-            proc = mp.Process(
-                target=_child_main,
-                args=(place, places, csock, list(parent_ends) + [psock],
-                      deadline * 2 + 5.0),
-                daemon=True,
-                name=f"place-{place}",
-            )
-            proc.start()
-            csock.close()
-            parent_ends.append(psock)
-            children.append(proc)
-            conn = wire.Conn(psock, peer=place)
-            loop.conn_for[place] = conn
-            loop.add_conn(conn)
+            _fork_child(place, f"place-{place}")
 
         prt = ProcsRuntime(loop, place_id=0, n_places=places)
         prt.send_frame = loop.route
 
         done_reports: Dict[int, dict] = {}
-        state = {"draining": False}
+        deaths: List[dict] = []
+        state = {
+            "draining": False, "revivals": 0, "hb_seq": 0,
+            "retired_msgs": 0, "retired_bytes": 0, "retired_dropped": 0,
+        }
+
+        def _maybe_finish_drain() -> None:
+            if state["draining"] and all(p in done_reports for p in loop.conn_for):
+                loop.stop()
 
         def on_done(src: int, payload) -> None:
             done_reports[src] = payload
-            if len(done_reports) == places - 1:
-                loop.stop()
+            _maybe_finish_drain()
 
         def on_crash(src: int, payload) -> None:
             raise ProcsError(f"place {src} crashed:\n{payload}")
 
+        def _retire_conn(place: int) -> None:
+            conn = loop.conn_for.pop(place, None)
+            if conn is None:
+                return
+            state["retired_msgs"] += conn.frames_sent + conn.decoder.frames_decoded
+            state["retired_bytes"] += conn.bytes_sent + conn.decoder.bytes_fed
+            state["retired_dropped"] += conn.dropped
+            loop.drop_conn(conn)
+
+        def _mark_dead(place: int, cause: str) -> None:
+            """The one death path: retire, notify survivors, tell the runtime."""
+            if place in loop.dead or place not in loop.conn_for:
+                return
+            proc = children_by_place.get(place)
+            if proc is not None and proc.is_alive() and proc.pid:
+                # hung-but-connected detection ends in a kill: a place that
+                # stopped answering must not linger half-attached
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):  # pragma: no cover
+                    pass
+            _retire_conn(place)
+            loop.dead.add(place)
+            full_cause = f"{cause} ({_child_status(proc)})"
+            deaths.append({"place": place, "cause": full_cause,
+                           "time": round(loop.now, 3)})
+            # the DEAD notice rides each survivor's FIFO connection, so it
+            # arrives after every routed frame the dead place managed to send
+            for q, qconn in loop.conn_for.items():
+                qconn.send_frame((wire.DEAD, 0, q, (place, full_cause)))
+            prt.on_place_dead(place, full_cause)
+            _maybe_finish_drain()
+
         def on_eof(conn: wire.Conn) -> None:
             if conn.peer in done_reports:
                 return  # it reported and exited; silence is expected now
-            raise DeadPlaceError(conn.peer, detected_by="procs launcher",
-                                 detail="connection closed before DONE")
+            if fault_tolerant:
+                _mark_dead(conn.peer, "connection EOF")
+                return
+            proc = children_by_place.get(conn.peer)
+            raise ProcsError(
+                f"place {conn.peer} died unexpectedly before reporting DONE "
+                f"({_child_status(proc)})"
+            )
 
         loop.register_handler(wire.DONE, on_done)
         loop.register_handler(wire.CRASH, on_crash)
+        loop.register_handler(wire.PONG, lambda src, payload: None)
         loop.on_eof = on_eof
+
+        def respawn_place(place: int) -> None:
+            if not 0 < place < places:
+                raise PlaceError(f"cannot respawn place {place} of {places}")
+            if place in loop.conn_for:
+                return  # already alive
+            loop.dead.discard(place)
+            prt.dead_places.discard(place)
+            state["revivals"] += 1
+            _fork_child(place, f"place-{place}-r{state['revivals']}")
+
+        if fault_tolerant:
+            prt.respawn_place = respawn_place
+
+            def _hb_tick() -> None:
+                if loop.stopped or state["draining"]:
+                    return
+                now = loop.now
+                for place, conn in list(loop.conn_for.items()):
+                    silent = now - loop.last_seen.get(place, now)
+                    if silent > heartbeat_timeout:
+                        _mark_dead(place, f"no heartbeat for {silent:.2f}s "
+                                          f"(timeout {heartbeat_timeout:.2f}s)")
+                        continue
+                    conn.send_frame((wire.PING, 0, place, state["hb_seq"]))
+                state["hb_seq"] += 1
+                loop.schedule_fire(heartbeat_interval, _hb_tick)
+
+            loop.schedule_fire(heartbeat_interval, _hb_tick)
+
+        if spec is not None:
+            def _fire_kill(place: int) -> None:
+                if state["draining"] or place in loop.dead:
+                    return
+                proc = children_by_place.get(place)
+                if proc is None or not proc.is_alive() or not proc.pid:
+                    return
+                try:
+                    os.kill(proc.pid, signal.SIGKILL)
+                except (ProcessLookupError, OSError):  # pragma: no cover
+                    pass
+                # the EOF shows up on the next poll and takes the same
+                # _mark_dead path as any organic death
+
+            for place, t in spec.kills:
+                loop.schedule_call(max(t, 0.0), _fire_kill, place)
 
         root = prt.open_finish(Pragma.DEFAULT, name="root")
         main_process = prt.spawn_local(main, (), root, name="main")
 
         def on_quiesce(_event) -> None:
             state["draining"] = True
-            if places == 1:
+            if not loop.conn_for:
                 loop.stop()
                 return
             for place, conn in loop.conn_for.items():
                 conn.send_frame((wire.EXIT, 0, place, None))
+            _maybe_finish_drain()
 
         root.wait().add_callback(on_quiesce)
 
@@ -182,14 +370,20 @@ def run_procs_program(
         ctl: Dict[str, int] = dict(prt.ctl_by_pragma)
         per_place = {0: {"ctl_by_pragma": dict(prt.ctl_by_pragma),
                          "activities_run": prt.activities_run}}
+        tolerated = prt.deaths_tolerated
         for place, payload in done_reports.items():
             per_place[place] = payload
+            tolerated += payload.get("deaths_tolerated", 0)
             for pragma, count in payload.get("ctl_by_pragma", {}).items():
                 ctl[pragma] = ctl.get(pragma, 0) + count
-        messages = sum(c.frames_sent + c.decoder.frames_decoded
-                       for c in loop.conn_for.values())
-        nbytes = sum(c.bytes_sent + c.decoder.bytes_fed
-                     for c in loop.conn_for.values())
+        live = list(loop.conn_for.values())
+        messages = state["retired_msgs"] + sum(
+            c.frames_sent + c.decoder.frames_decoded for c in live)
+        nbytes = state["retired_bytes"] + sum(
+            c.bytes_sent + c.decoder.bytes_fed for c in live)
+        dropped = (state["retired_dropped"] + loop.blackholed
+                   + sum(c.dropped for c in live)
+                   + sum(p.get("dropped", 0) for p in done_reports.values()))
         return ProcsReport(
             kernel=kernel_name,
             places=places,
@@ -199,6 +393,11 @@ def run_procs_program(
             messages_routed=messages,
             bytes_routed=nbytes,
             per_place=per_place,
+            deaths=deaths,
+            revivals=state["revivals"],
+            frames_dropped=dropped,
+            deaths_tolerated=tolerated,
+            chaos=spec.describe() if spec is not None else None,
         )
     finally:
         loop.close()
@@ -247,10 +446,18 @@ def _child_main(
         conn.send_frame((wire.DONE, place, 0, {
             "ctl_by_pragma": dict(prt.ctl_by_pragma),
             "activities_run": prt.activities_run,
+            "deaths_tolerated": prt.deaths_tolerated,
+            "dropped": conn.dropped,
         }))
         loop.stop()
 
+    def on_ping(src: int, seq) -> None:
+        # answered from the socket loop itself: proves the loop is alive
+        # even while activities are mid-compute
+        conn.send_frame((wire.PONG, place, 0, seq))
+
     loop.register_handler(wire.EXIT, on_exit)
+    loop.register_handler(wire.PING, on_ping)
     # parent gone -> nothing to report to; just leave
     loop.on_eof = lambda _conn: loop.stop()
 

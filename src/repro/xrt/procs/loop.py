@@ -118,6 +118,23 @@ class PlaceLoop:
         self._conns.append(conn)
         self._selector.register(conn.sock, selectors.EVENT_READ, conn)
 
+    def drop_conn(self, conn: Conn) -> None:
+        """Retire a connection mid-run (peer declared dead by the router).
+
+        Safe whether or not the connection already hit EOF: the selector
+        unregister tolerates both orders, and marking ``eof`` makes any
+        later ``send_frame`` count into ``dropped`` instead of buffering
+        bytes for a peer that will never read them.
+        """
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        if conn in self._conns:
+            self._conns.remove(conn)
+        conn.eof = True
+        conn.close()
+
     def register_handler(self, kind: str, handler: Callable[[int, object], None]) -> None:
         """``handler(src, payload)`` is invoked for each arriving frame of ``kind``."""
         self._handlers[kind] = handler
@@ -152,11 +169,16 @@ class PlaceLoop:
             conn: Conn = key.data
             if mask & selectors.EVENT_WRITE:
                 conn.pump_write()
-            if mask & selectors.EVENT_READ:
+            # a write-side EPIPE sets conn.eof too; drain the read side
+            # regardless so frames the dead peer managed to send still land
+            if (mask & selectors.EVENT_READ) or conn.eof:
                 for frame in conn.pump_read():
                     self.on_frame(conn, frame)
                 if conn.eof:
-                    self._selector.unregister(conn.sock)
+                    try:
+                        self._selector.unregister(conn.sock)
+                    except (KeyError, ValueError):  # pragma: no cover
+                        pass
                     if self.on_eof is not None:
                         self.on_eof(conn)
 

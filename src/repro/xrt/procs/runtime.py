@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Optional
 
-from repro.errors import ApgasError, PlaceError, ProcsError
+from repro.errors import ApgasError, DeadPlaceError, PlaceError, ProcsError
 from repro.runtime.finish.pragmas import Pragma
 from repro.runtime.place import Monitor
 from repro.sim.events import SimEvent
@@ -87,6 +87,14 @@ class ProcsRuntime:
         self._finish_seq = itertools.count()
         self._reply_seq = itertools.count()
         self._pending_replies: dict[int, SimEvent] = {}
+        self._reply_dst: dict[int, int] = {}
+        #: places this process knows to be dead and has not yet acknowledged
+        #: (via restore) or seen revived; poisons sends/spawns/blocking recvs
+        self.dead_places: set = set()
+        self.deaths_tolerated = 0
+        #: installed by the launcher at place 0 only: fork a fresh OS process
+        #: for a dead place and re-register it with the router
+        self.respawn_place: Optional[Callable[[int], None]] = None
         #: finish control messages *sent from this process*, by pragma value;
         #: the launcher sums these across places into the run report
         self.ctl_by_pragma: dict[str, int] = {}
@@ -101,6 +109,7 @@ class ProcsRuntime:
             (wire.EVAL, self._on_eval),
             (wire.REPLY, self._on_reply),
             (wire.ITEM, self._on_item),
+            (wire.DEAD, self._on_dead),
         ):
             loop.register_handler(kind, handler)
 
@@ -118,6 +127,11 @@ class ProcsRuntime:
     def _check_place(self, place: int) -> None:
         if not 0 <= place < self.n_places:
             raise PlaceError(f"place {place} outside 0..{self.n_places - 1}")
+        if place in self.dead_places:
+            raise DeadPlaceError(
+                place, detected_by=f"place {self.place_id}",
+                detail="operation targets a dead place",
+            )
 
     def open_finish(self, pragma: Pragma, name: str = "") -> HomeFinish:
         fin = HomeFinish(self, pragma, name)
@@ -126,9 +140,9 @@ class ProcsRuntime:
 
     # -- finish control messages -------------------------------------------------
 
-    def send_fork_notice(self, home: int, fid: Fid, pragma_value: str) -> None:
+    def send_fork_notice(self, home: int, fid: Fid, pragma_value: str, dst: int) -> None:
         # uncounted: the sim's fork bookkeeping rides inside the spawn message
-        self.send_frame((wire.FORK, self.place_id, home, (fid, pragma_value)))
+        self.send_frame((wire.FORK, self.place_id, home, (fid, pragma_value, dst)))
 
     def send_join(self, home: int, fid: Fid, pragma_value: str) -> None:
         self.ctl_by_pragma[pragma_value] = self.ctl_by_pragma.get(pragma_value, 0) + 1
@@ -179,6 +193,7 @@ class ProcsRuntime:
             return event
         reply_id = next(self._reply_seq)
         self._pending_replies[reply_id] = event
+        self._reply_dst[reply_id] = dst
         self.send_frame((wire.EVAL, self.place_id, dst, (fn, args, reply_id)))
         return event
 
@@ -224,12 +239,17 @@ class ProcsRuntime:
         self._start_activity(fn, args, finish, name)
 
     def _on_fork(self, src: int, payload) -> None:
-        fid, _pragma_value = payload
-        self.finishes[fid].on_remote_fork()
+        fid, _pragma_value, dst = payload
+        fin = self.finishes[fid]
+        fin.on_remote_fork(dst)
+        if dst in self.dead_places:
+            # the notice raced the death: the spawn it covers was (or will be)
+            # blackholed, so write it off / fail through the normal contract
+            fin.notify_place_death(dst)
 
     def _on_join(self, src: int, payload) -> None:
         fid, _pragma_value = payload
-        self.finishes[fid].on_remote_join()
+        self.finishes[fid].on_remote_join(src)
 
     def _on_eval(self, src: int, payload) -> None:
         fn, args, reply_id = payload
@@ -252,6 +272,7 @@ class ProcsRuntime:
     def _on_reply(self, src: int, payload) -> None:
         reply_id, value, is_error = payload
         event = self._pending_replies.pop(reply_id)
+        self._reply_dst.pop(reply_id, None)
         if is_error:
             event.fail(value)
         else:
@@ -260,6 +281,46 @@ class ProcsRuntime:
     def _on_item(self, src: int, payload) -> None:
         mailbox, item = payload
         self.mailbox(mailbox).put(item)
+
+    def _on_dead(self, src: int, payload) -> None:
+        place, cause = payload
+        self.on_place_dead(place, cause)
+
+    # -- place death ---------------------------------------------------------------
+
+    def on_place_dead(self, place: int, cause: str = "") -> None:
+        """Propagate a place death through this process's blocked machinery.
+
+        Called directly by the launcher at place 0 and from the DEAD frame
+        handler at children.  FIFO through the router guarantees every frame
+        the dead place managed to send arrived before this notice, so the
+        write-offs below are exact: finishes forgive (or fail on) precisely
+        the activities that can never join, pending remote evals to the dead
+        place fail, and every blocked mailbox getter re-raises rather than
+        waiting on an item that can no longer arrive.
+        """
+        if place in self.dead_places or place == self.place_id:
+            return
+        self.dead_places.add(place)
+        detail = cause or "death notice from the router"
+
+        for fin in list(self.finishes.values()):
+            fin.notify_place_death(place, cause)
+        for reply_id in [r for r, d in self._reply_dst.items() if d == place]:
+            self._reply_dst.pop(reply_id, None)
+            event = self._pending_replies.pop(reply_id, None)
+            if event is not None and not event.fired:
+                event.fail(DeadPlaceError(
+                    place, detected_by=f"place {self.place_id} remote eval", detail=detail,
+                ))
+        for box in list(self._mailboxes.values()):
+            box.fail_getters(DeadPlaceError(
+                place, detected_by=f"place {self.place_id} mailbox {box.name!r}", detail=detail,
+            ))
+
+    def acknowledge_deaths(self) -> None:
+        """Clear the death poison (restore paths, after recovery handled it)."""
+        self.dead_places.clear()
 
 
 def _unwired(frame) -> None:
@@ -363,10 +424,37 @@ class ProcsContext:
         self.prt.send_item(place, mailbox, item)
 
     def recv(self, mailbox: str):
+        if self.prt.dead_places:
+            # an unacknowledged death poisons blocking receives: the item this
+            # activity is waiting for may only ever come from the dead place
+            place = min(self.prt.dead_places)
+            raise DeadPlaceError(
+                place, detected_by=f"place {self.here} recv({mailbox!r})",
+                detail="unacknowledged place death poisons blocking receives",
+            )
         return self.prt.mailbox(mailbox).get()
 
     def try_recv(self, mailbox: str):
         return self.prt.mailbox(mailbox).try_get()
+
+    # -- resilience (procs-specific; probed with getattr by resilient programs) -----
+
+    def dead_places(self) -> tuple:
+        """Places this process currently knows to be dead (sorted)."""
+        return tuple(sorted(self.prt.dead_places))
+
+    def acknowledge_deaths(self) -> None:
+        """Accept the deaths: clear the poison so normal messaging resumes."""
+        self.prt.acknowledge_deaths()
+
+    def revive(self, place: int) -> None:
+        """Respawn a fresh OS process for a dead place (place 0 only)."""
+        if self.prt.respawn_place is None:
+            raise ProcsError(
+                "place revival is only available at the control place "
+                f"(place 0); place {self.here} cannot revive place {place}"
+            )
+        self.prt.respawn_place(place)
 
     # -- atomic / when ----------------------------------------------------------------
 

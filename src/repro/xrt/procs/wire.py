@@ -21,7 +21,9 @@ from repro.xrt.serialization import FrameDecoder, encode_frame
 #: remote spawn: payload (fn, args, fid, pragma_value, home, name)
 SPAWN = "spawn"
 #: finish fork notice to the home place (uncounted bookkeeping; the sim's
-#: equivalent rides inside the spawn message): payload (fid, pragma_value)
+#: equivalent rides inside the spawn message): payload (fid, pragma_value, dst)
+#: — the destination place lets the home finish attribute the pending count
+#: per place, which is what makes death write-offs exact
 FORK = "fork"
 #: finish join — the counted control message: payload (fid, pragma_value)
 JOIN = "join"
@@ -37,6 +39,17 @@ EXIT = "exit"
 DONE = "done"
 #: child -> place 0: uncaught exception: payload formatted traceback str
 CRASH = "crash"
+#: place 0 -> child: liveness probe; the child must answer PONG from its
+#: socket loop (proving the loop is alive, not that activities progress):
+#: payload heartbeat sequence number
+PING = "ping"
+#: child -> place 0: heartbeat answer: payload the PING's sequence number
+PONG = "pong"
+#: place 0 -> child: structured death notice: payload (dead_place, cause).
+#: Per-connection FIFO plus the single router give the causal guarantee the
+#: finish protocol needs: a DEAD notice is delivered after every frame the
+#: dead place managed to send that the router routed before marking it dead.
+DEAD = "dead"
 
 Frame = Tuple[str, int, int, Any]
 
@@ -50,7 +63,9 @@ class Conn:
     the pair: a frame is never written with a blocking call.
     """
 
-    __slots__ = ("sock", "peer", "decoder", "_out", "bytes_sent", "frames_sent", "eof")
+    __slots__ = (
+        "sock", "peer", "decoder", "_out", "bytes_sent", "frames_sent", "dropped", "eof",
+    )
 
     def __init__(self, sock: socket.socket, peer: int) -> None:
         sock.setblocking(False)
@@ -61,6 +76,9 @@ class Conn:
         self._out = bytearray()
         self.bytes_sent = 0
         self.frames_sent = 0
+        #: frames queued after EOF — nothing is ever *silently* lost: every
+        #: frame is either sent or counted here (``procs.wire.dropped``)
+        self.dropped = 0
         self.eof = False
 
     def fileno(self) -> int:
@@ -70,6 +88,9 @@ class Conn:
 
     def send_frame(self, frame: Frame) -> None:
         """Queue one frame; actual bytes move when the socket is writable."""
+        if self.eof:
+            self.dropped += 1
+            return
         data = encode_frame(frame)
         self._out.extend(data)
         self.frames_sent += 1
@@ -85,6 +106,14 @@ class Conn:
             try:
                 sent = self.sock.send(self._out)
             except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                # peer gone mid-write (EPIPE after a SIGKILL): the buffered
+                # bytes can never be delivered — surface as EOF so the owner
+                # retires the connection; the loop drains the read side
+                # first, so frames the peer managed to send are not lost
+                self.eof = True
+                self._out.clear()
                 return
             if sent == 0:  # pragma: no cover - send() raises rather than 0
                 return

@@ -76,3 +76,55 @@ def test_runtime_construction_rejects_out_of_range_kill():
 
     with pytest.raises(ChaosError):
         make_chaos_runtime(4, chaos="seed=0,kill=7@0.01")
+
+
+# -- shared place validation across backends ---------------------------------------
+#
+# serve's scheduler and the procs launcher both protect an irreplaceable
+# coordinator at place 0; both must route through ChaosSpec.validate_places
+# so a bad kill schedule is refused at spec time — before any job is admitted
+# or any process forked — with the *same* error text everywhere.
+
+
+def _raise_from(backend: str, chaos: str) -> ChaosError:
+    if backend == "procs":
+        from repro.xrt.procs import run_procs_program
+
+        with pytest.raises(ChaosError) as excinfo:
+            run_procs_program("kmeans", 8, chaos=chaos)
+    else:
+        from repro.serve import ServeScheduler, quick_scenario
+        from tests.chaos.conftest import make_chaos_runtime
+
+        with pytest.raises(ChaosError) as excinfo:
+            ServeScheduler(make_chaos_runtime(8, chaos=chaos), quick_scenario(places=8))
+    return excinfo.value
+
+
+@pytest.mark.parametrize("backend", ["procs", "serve"])
+def test_control_place_kill_rejected_at_spec_time_on_every_backend(backend):
+    spec = ChaosSpec.parse("seed=1,kill=0@0.01")
+    with pytest.raises(ChaosError) as direct:
+        spec.validate_places(8, control_place=0)
+    err = _raise_from(backend, "seed=1,kill=0@0.01")
+    assert str(err) == str(direct.value)  # one validation, one message
+    assert "control place" in str(err)
+
+
+@pytest.mark.parametrize("backend", ["procs", "serve"])
+def test_out_of_range_kill_rejected_at_spec_time_on_every_backend(backend):
+    err = _raise_from(backend, "seed=1,kill=9@0.01")
+    assert "places 0..7" in str(err)
+
+
+def test_validate_transport_rejects_modeled_faults_for_real_backends():
+    spec = ChaosSpec.parse("seed=1,drop=0.2,reorder=0.1,kill=2@0.01")
+    with pytest.raises(ChaosError) as excinfo:
+        spec.validate_transport("procs")
+    message = str(excinfo.value)
+    assert "drop" in message and "reorder" in message
+    assert "'procs'" in message and "kill=place@time" in message
+
+
+def test_validate_transport_allows_kill_only_specs():
+    ChaosSpec.parse("seed=3,kill=2@0.01+5@0.02").validate_transport("procs")

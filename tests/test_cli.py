@@ -206,6 +206,57 @@ def test_run_with_out_of_range_kill_place_exits_2():
     assert "bad --chaos spec" in text and "places 0..3" in text
 
 
+# -- chaos/resilient gating on --backend runs ----------------------------------
+#
+# On real-execution backends these flags mean real process kills and respawns,
+# which only the procs backend implements; every rejection below happens at
+# argument/spec validation time, before a single place process is forked.
+
+
+def test_backend_sim_rejects_chaos_flag():
+    code, text = run_cli(
+        "run", "stream", "--places", "4", "--backend", "sim",
+        "--chaos", "seed=1,kill=2@0.01",
+    )
+    assert code == 2
+    assert "--backend procs" in text and "real process kills" in text
+
+
+def test_backend_sim_rejects_resilient_flag():
+    code, text = run_cli(
+        "run", "stream", "--places", "4", "--backend", "sim", "--resilient"
+    )
+    assert code == 2
+    assert "--backend procs" in text
+
+
+def test_backend_procs_rejects_control_place_kill_at_spec_time():
+    code, text = run_cli(
+        "run", "kmeans", "--places", "4", "--backend", "procs",
+        "--chaos", "kill=0@0.01",
+    )
+    assert code == 2
+    assert "bad --chaos spec" in text and "control place" in text
+
+
+def test_backend_procs_rejects_modeled_transport_faults_at_spec_time():
+    code, text = run_cli(
+        "run", "kmeans", "--places", "4", "--backend", "procs",
+        "--chaos", "drop=0.5,kill=2@0.01",
+    )
+    assert code == 2
+    assert "bad --chaos spec" in text and "kill=place@time" in text
+
+
+def test_backend_procs_rejects_out_of_range_kill_at_spec_time():
+    code, text = run_cli(
+        "run", "kmeans", "--places", "4", "--backend", "procs",
+        "--chaos", "kill=7@0.01",
+    )
+    assert code == 2
+    assert "bad --chaos spec" in text and "places 0..3" in text
+
+
 def test_trace_resilient_run_audits_epoch_consistency(tmp_path):
     path = str(tmp_path / "km.json")
     code, text = run_cli(

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import PlaceError, PragmaError, ProcsError, ProcsTimeoutError
+from repro.errors import (
+    DeadPlaceError,
+    PlaceError,
+    PragmaError,
+    ProcsError,
+    ProcsTimeoutError,
+)
 from repro.runtime.finish.pragmas import Pragma
 from repro.xrt.backend import WallClock, get_backend
 from repro.xrt.procs import run_procs_program
@@ -120,11 +126,13 @@ def test_home_finish_counts_and_quiesces():
     for dst in range(4):
         fin.on_fork(0, dst)
     assert fin.pending == fin.total_forks == 4
+    assert fin.pending_by_place == {0: 1, 1: 1, 2: 1, 3: 1}
     fin.on_join(0)  # home-local join: free
-    for _ in range(3):
-        fin.on_remote_join()
+    for src in (1, 2, 3):
+        fin.on_remote_join(src)
     assert fin.pending == 0
     assert fin.remote_joins == 3
+    assert all(n == 0 for n in fin.pending_by_place.values())
     assert fin.wait().fired
 
 
@@ -181,6 +189,9 @@ def test_proxy_finish_sends_fork_then_counted_join():
     kinds = [frame[0] for frame in sent]
     assert kinds == ["fork", "join"]
     assert all(frame[1] == 2 and frame[2] == 0 for frame in sent)
+    # the FORK notice names the spawn destination so home can attribute the
+    # pending count to the place the activity actually runs at
+    assert sent[0][3] == ((0, 5), "finish_dense", 3)
     # only the JOIN is a counted control message
     assert prt.ctl_by_pragma == {"finish_dense": 1}
 
@@ -207,6 +218,129 @@ def test_finish_ids_never_collide():
     prt = _runtime()
     fids = {prt.open_finish(Pragma.DEFAULT).fid for _ in range(10)}
     assert len(fids) == 10
+
+
+# -- place-death semantics (the sim finish contract, over frames) ------------------
+
+
+def test_strict_finish_fails_with_dead_place_error_naming_the_place():
+    fin = HomeFinish(_runtime(), Pragma.FINISH_SPMD)
+    fin.on_fork(0, 2)
+    fin.on_fork(0, 3)
+    fin.notify_place_death(2)
+    with pytest.raises(DeadPlaceError, match="place 2 is dead") as err:
+        fin.wait().value
+    assert err.value.place == 2
+
+
+def test_tolerant_finish_writes_off_exactly_the_dead_places_share():
+    prt = _runtime()
+    fin = HomeFinish(prt, Pragma.FINISH_DENSE)
+    fin.tolerate_death = True
+    for dst in (1, 2, 2, 3):
+        fin.on_fork(0, dst)
+    fin.notify_place_death(2)  # both of place 2's activities written off
+    assert fin.pending == 2
+    assert fin.deaths_tolerated == 1
+    assert prt.deaths_tolerated == 1
+    fin.on_remote_join(1)
+    fin.on_remote_join(3)  # survivors still join normally
+    assert fin.wait().fired
+    assert fin.wait().value is None  # fired cleanly, not failed
+
+
+def test_death_of_place_with_no_pending_work_is_a_noop():
+    fin = HomeFinish(_runtime(), Pragma.DEFAULT)
+    fin.on_fork(0, 1)
+    fin.notify_place_death(3)  # nothing outstanding there
+    assert fin.pending == 1
+    fin.on_remote_join(1)
+    assert fin.wait().fired
+
+
+def test_on_place_dead_poisons_sends_and_clears_on_acknowledge():
+    prt = _runtime()
+    prt.send_frame = lambda frame: None
+    prt.on_place_dead(2, "test kill")
+    with pytest.raises(DeadPlaceError):
+        prt.send_item(2, "box", "item")
+    with pytest.raises(DeadPlaceError):
+        prt.spawn_remote(2, _single_place_eval, (1,), HomeFinish(prt, Pragma.DEFAULT))
+    prt.acknowledge_deaths()
+    prt.send_item(2, "box", "item")  # poison lifted
+
+
+def test_on_place_dead_fails_pending_remote_evals_to_the_dead_place():
+    prt = _runtime()
+    prt.send_frame = lambda frame: None
+    event = prt.remote_eval(2, _single_place_eval, (1,))
+    bystander = prt.remote_eval(3, _single_place_eval, (1,))
+    prt.on_place_dead(2, "test kill")
+    with pytest.raises(DeadPlaceError):
+        event.value
+    assert not bystander.fired  # evals to live places are untouched
+
+
+def test_on_place_dead_fails_blocked_mailbox_getters_but_keeps_items():
+    prt = _runtime()
+    box = prt.mailbox("data")
+    box.put("queued-before-death")
+    getter = prt.mailbox("waiting").get()
+    prt.on_place_dead(1, "test kill")
+    with pytest.raises(DeadPlaceError):
+        getter.event.value
+    # queued items survive: only *blocked* getters can deadlock on a death
+    ok, item = box.try_get()
+    assert ok and item == "queued-before-death"
+
+
+def test_on_place_dead_is_idempotent_and_ignores_self():
+    prt = _runtime(place_id=2)
+    prt.on_place_dead(2, "self")  # a process never outlives its own death
+    assert prt.dead_places == set()
+    prt.on_place_dead(1, "first")
+    prt.on_place_dead(1, "again")
+    assert prt.dead_places == {1}
+
+
+def test_raced_fork_notice_for_a_dead_place_is_written_off():
+    # a FORK notice can arrive *after* the death notice (different senders);
+    # the runtime must count it and immediately write it off, not leak it
+    prt = _runtime()
+    prt.send_frame = lambda frame: None
+    fin = prt.open_finish(Pragma.FINISH_DENSE)
+    fin.tolerate_death = True
+    prt.on_place_dead(3, "test kill")
+    prt._on_fork(1, (fin.fid, "finish_dense", 3))
+    assert fin.pending == 0
+    assert fin.deaths_tolerated == 1
+
+
+def test_context_revive_requires_the_control_place():
+    prt = _runtime(place_id=1)
+    ctx = _context_of(prt)
+    with pytest.raises(ProcsError, match="control place"):
+        ctx.revive(2)
+
+
+def test_context_dead_places_probe_and_recv_poison():
+    prt = _runtime()
+    ctx = _context_of(prt)
+    assert ctx.dead_places() == ()
+    prt.on_place_dead(3, "test kill")
+    assert ctx.dead_places() == (3,)
+    with pytest.raises(DeadPlaceError, match="poisons blocking receives"):
+        ctx.recv("box")
+    ctx.acknowledge_deaths()
+    assert ctx.dead_places() == ()
+
+
+def _context_of(prt: ProcsRuntime):
+    from repro.xrt.procs.runtime import ProcsActivity, ProcsContext
+
+    fin = HomeFinish(prt, Pragma.DEFAULT)
+    activity = ProcsActivity(prt.place_id, _single_place_eval, (), fin)
+    return ProcsContext(prt, activity)
 
 
 # -- runtime wiring ----------------------------------------------------------------

@@ -128,7 +128,7 @@ def _sample_frames(seed: int):
     arr = rng.standard_normal(int(rng.integers(1, 2000)))
     return [
         (wire.SPAWN, 0, 2, ("mod.fn", ({"p": 3},), fid, "finish_spmd", 0, "worker")),
-        (wire.FORK, 2, 0, (fid, "finish_dense")),
+        (wire.FORK, 2, 0, (fid, "finish_dense", 3)),
         (wire.JOIN, 2, 0, (fid, "finish_dense")),
         (wire.EVAL, 0, 1, ("mod.fn", (1, 2), 17)),
         (wire.REPLY, 1, 0, (17, arr, False)),
@@ -136,6 +136,9 @@ def _sample_frames(seed: int):
         (wire.EXIT, 0, 3, None),
         (wire.DONE, 3, 0, {"ctl_by_pragma": {"finish_spmd": 4}, "activities_run": 2}),
         (wire.CRASH, 2, 0, "Traceback (most recent call last): ..."),
+        (wire.PING, 0, 3, int(rng.integers(0, 1000))),
+        (wire.PONG, 3, 0, int(rng.integers(0, 1000))),
+        (wire.DEAD, 0, 1, (2, "no heartbeat for 5.10s (timeout 5.00s)")),
     ]
 
 
@@ -176,6 +179,47 @@ def test_conn_eof_detected_on_peer_close():
         got.extend(b.pump_read())
     assert got == [("item", 0, 1, ("box", "last words"))]
     b.close()
+
+
+def test_send_after_eof_counts_dropped_frames():
+    """Satellite: nothing is ever *silently* lost — a frame queued after the
+    peer hung up is counted in ``Conn.dropped``, not vanished."""
+    a_sock, b_sock = socket.socketpair()
+    a, b = wire.Conn(a_sock, peer=1), wire.Conn(b_sock, peer=0)
+    try:
+        a.close()
+        while not b.eof:
+            b.pump_read()
+        sent_before = b.frames_sent
+        b.send_frame(("item", 0, 1, ("box", "into the void")))
+        b.send_frame(("join", 0, 1, ((0, 0), "default")))
+        assert b.dropped == 2
+        assert b.frames_sent == sent_before  # dropped frames are not "sent"
+        assert not b.wants_write  # and nothing was buffered for the wire
+    finally:
+        b.close()
+
+
+def test_every_frame_is_sent_or_counted_dropped():
+    """The wire conservation law: frames offered == frames sent + dropped."""
+    a_sock, b_sock = socket.socketpair()
+    a, b = wire.Conn(a_sock, peer=1), wire.Conn(b_sock, peer=0)
+    offered = 0
+    try:
+        for i in range(5):
+            a.send_frame(("item", 0, 1, ("box", i)))
+            offered += 1
+        a.pump_write()
+        b.close()  # peer dies mid-conversation
+        while not a.eof:
+            a.pump_read()
+        for i in range(3):
+            a.send_frame(("item", 0, 1, ("box", i)))
+            offered += 1
+        assert a.frames_sent + a.dropped == offered
+        assert a.dropped == 3
+    finally:
+        a.close()
 
 
 def test_conn_nonblocking_read_returns_empty():
